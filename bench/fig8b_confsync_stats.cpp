@@ -1,0 +1,50 @@
+// Reproduces paper Figure 8(b): time for VT_confsync when also writing
+// runtime statistics (IBM SP, 2-512 processes).
+//
+// Paper shapes: an order of magnitude larger than 8(a), but still
+// negligible against user-interaction time (< ~0.3 s at 512).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "dynprof/confsync_experiment.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dyntrace;
+  using namespace dyntrace::bench;
+
+  std::int64_t reps = 16;
+  CliParser parser("fig8b_confsync_stats", "Reproduce Figure 8(b)");
+  parser.option_int("reps", "repetitions per data point (paper: 16)", &reps);
+  if (!parser.parse(argc, argv)) return 0;
+
+  std::puts("Figure 8(b): VT_confsync cost when writing statistics, IBM SP (s)\n");
+  TextTable table({"Processors", "No Change", "(plain 8a)"});
+  std::vector<double> stats, plain;
+  const std::vector<int> procs{2, 4, 8, 16, 32, 64, 128, 256, 512};
+  for (const int p : procs) {
+    dynprof::ConfsyncExperimentConfig config;
+    config.nprocs = p;
+    config.machine = machine::ibm_power3_sp();
+    config.repetitions = static_cast<int>(reps);
+    config.write_statistics = true;
+    stats.push_back(run_confsync_experiment(config).mean_seconds);
+    config.write_statistics = false;
+    plain.push_back(run_confsync_experiment(config).mean_seconds);
+    table.add_row({std::to_string(p), TextTable::num(stats.back(), 6),
+                   TextTable::num(plain.back(), 6)});
+    std::fprintf(stderr, ".");
+    std::fflush(stderr);
+  }
+  std::fprintf(stderr, "\n");
+  std::fputs(table.render().c_str(), stdout);
+  std::printf("\nstats/plain ratio at 512 procs: %.1fx (paper: \"an order of magnitude\")\n",
+              stats.back() / plain.back());
+
+  std::vector<ShapeCheck> checks;
+  checks.push_back({"order of magnitude above 8(a) at 512 procs (>5x)",
+                    stats.back() > 5 * plain.back()});
+  checks.push_back({"still negligible vs user interaction (< 0.4 s everywhere)",
+                    stats.back() < 0.4});
+  checks.push_back({"cost grows with processors", stats.back() > stats.front()});
+  return report_checks(checks);
+}

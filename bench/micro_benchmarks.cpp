@@ -1,0 +1,175 @@
+// Host-side micro-benchmarks (google-benchmark): the cost of the simulation
+// substrate itself.  These do not reproduce a paper figure; they guard the
+// performance of the engine that every experiment binary depends on.
+#include <benchmark/benchmark.h>
+
+#include "image/image.hpp"
+#include "machine/cluster.hpp"
+#include "proc/process.hpp"
+#include "sim/engine.hpp"
+#include "sim/mailbox.hpp"
+#include "sim/sync.hpp"
+#include "support/rng.hpp"
+#include "support/strings.hpp"
+#include "vt/vtlib.hpp"
+
+namespace {
+
+using namespace dyntrace;
+
+void BM_EventQueueScheduleAndPop(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  for (auto _ : state) {
+    sim::EventQueue queue;
+    for (std::size_t i = 0; i < n; ++i) {
+      queue.schedule(static_cast<sim::TimeNs>(rng.next_below(1'000'000)), [] {});
+    }
+    while (!queue.empty()) queue.pop();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EventQueueScheduleAndPop)->Arg(1024)->Arg(16384);
+
+void BM_EngineSleepChain(benchmark::State& state) {
+  const int hops = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine engine;
+    engine.spawn(
+        [](sim::Engine& e, int n) -> sim::Coro<void> {
+          for (int i = 0; i < n; ++i) co_await e.sleep(10);
+        }(engine, hops),
+        "sleeper");
+    engine.run();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * hops);
+}
+BENCHMARK(BM_EngineSleepChain)->Arg(1000)->Arg(10000);
+
+void BM_EngineSpawnManyProcesses(benchmark::State& state) {
+  const int procs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine engine;
+    for (int i = 0; i < procs; ++i) {
+      engine.spawn(
+          [](sim::Engine& e, int id) -> sim::Coro<void> { co_await e.sleep(id % 13); }(
+              engine, i),
+          "p");
+    }
+    engine.run();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * procs);
+}
+BENCHMARK(BM_EngineSpawnManyProcesses)->Arg(1000);
+
+void BM_SimBarrierCycle(benchmark::State& state) {
+  const int participants = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine engine;
+    sim::SimBarrier barrier(engine, static_cast<std::size_t>(participants));
+    for (int i = 0; i < participants; ++i) {
+      engine.spawn(
+          [](sim::SimBarrier& b) -> sim::Coro<void> {
+            for (int cycle = 0; cycle < 16; ++cycle) co_await b.arrive_and_wait();
+          }(barrier),
+          "p");
+    }
+    engine.run();
+  }
+}
+BENCHMARK(BM_SimBarrierCycle)->Arg(8)->Arg(64);
+
+void BM_MatchQueuePredicateRecv(benchmark::State& state) {
+  struct Msg {
+    int tag;
+  };
+  for (auto _ : state) {
+    sim::Engine engine;
+    sim::MatchQueue<Msg> queue(engine);
+    engine.spawn(
+        [](sim::MatchQueue<Msg>& q) -> sim::Coro<void> {
+          for (int i = 0; i < 256; ++i) {
+            co_await q.recv([i](const Msg& m) { return m.tag == i; });
+          }
+        }(queue),
+        "receiver");
+    engine.spawn(
+        [](sim::Engine& e, sim::MatchQueue<Msg>& q) -> sim::Coro<void> {
+          for (int i = 255; i >= 0; --i) {  // worst-case order
+            q.put(Msg{i});
+            co_await e.yield();
+          }
+        }(engine, queue),
+        "sender");
+    engine.run();
+  }
+}
+BENCHMARK(BM_MatchQueuePredicateRecv);
+
+void BM_VtBeginEndActivePath(benchmark::State& state) {
+  sim::Engine engine;
+  machine::Cluster cluster(engine, machine::ibm_power3_sp());
+  auto symbols = std::make_shared<image::SymbolTable>();
+  symbols->add("f");
+  proc::SimProcess process(cluster, 0, 0, 0, image::ProgramImage(symbols));
+  auto store = std::make_shared<vt::TraceStore>();
+  vt::VtLib vtlib(process, store, {});
+  engine.spawn(
+      [](vt::VtLib& v, proc::SimThread& t) -> sim::Coro<void> { co_await v.vt_init(t); }(
+          vtlib, process.main_thread()),
+      "init");
+  engine.run();
+  for (auto _ : state) {
+    engine.spawn(
+        [](vt::VtLib& v, proc::SimThread& t) -> sim::Coro<void> {
+          for (int i = 0; i < 64; ++i) {
+            co_await v.vt_begin(t, 0);
+            co_await v.vt_end(t, 0);
+          }
+        }(vtlib, process.main_thread()),
+        "hot");
+    engine.run();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 128);
+}
+BENCHMARK(BM_VtBeginEndActivePath);
+
+void BM_ImagePatchInstallRemove(benchmark::State& state) {
+  auto symbols = std::make_shared<image::SymbolTable>();
+  for (int i = 0; i < 200; ++i) symbols->add(str::format("fn_%03d", i));
+  image::ProgramImage img(symbols);
+  for (auto _ : state) {
+    std::vector<image::ProbeHandle> handles;
+    for (image::FunctionId fn = 0; fn < 200; ++fn) {
+      handles.push_back(
+          img.install_probe(fn, image::ProbeWhere::kEntry, image::snippet::call("VT_begin")));
+    }
+    for (const auto handle : handles) img.remove_probe(handle);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 400);
+}
+BENCHMARK(BM_ImagePatchInstallRemove);
+
+void BM_GlobMatchSymbolTable(benchmark::State& state) {
+  image::SymbolTable symbols;
+  for (int i = 0; i < 500; ++i) symbols.add(str::format("hypre_fn_%03d", i));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(symbols.match("hypre_fn_1*"));
+  }
+}
+BENCHMARK(BM_GlobMatchSymbolTable);
+
+void BM_RngNextDouble(benchmark::State& state) {
+  Rng rng(7);
+  double sink = 0;
+  for (auto _ : state) {
+    sink += rng.next_double();
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_RngNextDouble);
+
+}  // namespace
+
+BENCHMARK_MAIN();

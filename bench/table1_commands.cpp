@@ -1,0 +1,20 @@
+// Reproduces paper Table 1: "The commands accepted by the dynprof tool."
+// Generated from the implementation's command registry so the table can
+// never drift from the code.
+#include <cstdio>
+
+#include "dynprof/command.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace dyntrace;
+  std::puts("Table 1. The commands accepted by the dynprof tool.\n");
+  TextTable table({"Command", "Shortcut", "Description"});
+  table.set_align(1, TextTable::Align::kLeft);
+  table.set_align(2, TextTable::Align::kLeft);
+  for (const auto& info : dynprof::command_table()) {
+    table.add_row({info.name, info.shortcut, info.description});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,17 @@
+// Reproduces paper Table 3: "The instrumentation policies."
+#include <cstdio>
+
+#include "dynprof/launch.hpp"
+#include "support/table.hpp"
+
+int main() {
+  using namespace dyntrace;
+  std::puts("Table 3. The instrumentation policies.\n");
+  TextTable table({"Policy", "Description"});
+  table.set_align(1, TextTable::Align::kLeft);
+  for (const auto& info : dynprof::policy_table()) {
+    table.add_row({info.name, info.description});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  return 0;
+}

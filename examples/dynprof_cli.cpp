@@ -1,0 +1,145 @@
+// dynprof_cli: the paper's instrumenter as a command-line tool (§3.3).
+//
+// Mirrors the invocation described in the paper:
+//
+//     dynprof <stdin> <stdout> <timefile> <executable> <args> <poe args>
+//
+// adapted to the simulated environment: the target "executable" is one of
+// the built-in ASCI kernels, commands come from a script file or stdin,
+// and the timefile receives dynprof's internal timings.
+//
+//     $ ./dynprof_cli sppm --cpus 8 --script run.dynprof --timefile t.txt
+//     $ echo "if subset
+//             start
+//             quit" | ./dynprof_cli sweep3d --cpus 4
+//
+// The name "subset" in insert-file refers to the application's built-in
+// important-function list (Table 2); "all" selects every user function.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "analysis/profile.hpp"
+#include "analysis/report.hpp"
+#include "analysis/timeline.hpp"
+#include "dynprof/tool.hpp"
+#include "machine/spec.hpp"
+#include "support/cli.hpp"
+#include "support/config.hpp"
+
+using namespace dyntrace;
+
+int main(int argc, char** argv) {
+  std::string app_name;
+  std::int64_t cpus = 2;
+  double scale = 0.5;
+  std::string machine_profile;
+  std::string script_path;
+  std::string timefile_path;
+  std::string tracefile_path;
+  bool show_timeline = false;
+  bool show_report = false;
+
+  CliParser parser("dynprof_cli",
+                   "Dynamically instrument an ASCI kernel application (paper §3.3). "
+                   "Apps: smg98, sppm, sweep3d, umt98.");
+  parser.positional("app", "target application", &app_name)
+      .option_int("cpus", "processors (MPI ranks / OpenMP threads)", &cpus)
+      .option_double("scale", "problem scale factor", &scale)
+      .option_string("script", "command script (default: read stdin)", &script_path)
+      .option_string("timefile", "write dynprof internal timings here", &timefile_path)
+      .option_string("trace", "write the VGV trace file here", &tracefile_path)
+      .flag("timeline", "print the postmortem time-line", &show_timeline)
+      .flag("report", "print the full summary report (matrix, balance)", &show_report)
+      .option_string("machine", "machine profile: builtin name or .ini path", &machine_profile);
+
+  try {
+    if (!parser.parse(argc, argv)) return 0;
+
+    const asci::AppSpec* app = asci::find_app(app_name);
+    DT_EXPECT(app != nullptr, "unknown application '", app_name,
+              "' (smg98, sppm, sweep3d, umt98)");
+
+    std::string script_text;
+    if (!script_path.empty()) {
+      std::ifstream in(script_path);
+      DT_EXPECT(in.good(), "cannot open script '", script_path, "'");
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      script_text = ss.str();
+    } else {
+      std::ostringstream ss;
+      ss << std::cin.rdbuf();
+      script_text = ss.str();
+    }
+    const auto script = dynprof::parse_script(script_text);
+    DT_EXPECT(!script.empty(), "empty command script (need at least 'start')");
+
+
+    std::optional<machine::MachineSpec> machine_spec;
+    if (!machine_profile.empty()) {
+      if (machine_profile.size() > 4 &&
+          machine_profile.substr(machine_profile.size() - 4) == ".ini") {
+        machine_spec = machine::spec_from_config(ConfigFile::load(machine_profile));
+      } else {
+        machine_spec = machine::builtin_profile(machine_profile);
+      }
+    }
+    dynprof::Launch::Options options;
+    options.app = app;
+    options.params.nprocs = static_cast<int>(cpus);
+    options.params.problem_scale = scale;
+    options.policy = dynprof::Policy::kDynamic;  // dynprof drives an uninstrumented build
+    options.machine = machine_spec;
+    dynprof::Launch launch(std::move(options));
+
+    dynprof::DynprofTool::Options topt;
+    topt.command_files = {{"subset", app->dynamic_list}};
+    std::vector<std::string> all_functions;
+    for (const auto& fn : app->symbols->all()) {
+      if (fn.module != "libmpi" && fn.module != "libvt") all_functions.push_back(fn.name);
+    }
+    topt.command_files.emplace_back("all", std::move(all_functions));
+
+    dynprof::DynprofTool tool(launch, std::move(topt));
+    tool.run_script(script);
+    launch.engine().run();
+
+    std::printf("application '%s' finished at t=%.3f s (main computation %.3f s)\n",
+                app->name.c_str(), sim::to_seconds(launch.job().finish_time()),
+                sim::to_seconds(launch.job().finish_time() - launch.init_complete_time()));
+    std::printf("create+instrument time: %.3f s; %zu function(s) instrumented\n",
+                sim::to_seconds(tool.create_and_instrument_time()),
+                tool.instrumented_function_count());
+
+    if (!timefile_path.empty()) {
+      std::ofstream out(timefile_path);
+      out << tool.timefile_text();
+      std::printf("timefile written to %s\n", timefile_path.c_str());
+    } else {
+      std::printf("\n%s", tool.timefile_text().c_str());
+    }
+
+    if (!tracefile_path.empty()) {
+      launch.trace()->write(tracefile_path);
+      std::printf("trace (%zu events) written to %s\n", launch.trace()->size(),
+                  tracefile_path.c_str());
+    }
+
+    if (show_report) {
+      std::printf("\n%s", analysis::summary_report(*launch.trace(), app->symbols.get()).c_str());
+    } else {
+      analysis::TraceAnalyzer analyzer(*launch.trace());
+      std::printf("\ntop functions:\n%s",
+                  analyzer.top_functions_table(app->symbols.get(), 10).c_str());
+    }
+    if (show_timeline) {
+      std::printf("\n%s", analysis::render_timeline(*launch.trace()).c_str());
+    }
+    return 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "dynprof_cli: %s\n", e.what());
+    return 1;
+  }
+}

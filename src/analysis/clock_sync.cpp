@@ -1,0 +1,112 @@
+#include "analysis/clock_sync.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <map>
+
+#include "support/common.hpp"
+
+namespace dyntrace::analysis {
+
+namespace {
+
+/// Observed latencies per directed pair, from FIFO-paired send/recv events.
+/// key = (src, dst); value = recv_time - send_time per message.
+using LatencyMap = std::map<std::pair<int, int>, std::vector<sim::TimeNs>>;
+
+LatencyMap paired_latencies(const vt::TraceStore& store, int* nprocs_out) {
+  // Collect per-pair send and receive timestamp queues in time order
+  // (per-process streams are already time-ordered; merged() globally).
+  std::map<std::pair<int, int>, std::deque<sim::TimeNs>> sends;
+  std::map<std::pair<int, int>, std::deque<sim::TimeNs>> recvs;
+  int nprocs = 0;
+  for (const auto& e : store.merged()) {
+    nprocs = std::max(nprocs, e.pid + 1);
+    if (e.kind == vt::EventKind::kMsgSend) {
+      sends[{e.pid, e.code}].push_back(e.time);
+      nprocs = std::max(nprocs, e.code + 1);
+    } else if (e.kind == vt::EventKind::kMsgRecv) {
+      recvs[{e.code, e.pid}].push_back(e.time);
+      nprocs = std::max(nprocs, e.code + 1);
+    }
+  }
+  if (nprocs_out != nullptr) *nprocs_out = nprocs;
+
+  LatencyMap latencies;
+  for (auto& [pair, send_times] : sends) {
+    auto it = recvs.find(pair);
+    if (it == recvs.end()) continue;
+    auto& recv_times = it->second;
+    const std::size_t n = std::min(send_times.size(), recv_times.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      latencies[pair].push_back(recv_times[i] - send_times[i]);
+    }
+  }
+  return latencies;
+}
+
+}  // namespace
+
+std::uint64_t count_clock_violations(const vt::TraceStore& store) {
+  std::uint64_t violations = 0;
+  for (const auto& [pair, lats] : paired_latencies(store, nullptr)) {
+    for (const auto l : lats) violations += l < 0 ? 1 : 0;
+  }
+  return violations;
+}
+
+ClockSyncResult estimate_clock_offsets(const vt::TraceStore& store) {
+  ClockSyncResult result;
+  int nprocs = 0;
+  const LatencyMap latencies = paired_latencies(store, &nprocs);
+  if (nprocs < 2) return result;
+  result.offsets.assign(static_cast<std::size_t>(nprocs), 0);
+  for (const auto& [pair, lats] : latencies) {
+    for (const auto l : lats) result.violations += l < 0 ? 1 : 0;
+  }
+
+  // min observed latency per directed pair.
+  std::map<std::pair<int, int>, sim::TimeNs> min_latency;
+  for (const auto& [pair, lats] : latencies) {
+    min_latency[pair] = *std::min_element(lats.begin(), lats.end());
+  }
+
+  // BFS from process 0 over pairs with traffic in *both* directions.
+  std::vector<char> reached(static_cast<std::size_t>(nprocs), 0);
+  reached[0] = 1;
+  std::deque<int> frontier{0};
+  while (!frontier.empty()) {
+    const int i = frontier.front();
+    frontier.pop_front();
+    for (int j = 0; j < nprocs; ++j) {
+      if (reached[j]) continue;
+      const auto fwd = min_latency.find({i, j});
+      const auto bwd = min_latency.find({j, i});
+      if (fwd == min_latency.end() || bwd == min_latency.end()) continue;
+      // offset_j - offset_i ~= (min L(i->j) - min L(j->i)) / 2.
+      result.offsets[static_cast<std::size_t>(j)] =
+          result.offsets[static_cast<std::size_t>(i)] + (fwd->second - bwd->second) / 2;
+      reached[j] = 1;
+      frontier.push_back(j);
+    }
+  }
+  for (int p = 0; p < nprocs; ++p) {
+    if (!reached[p]) result.unreachable.push_back(p);
+  }
+  return result;
+}
+
+vt::TraceStore apply_clock_correction(const vt::TraceStore& store,
+                                      const std::vector<sim::TimeNs>& offsets) {
+  vt::TraceStore corrected;
+  for (auto e : store.events()) {
+    if (e.pid >= 0 && static_cast<std::size_t>(e.pid) < offsets.size()) {
+      e.time -= offsets[static_cast<std::size_t>(e.pid)];
+    }
+    corrected.append(e);
+  }
+  return corrected;
+}
+
+}  // namespace dyntrace::analysis

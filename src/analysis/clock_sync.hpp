@@ -1,0 +1,51 @@
+// Postmortem clock synchronisation.
+//
+// Cluster nodes have no common clock: each process timestamps its events
+// with its own (offset) clock, so a merged trace can show messages arriving
+// before they were sent.  Vampir-class tools correct this offline using the
+// messages themselves: for a message i -> j,
+//
+//     observed_latency = recv_time_j - send_time_i
+//                      = true_latency + offset_j - offset_i,
+//
+// and true_latency > 0, so minimising over many messages in both directions
+// bounds the pairwise skew; the classic estimator is
+//
+//     offset_j - offset_i  ~=  (min L(i->j) - min L(j->i)) / 2.
+//
+// estimate_clock_offsets() anchors process 0 and propagates this estimate
+// over the communication graph; apply_clock_correction() rewrites a trace
+// with the offsets removed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "vt/trace_store.hpp"
+
+namespace dyntrace::analysis {
+
+struct ClockSyncResult {
+  /// Estimated clock offset per process (anchored: offset[0] == 0);
+  /// empty if the trace holds fewer than two processes.
+  std::vector<sim::TimeNs> offsets;
+  /// Processes unreachable over the communication graph keep offset 0 and
+  /// are listed here.
+  std::vector<std::int32_t> unreachable;
+  /// Messages whose receive timestamp precedes their send timestamp.
+  std::uint64_t violations = 0;
+};
+
+/// Count recv-before-send violations (pairing messages per (src, dst) in
+/// FIFO order).
+std::uint64_t count_clock_violations(const vt::TraceStore& store);
+
+/// Estimate per-process clock offsets from message events.
+ClockSyncResult estimate_clock_offsets(const vt::TraceStore& store);
+
+/// Return a copy of the trace with each process's estimated offset
+/// subtracted from its timestamps.
+vt::TraceStore apply_clock_correction(const vt::TraceStore& store,
+                                      const std::vector<sim::TimeNs>& offsets);
+
+}  // namespace dyntrace::analysis

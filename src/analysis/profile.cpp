@@ -1,0 +1,159 @@
+#include "analysis/profile.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "mpi/message.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+namespace dyntrace::analysis {
+
+namespace {
+
+struct StackEntry {
+  std::int32_t fn;
+  sim::TimeNs entered;
+  sim::TimeNs child_time = 0;
+};
+
+}  // namespace
+
+TraceAnalyzer::TraceAnalyzer(const vt::TraceStore& store) {
+  // Group events per process.
+  std::map<std::int32_t, std::vector<vt::Event>> by_pid;
+  for (const auto& e : store.events()) by_pid[e.pid].push_back(e);
+
+  for (auto& [pid, events] : by_pid) {
+    std::stable_sort(events.begin(), events.end(), vt::EventOrder{});
+
+    ProcessProfile profile;
+    profile.pid = pid;
+    profile.events = events.size();
+    if (!events.empty()) {
+      profile.first_event = events.front().time;
+      profile.last_event = events.back().time;
+    }
+
+    std::map<std::int32_t, FunctionProfile> functions;
+    // Per-thread call stacks (threads of one process interleave in the
+    // stream).
+    std::map<std::int32_t, std::vector<StackEntry>> stacks;
+    std::map<std::int32_t, sim::TimeNs> mpi_begin;  // per thread
+
+    for (const auto& e : events) {
+      switch (e.kind) {
+        case vt::EventKind::kEnter: {
+          auto& fp = functions[e.code];
+          fp.fn = static_cast<image::FunctionId>(e.code);
+          ++fp.calls;
+          stacks[e.tid].push_back(StackEntry{e.code, e.time});
+          break;
+        }
+        case vt::EventKind::kLeave: {
+          auto& stack = stacks[e.tid];
+          if (stack.empty() || stack.back().fn != e.code) {
+            ++profile.unmatched_leaves;
+            break;
+          }
+          const StackEntry entry = stack.back();
+          stack.pop_back();
+          const sim::TimeNs inclusive = e.time - entry.entered;
+          auto& fp = functions[e.code];
+          fp.inclusive += inclusive;
+          fp.exclusive += inclusive - entry.child_time;
+          if (!stack.empty()) stack.back().child_time += inclusive;
+          break;
+        }
+        case vt::EventKind::kMsgSend:
+          ++profile.messages.sends;
+          profile.messages.bytes_sent += e.aux;
+          break;
+        case vt::EventKind::kMsgRecv:
+          ++profile.messages.recvs;
+          profile.messages.bytes_received += e.aux;
+          break;
+        case vt::EventKind::kMpiBegin:
+          mpi_begin[e.tid] = e.time;
+          break;
+        case vt::EventKind::kMpiEnd: {
+          ++profile.messages.mpi_calls;
+          const auto it = mpi_begin.find(e.tid);
+          if (it != mpi_begin.end()) {
+            profile.messages.mpi_time += e.time - it->second;
+            mpi_begin.erase(it);
+          }
+          break;
+        }
+        default:
+          break;
+      }
+    }
+
+    for (const auto& [code, fp] : functions) profile.functions.push_back(fp);
+    std::sort(profile.functions.begin(), profile.functions.end(),
+              [](const FunctionProfile& a, const FunctionProfile& b) {
+                if (a.inclusive != b.inclusive) return a.inclusive > b.inclusive;
+                return a.fn < b.fn;
+              });
+    processes_.push_back(std::move(profile));
+  }
+}
+
+const ProcessProfile* TraceAnalyzer::process(std::int32_t pid) const {
+  for (const auto& p : processes_) {
+    if (p.pid == pid) return &p;
+  }
+  return nullptr;
+}
+
+ProcessProfile TraceAnalyzer::aggregate() const {
+  ProcessProfile total;
+  total.pid = -1;
+  std::map<image::FunctionId, FunctionProfile> merged;
+  bool first = true;
+  for (const auto& p : processes_) {
+    total.events += p.events;
+    total.unmatched_leaves += p.unmatched_leaves;
+    total.messages.sends += p.messages.sends;
+    total.messages.recvs += p.messages.recvs;
+    total.messages.bytes_sent += p.messages.bytes_sent;
+    total.messages.bytes_received += p.messages.bytes_received;
+    total.messages.mpi_calls += p.messages.mpi_calls;
+    total.messages.mpi_time += p.messages.mpi_time;
+    if (first || p.first_event < total.first_event) total.first_event = p.first_event;
+    if (first || p.last_event > total.last_event) total.last_event = p.last_event;
+    first = false;
+    for (const auto& fp : p.functions) {
+      auto& m = merged[fp.fn];
+      m.fn = fp.fn;
+      m.calls += fp.calls;
+      m.inclusive += fp.inclusive;
+      m.exclusive += fp.exclusive;
+    }
+  }
+  for (const auto& [fn, fp] : merged) total.functions.push_back(fp);
+  std::sort(total.functions.begin(), total.functions.end(),
+            [](const FunctionProfile& a, const FunctionProfile& b) {
+              if (a.inclusive != b.inclusive) return a.inclusive > b.inclusive;
+              return a.fn < b.fn;
+            });
+  return total;
+}
+
+std::string TraceAnalyzer::top_functions_table(const image::SymbolTable* symbols,
+                                               std::size_t n) const {
+  const ProcessProfile total = aggregate();
+  TextTable table({"function", "calls", "inclusive (s)", "exclusive (s)"});
+  for (std::size_t i = 0; i < total.functions.size() && i < n; ++i) {
+    const auto& fp = total.functions[i];
+    std::string name = str::format("fn%u", fp.fn);
+    if (symbols != nullptr && fp.fn < symbols->size()) name = symbols->at(fp.fn).name;
+    table.add_row({name, str::format("%llu", (unsigned long long)fp.calls),
+                   TextTable::num(sim::to_seconds(fp.inclusive), 3),
+                   TextTable::num(sim::to_seconds(fp.exclusive), 3)});
+  }
+  return table.render();
+}
+
+}  // namespace dyntrace::analysis

@@ -1,0 +1,63 @@
+// Postmortem trace analysis (the programmatic stand-in for the VGV GUI).
+//
+// Computes per-function profiles (calls, inclusive/exclusive time) and
+// message statistics from a TraceStore, by replaying each process's event
+// stream with a call stack -- the same information the VGV time-line and
+// profile displays present.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "image/symbols.hpp"
+#include "vt/trace_store.hpp"
+
+namespace dyntrace::analysis {
+
+struct FunctionProfile {
+  image::FunctionId fn = image::kInvalidFunction;
+  std::uint64_t calls = 0;
+  sim::TimeNs inclusive = 0;
+  sim::TimeNs exclusive = 0;
+};
+
+struct MessageStats {
+  std::uint64_t sends = 0;
+  std::uint64_t recvs = 0;
+  std::int64_t bytes_sent = 0;
+  std::int64_t bytes_received = 0;
+  std::uint64_t mpi_calls = 0;
+  sim::TimeNs mpi_time = 0;
+};
+
+struct ProcessProfile {
+  std::int32_t pid = 0;
+  std::vector<FunctionProfile> functions;  ///< sorted by inclusive desc
+  MessageStats messages;
+  sim::TimeNs first_event = 0;
+  sim::TimeNs last_event = 0;
+  std::uint64_t events = 0;
+  std::uint64_t unmatched_leaves = 0;  ///< leave without matching enter
+};
+
+class TraceAnalyzer {
+ public:
+  explicit TraceAnalyzer(const vt::TraceStore& store);
+
+  const std::vector<ProcessProfile>& processes() const { return processes_; }
+  const ProcessProfile* process(std::int32_t pid) const;
+
+  /// Whole-job aggregate, functions merged across processes.
+  ProcessProfile aggregate() const;
+
+  /// Top-N table of the aggregate, rendered with function names resolved
+  /// against `symbols` (ids without a name print as "fn<id>").
+  std::string top_functions_table(const image::SymbolTable* symbols, std::size_t n) const;
+
+ private:
+  std::vector<ProcessProfile> processes_;
+};
+
+}  // namespace dyntrace::analysis

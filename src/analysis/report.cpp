@@ -1,0 +1,182 @@
+#include "analysis/report.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "analysis/profile.hpp"
+#include "support/common.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+namespace dyntrace::analysis {
+
+std::int64_t CommMatrix::at(int src, int dst) const {
+  DT_ASSERT(src >= 0 && src < nprocs && dst >= 0 && dst < nprocs);
+  return bytes[static_cast<std::size_t>(src) * nprocs + dst];
+}
+
+std::int64_t CommMatrix::total() const {
+  std::int64_t sum = 0;
+  for (const auto b : bytes) sum += b;
+  return sum;
+}
+
+std::string CommMatrix::render() const {
+  std::vector<std::string> headers{"src\\dst (KiB)"};
+  for (int dst = 0; dst < nprocs; ++dst) headers.push_back(std::to_string(dst));
+  TextTable table(std::move(headers));
+  for (int src = 0; src < nprocs; ++src) {
+    std::vector<std::string> row{std::to_string(src)};
+    for (int dst = 0; dst < nprocs; ++dst) {
+      row.push_back(TextTable::num(static_cast<double>(at(src, dst)) / 1024.0, 1));
+    }
+    table.add_row(std::move(row));
+  }
+  return table.render();
+}
+
+CommMatrix communication_matrix(const vt::TraceStore& store) {
+  // Determine the process-id range first (pids are dense from 0).
+  int nprocs = 0;
+  for (const auto& e : store.events()) {
+    nprocs = std::max({nprocs, e.pid + 1,
+                       e.kind == vt::EventKind::kMsgSend ? e.code + 1 : 0});
+  }
+  CommMatrix matrix;
+  matrix.nprocs = nprocs;
+  matrix.bytes.assign(static_cast<std::size_t>(nprocs) * nprocs, 0);
+  for (const auto& e : store.events()) {
+    if (e.kind != vt::EventKind::kMsgSend) continue;
+    if (e.code < 0 || e.code >= nprocs) continue;
+    matrix.bytes[static_cast<std::size_t>(e.pid) * nprocs + e.code] += e.aux;
+  }
+  return matrix;
+}
+
+LoadBalance load_balance(const vt::TraceStore& store) {
+  TraceAnalyzer analyzer(store);
+  LoadBalance balance;
+  std::int32_t max_pid = -1;
+  for (const auto& p : analyzer.processes()) max_pid = std::max(max_pid, p.pid);
+  balance.busy_seconds.assign(static_cast<std::size_t>(max_pid + 1), 0.0);
+
+  for (const auto& p : analyzer.processes()) {
+    // Busy = top-level traced function time plus MPI time (functions at
+    // depth 0 only, to avoid double counting nests: exclusive sums to that).
+    sim::TimeNs busy = 0;
+    for (const auto& fp : p.functions) busy += fp.exclusive;
+    busy += p.messages.mpi_time;
+    balance.busy_seconds[static_cast<std::size_t>(p.pid)] = sim::to_seconds(busy);
+  }
+  if (balance.busy_seconds.empty()) return balance;
+
+  double sum = 0;
+  balance.min = balance.busy_seconds.front();
+  balance.max = balance.busy_seconds.front();
+  for (const double b : balance.busy_seconds) {
+    sum += b;
+    balance.min = std::min(balance.min, b);
+    balance.max = std::max(balance.max, b);
+  }
+  balance.mean = sum / static_cast<double>(balance.busy_seconds.size());
+  balance.imbalance = balance.mean > 0 ? balance.max / balance.mean : 0.0;
+  return balance;
+}
+
+std::vector<OmpRegionProfile> omp_region_profiles(const vt::TraceStore& store) {
+  std::map<std::int32_t, OmpRegionProfile> by_region;
+  // Open spans per (pid, tid, region): parallel events come from the
+  // master, worker events from each team member.
+  std::map<std::tuple<std::int32_t, std::int32_t, std::int32_t>, sim::TimeNs> open_master;
+  std::map<std::tuple<std::int32_t, std::int32_t, std::int32_t>, sim::TimeNs> open_worker;
+
+  for (const auto& e : store.merged()) {
+    const auto key = std::make_tuple(e.pid, e.tid, e.code);
+    switch (e.kind) {
+      case vt::EventKind::kParallelBegin: {
+        auto& profile = by_region[e.code];
+        profile.region_id = e.code;
+        ++profile.executions;
+        profile.max_team_size = std::max(profile.max_team_size, static_cast<int>(e.aux));
+        open_master[key] = e.time;
+        break;
+      }
+      case vt::EventKind::kParallelEnd: {
+        const auto it = open_master.find(key);
+        if (it != open_master.end()) {
+          by_region[e.code].master_span += e.time - it->second;
+          open_master.erase(it);
+        }
+        break;
+      }
+      case vt::EventKind::kWorkerBegin:
+        open_worker[key] = e.time;
+        break;
+      case vt::EventKind::kWorkerEnd: {
+        const auto it = open_worker.find(key);
+        if (it != open_worker.end()) {
+          by_region[e.code].worker_span += e.time - it->second;
+          open_worker.erase(it);
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  std::vector<OmpRegionProfile> profiles;
+  for (const auto& [id, profile] : by_region) profiles.push_back(profile);
+  std::sort(profiles.begin(), profiles.end(),
+            [](const OmpRegionProfile& a, const OmpRegionProfile& b) {
+              if (a.master_span != b.master_span) return a.master_span > b.master_span;
+              return a.region_id < b.region_id;
+            });
+  return profiles;
+}
+
+std::string render_omp_regions(const std::vector<OmpRegionProfile>& profiles) {
+  TextTable table({"region", "executions", "team", "master span (s)", "worker span (s)"});
+  for (const auto& p : profiles) {
+    table.add_row({std::to_string(p.region_id), std::to_string(p.executions),
+                   std::to_string(p.max_team_size),
+                   TextTable::num(sim::to_seconds(p.master_span), 3),
+                   TextTable::num(sim::to_seconds(p.worker_span), 3)});
+  }
+  return table.render();
+}
+
+std::string summary_report(const vt::TraceStore& store, const image::SymbolTable* symbols,
+                           std::size_t top_n) {
+  std::ostringstream os;
+  TraceAnalyzer analyzer(store);
+  const auto total = analyzer.aggregate();
+  os << "=== trace summary ===\n";
+  os << "events: " << store.size() << " across " << analyzer.processes().size()
+     << " process(es), span " << sim::format_duration(total.last_event - total.first_event)
+     << "\n";
+  os << "MPI: " << total.messages.mpi_calls << " calls, " << total.messages.sends
+     << " sends / " << total.messages.recvs << " recvs, "
+     << str::format("%.1f KiB", static_cast<double>(total.messages.bytes_sent) / 1024.0)
+     << " sent\n\n";
+  os << "top functions:\n" << analyzer.top_functions_table(symbols, top_n) << "\n";
+
+  const CommMatrix matrix = communication_matrix(store);
+  if (matrix.nprocs > 1 && matrix.total() > 0) {
+    os << "communication matrix:\n" << matrix.render() << "\n";
+  }
+  const auto regions = omp_region_profiles(store);
+  if (!regions.empty()) {
+    os << "OpenMP parallel regions:\n" << render_omp_regions(regions) << "\n";
+  }
+  const LoadBalance balance = load_balance(store);
+  if (!balance.busy_seconds.empty()) {
+    os << str::format("load balance: busy mean %.3f s, min %.3f s, max %.3f s, "
+                      "imbalance (max/mean) %.3f\n",
+                      balance.mean, balance.min, balance.max, balance.imbalance);
+  }
+  return os.str();
+}
+
+}  // namespace dyntrace::analysis

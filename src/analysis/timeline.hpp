@@ -1,0 +1,23 @@
+// Text time-line rendering: an ASCII stand-in for the VGV main time-line
+// display (paper Figure 4): one row per process, time bucketed into
+// columns, each cell classified by what the process was doing.
+#pragma once
+
+#include <string>
+
+#include "vt/trace_store.hpp"
+
+namespace dyntrace::analysis {
+
+struct TimelineOptions {
+  int columns = 72;       ///< horizontal resolution
+  char compute_char = '='; ///< in a user function
+  char mpi_char = 'M';     ///< inside an MPI call
+  char omp_char = 'o';     ///< inside an OpenMP region event pair
+  char idle_char = '.';    ///< no activity recorded in the bucket
+};
+
+/// Render the job time-line; returns "" for an empty trace.
+std::string render_timeline(const vt::TraceStore& store, const TimelineOptions& options = {});
+
+}  // namespace dyntrace::analysis

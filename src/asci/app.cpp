@@ -1,0 +1,120 @@
+#include "asci/app.hpp"
+
+#include <cmath>
+
+#include "guide/compiler.hpp"
+#include "support/common.hpp"
+
+namespace dyntrace::asci {
+
+std::size_t AppSpec::user_function_count() const {
+  std::size_t n = 0;
+  for (const auto& fn : symbols->all()) {
+    if (!guide::is_runtime_module(fn.module)) ++n;
+  }
+  return n;
+}
+
+AppContext::AppContext(const AppSpec& spec, AppParams params, proc::SimProcess& process,
+                       mpi::Rank* mpi, omp::OmpRuntime* omp, vt::VtLib* vt, Rng rng)
+    : spec_(spec),
+      params_(params),
+      process_(process),
+      mpi_(mpi),
+      omp_(omp),
+      vt_(vt),
+      rng_(rng) {}
+
+image::FunctionId AppContext::fid(std::string_view name) const {
+  const image::FunctionInfo* info = process_.image().symbols().find(name);
+  DT_EXPECT(info != nullptr, spec_.name, ": unknown function '", std::string(name), "'");
+  return info->id;
+}
+
+sim::Coro<void> AppContext::call(proc::SimThread& thread, std::string_view name,
+                                 proc::SimThread::BodyFn body) {
+  co_await thread.call_function(fid(name), body);
+}
+
+sim::Coro<void> AppContext::leaf(proc::SimThread& thread, std::string_view name,
+                                 sim::TimeNs work) {
+  co_await thread.call_function(fid(name), [work](proc::SimThread& t) -> sim::Coro<void> {
+    co_await t.compute(work);
+  });
+}
+
+sim::TimeNs AppContext::snippet_cost_estimate(const image::Snippet& snippet) const {
+  const auto& node = snippet.node();
+  if (const auto* seq = std::get_if<image::SequenceOp>(&node)) {
+    sim::TimeNs total = 0;
+    for (const auto& item : seq->items) total += snippet_cost_estimate(*item);
+    return total;
+  }
+  if (const auto* c = std::get_if<image::CallLibOp>(&node)) {
+    if ((c->function == "VT_begin" || c->function == "VT_end") && vt_ != nullptr &&
+        !c->args.empty()) {
+      return vt_->steady_call_cost(static_cast<image::FunctionId>(c->args[0]));
+    }
+  }
+  // Other primitives (flags, callbacks, barriers) are not valid inside
+  // batched leaves; they only appear in one-shot snippets like Figure 6's.
+  return 0;
+}
+
+sim::TimeNs AppContext::steady_pair_overhead(image::FunctionId fn) const {
+  const image::ProgramImage& img = process_.image();
+  const machine::CostModel& costs = process_.cluster().spec().costs;
+  sim::TimeNs total = img.trampoline_overhead(fn, image::ProbeWhere::kEntry, costs) +
+                      img.trampoline_overhead(fn, image::ProbeWhere::kExit, costs);
+  for (const auto where : {image::ProbeWhere::kEntry, image::ProbeWhere::kExit}) {
+    for (const auto& sn : img.active_snippets(fn, where)) {
+      total += snippet_cost_estimate(*sn);
+    }
+  }
+  if (img.static_instrumented(fn) && vt_ != nullptr) {
+    total += 2 * vt_->steady_call_cost(fn);
+  }
+  return total;
+}
+
+sim::Coro<void> AppContext::leaf_repeat(proc::SimThread& thread, std::string_view name,
+                                        std::int64_t count, sim::TimeNs work_each) {
+  if (count <= 0) co_return;
+  const image::FunctionId fn = fid(name);
+  co_await thread.call_function(fn, [work_each](proc::SimThread& t) -> sim::Coro<void> {
+    co_await t.compute(work_each);
+  });
+  if (count == 1) co_return;
+
+  const std::int64_t rest = count - 1;
+  const sim::TimeNs per_pair = steady_pair_overhead(fn);
+  co_await thread.compute(rest * (work_each + per_pair));
+
+  const image::ProgramImage& img = process_.image();
+  const bool instrumented =
+      img.static_instrumented(fn) ||
+      img.probe_point(fn, image::ProbeWhere::kEntry).has_base_trampoline() ||
+      img.probe_point(fn, image::ProbeWhere::kExit).has_base_trampoline();
+  if (instrumented && vt_ != nullptr) {
+    vt_->note_synthetic_pairs(fn, static_cast<std::uint64_t>(rest), work_each + per_pair);
+  }
+}
+
+std::int64_t AppContext::iters(double base) const {
+  const double scaled = base * params_.problem_scale;
+  return std::max<std::int64_t>(1, static_cast<std::int64_t>(std::llround(scaled)));
+}
+
+std::vector<const AppSpec*> all_apps() {
+  return {&smg98(), &sppm(), &sweep3d(), &umt98()};
+}
+
+const AppSpec* find_app(std::string_view name) {
+  for (const AppSpec* spec : all_apps()) {
+    if (spec->name == name) return spec;
+  }
+  if (sweep3d_hybrid().name == name) return &sweep3d_hybrid();
+  return nullptr;
+}
+
+}  // namespace dyntrace::asci

@@ -1,0 +1,166 @@
+#include "dpcl/application.hpp"
+
+#include <algorithm>
+
+#include "support/common.hpp"
+
+namespace dyntrace::dpcl {
+
+namespace {
+
+/// Tool-side marshalling cost per broadcast request.
+constexpr sim::TimeNs kMarshalCost = sim::microseconds(25);
+constexpr std::int64_t kConnectBytes = 512;
+constexpr std::int64_t kCallbackBytes = 96;
+
+}  // namespace
+
+DpclApplication::DpclApplication(machine::Cluster& cluster, proc::ParallelJob& job,
+                                 int tool_node, std::vector<SuperDaemon*> super_daemons)
+    : cluster_(cluster),
+      job_(job),
+      tool_node_(tool_node),
+      super_daemons_(std::move(super_daemons)),
+      callbacks_(cluster.engine()) {
+  // Group target processes by node.
+  for (const auto& process : job_.processes()) {
+    const int node = process->node();
+    auto it = std::find(nodes_.begin(), nodes_.end(), node);
+    if (it == nodes_.end()) {
+      nodes_.push_back(node);
+      node_pids_.emplace_back();
+      it = nodes_.end() - 1;
+    }
+    node_pids_[static_cast<std::size_t>(it - nodes_.begin())].push_back(process->pid());
+  }
+}
+
+sim::Coro<void> DpclApplication::connect(proc::SimThread& tool) {
+  DT_EXPECT(!connected_, "application already connected");
+  sim::Engine& engine = cluster_.engine();
+
+  // Phase 1: authenticate with every target node's super daemon (forks the
+  // per-user communication daemons).  One message per node, acks collected.
+  auto auth_ack = std::make_shared<AckState>(engine, static_cast<int>(nodes_.size()));
+  for (const int node : nodes_) {
+    DT_ASSERT(node < static_cast<int>(super_daemons_.size()));
+    SuperDaemon* sd = super_daemons_[static_cast<std::size_t>(node)];
+    DT_ASSERT(sd != nullptr, "no super daemon on node ", node);
+    co_await tool.compute(kMarshalCost);
+    const sim::TimeNs delay = cluster_.message_delay(tool_node_, node, kConnectBytes);
+    engine.schedule_after(delay, [sd, auth_ack, this] {
+      sd->inbox().put(ConnectRequest{"dynprof-user", auth_ack, tool_node_});
+    });
+  }
+  co_await auth_ack->done.wait();
+
+  // Phase 2: the freshly forked comm daemons attach to their local
+  // processes and parse the images.
+  for (const int node : nodes_) {
+    comm_daemons_.push_back(std::make_unique<CommDaemon>(cluster_, job_, node));
+    comm_daemons_.back()->start();
+  }
+  connected_ = true;  // daemons exist; attach is the first broadcast
+  Request attach;
+  attach.kind = Request::Kind::kAttach;
+  co_await broadcast(tool, std::move(attach), /*blocking=*/true);
+
+  // Phase 3: wire the DPCL_callback channel of every target process.
+  for (const auto& process : job_.processes()) {
+    proc::SimProcess* p = process.get();
+    p->set_callback_sink([this, p](const std::string& tag, int pid) {
+      const sim::TimeNs daemon_hop = cluster_.spec().costs.dpcl_daemon_dispatch;
+      const sim::TimeNs delay =
+          daemon_hop + cluster_.message_delay(p->node(), tool_node_, kCallbackBytes);
+      cluster_.engine().schedule_after(delay,
+                                       [this, tag, pid] { callbacks_.put({tag, pid}); });
+    });
+  }
+}
+
+sim::Coro<void> DpclApplication::broadcast(proc::SimThread& tool, Request prototype,
+                                           bool blocking) {
+  DT_EXPECT(connected_, "DPCL operation before connect()");
+  sim::Engine& engine = cluster_.engine();
+  std::shared_ptr<AckState> ack;
+  if (blocking) {
+    ack = std::make_shared<AckState>(engine, static_cast<int>(nodes_.size()));
+  }
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    Request request = prototype;
+    request.pids = node_pids_[i];
+    request.ack = ack;
+    request.reply_node = tool_node_;
+    co_await tool.compute(kMarshalCost);
+    const sim::TimeNs delay =
+        cluster_.message_delay(tool_node_, nodes_[i], request_bytes(request));
+    CommDaemon* daemon = comm_daemons_[i].get();
+    engine.schedule_after(delay, [daemon, request = std::move(request)]() mutable {
+      daemon->inbox().put(std::move(request));
+    });
+    ++requests_sent_;
+  }
+  if (ack != nullptr) co_await ack->done.wait();
+}
+
+sim::Coro<void> DpclApplication::install_probe(proc::SimThread& tool, image::FunctionId fn,
+                                               image::ProbeWhere where,
+                                               image::SnippetPtr snippet, bool activate,
+                                               bool blocking) {
+  Request request;
+  request.kind = Request::Kind::kInstall;
+  request.fn = fn;
+  request.where = where;
+  request.snippet = std::move(snippet);
+  request.active = activate;
+  co_await broadcast(tool, std::move(request), blocking);
+}
+
+sim::Coro<void> DpclApplication::remove_function_probes(proc::SimThread& tool,
+                                                        image::FunctionId fn, bool blocking) {
+  Request request;
+  request.kind = Request::Kind::kRemoveFunction;
+  request.fn = fn;
+  co_await broadcast(tool, std::move(request), blocking);
+}
+
+sim::Coro<void> DpclApplication::set_function_probes_active(proc::SimThread& tool,
+                                                            image::FunctionId fn, bool active,
+                                                            bool blocking) {
+  Request request;
+  request.kind = Request::Kind::kActivateFunction;
+  request.fn = fn;
+  request.active = active;
+  co_await broadcast(tool, std::move(request), blocking);
+}
+
+sim::Coro<void> DpclApplication::suspend_all(proc::SimThread& tool, bool blocking) {
+  Request request;
+  request.kind = Request::Kind::kSuspend;
+  co_await broadcast(tool, std::move(request), blocking);
+}
+
+sim::Coro<void> DpclApplication::resume_all(proc::SimThread& tool, bool blocking) {
+  Request request;
+  request.kind = Request::Kind::kResume;
+  co_await broadcast(tool, std::move(request), blocking);
+}
+
+sim::Coro<void> DpclApplication::set_flag_all(proc::SimThread& tool, const std::string& flag,
+                                              std::int64_t value, bool blocking) {
+  Request request;
+  request.kind = Request::Kind::kSetFlag;
+  request.flag = flag;
+  request.value = value;
+  co_await broadcast(tool, std::move(request), blocking);
+}
+
+sim::Coro<void> DpclApplication::execute_snippet(proc::SimThread& tool,
+                                                 image::SnippetPtr snippet, bool blocking) {
+  Request request;
+  request.kind = Request::Kind::kExecute;
+  request.snippet = std::move(snippet);
+  co_await broadcast(tool, std::move(request), blocking);
+}
+
+}  // namespace dyntrace::dpcl

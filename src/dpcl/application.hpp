@@ -1,0 +1,92 @@
+// DpclApplication: the instrumenter-side handle to a parallel application
+// (DPCL's Application/Process classes, paper §3.2).
+//
+// Connecting contacts the super daemon of every node hosting the target,
+// which authenticates the user and forks communication daemons; those then
+// attach to the local processes and parse their images.  After that,
+// instrumentation operations can be broadcast to all processes.  Operations
+// are *asynchronous* by default -- a message per node, arriving with
+// differing delays -- with optional blocking (ack-collected) variants,
+// mirroring DPCL's dual API.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dpcl/daemon.hpp"
+#include "proc/process.hpp"
+
+namespace dyntrace::dpcl {
+
+/// Message sent by a CallbackOp snippet back to the instrumenter.
+struct Callback {
+  std::string tag;
+  int pid = 0;
+};
+
+class DpclApplication {
+ public:
+  /// `tool_node` is where the instrumenter runs; `super_daemons` is the
+  /// cluster-wide daemon infrastructure (one per node, started).
+  DpclApplication(machine::Cluster& cluster, proc::ParallelJob& job, int tool_node,
+                  std::vector<SuperDaemon*> super_daemons);
+  DpclApplication(const DpclApplication&) = delete;
+  DpclApplication& operator=(const DpclApplication&) = delete;
+
+  proc::ParallelJob& job() { return job_; }
+  bool connected() const { return connected_; }
+
+  /// Nodes hosting at least one target process.
+  const std::vector<int>& target_nodes() const { return nodes_; }
+
+  // --- connection -------------------------------------------------------------
+
+  /// Authenticate with each node's super daemon, fork comm daemons, attach
+  /// to and parse every process image.  Blocking.  Also wires every
+  /// process's DPCL_callback channel to this application.
+  sim::Coro<void> connect(proc::SimThread& tool);
+
+  // --- instrumentation operations ----------------------------------------------
+  //
+  // Each broadcasts one request per target node.  With blocking=true the
+  // call returns only after every daemon acknowledged completion.
+
+  sim::Coro<void> install_probe(proc::SimThread& tool, image::FunctionId fn,
+                                image::ProbeWhere where, image::SnippetPtr snippet,
+                                bool activate, bool blocking);
+  sim::Coro<void> remove_function_probes(proc::SimThread& tool, image::FunctionId fn,
+                                         bool blocking);
+  sim::Coro<void> set_function_probes_active(proc::SimThread& tool, image::FunctionId fn,
+                                             bool active, bool blocking);
+  sim::Coro<void> suspend_all(proc::SimThread& tool, bool blocking);
+  sim::Coro<void> resume_all(proc::SimThread& tool, bool blocking);
+  sim::Coro<void> set_flag_all(proc::SimThread& tool, const std::string& flag,
+                               std::int64_t value, bool blocking);
+  /// One-shot snippet execution in every target process (inferior RPC).
+  sim::Coro<void> execute_snippet(proc::SimThread& tool, image::SnippetPtr snippet,
+                                  bool blocking);
+
+  /// Callbacks from dynamically inserted CallbackOp snippets.
+  sim::Mailbox<Callback>& callbacks() { return callbacks_; }
+
+  std::uint64_t requests_sent() const { return requests_sent_; }
+
+ private:
+  sim::Coro<void> broadcast(proc::SimThread& tool, Request prototype, bool blocking);
+
+  machine::Cluster& cluster_;
+  proc::ParallelJob& job_;
+  int tool_node_;
+  std::vector<SuperDaemon*> super_daemons_;
+
+  std::vector<int> nodes_;                    ///< nodes hosting target processes
+  std::vector<std::vector<int>> node_pids_;   ///< pids per entry of nodes_
+  std::vector<std::unique_ptr<CommDaemon>> comm_daemons_;
+
+  sim::Mailbox<Callback> callbacks_;
+  bool connected_ = false;
+  std::uint64_t requests_sent_ = 0;
+};
+
+}  // namespace dyntrace::dpcl

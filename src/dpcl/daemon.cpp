@@ -1,0 +1,160 @@
+#include "dpcl/daemon.hpp"
+
+#include <algorithm>
+
+#include "support/common.hpp"
+#include "support/strings.hpp"
+
+namespace dyntrace::dpcl {
+
+namespace {
+
+/// Super-daemon costs: user authentication and forking a comm daemon.
+constexpr sim::TimeNs kAuthCost = sim::milliseconds(40);
+constexpr sim::TimeNs kForkCommDaemonCost = sim::milliseconds(85);
+constexpr std::int64_t kAckBytes = 64;
+
+}  // namespace
+
+std::int64_t request_bytes(const Request& request) {
+  std::int64_t bytes = 256;  // header + pid list
+  if (request.snippet != nullptr) {
+    bytes += 64 * request.snippet->primitive_count();  // marshalled AST
+  }
+  return bytes;
+}
+
+// ---------------------------------------------------------------------------
+// CommDaemon
+// ---------------------------------------------------------------------------
+
+CommDaemon::CommDaemon(machine::Cluster& cluster, proc::ParallelJob& job, int node)
+    : cluster_(cluster), job_(job), node_(node), inbox_(cluster.engine()) {}
+
+void CommDaemon::start() {
+  DT_ASSERT(!started_, "daemon already started");
+  started_ = true;
+  cluster_.engine().spawn(loop(), str::format("dpcl.commd.node%d", node_),
+                          sim::Engine::SpawnOptions{.daemon = true});
+}
+
+sim::Coro<void> CommDaemon::loop() {
+  sim::Engine& engine = cluster_.engine();
+  while (true) {
+    Request request = co_await inbox_.recv();
+    ++requests_handled_;
+    co_await engine.sleep(cluster_.spec().costs.dpcl_daemon_dispatch);
+    co_await execute(std::move(request));
+  }
+}
+
+sim::Coro<void> CommDaemon::execute(Request request) {
+  sim::Engine& engine = cluster_.engine();
+  const machine::CostModel& costs = cluster_.spec().costs;
+
+  for (const int pid : request.pids) {
+    proc::SimProcess& process = job_.process(pid);
+    DT_ASSERT(process.node() == node_, "daemon on node ", node_, " asked to touch pid ", pid,
+              " on node ", process.node());
+    switch (request.kind) {
+      case Request::Kind::kAttach:
+        // ptrace attach + read/analyse the executable image.
+        co_await engine.sleep(costs.dpcl_connect);
+        co_await engine.sleep(costs.dpcl_parse_image);
+        break;
+      case Request::Kind::kInstall: {
+        DT_ASSERT(request.snippet != nullptr);
+        const int prims = std::max(1, request.snippet->primitive_count());
+        co_await engine.sleep(costs.dpcl_patch_per_probe * prims);
+        process.image().install_probe(request.fn, request.where, request.snippet,
+                                      request.active);
+        break;
+      }
+      case Request::Kind::kRemoveFunction: {
+        co_await engine.sleep(costs.dpcl_patch_per_probe);
+        auto& img = process.image();
+        for (const auto where : {image::ProbeWhere::kEntry, image::ProbeWhere::kExit}) {
+          // Collect handles first: removal mutates the mini list.
+          std::vector<image::ProbeHandle> handles;
+          for (const auto& probe : img.probe_point(request.fn, where).minis) {
+            handles.push_back(probe.handle);
+          }
+          for (const auto handle : handles) img.remove_probe(handle);
+        }
+        break;
+      }
+      case Request::Kind::kActivateFunction: {
+        co_await engine.sleep(costs.dpcl_patch_per_probe / 4);
+        auto& img = process.image();
+        for (const auto where : {image::ProbeWhere::kEntry, image::ProbeWhere::kExit}) {
+          for (const auto& probe : img.probe_point(request.fn, where).minis) {
+            img.set_probe_active(probe.handle, request.active);
+          }
+        }
+        break;
+      }
+      case Request::Kind::kSuspend:
+        co_await engine.sleep(costs.dpcl_suspend_resume);
+        process.suspend();
+        break;
+      case Request::Kind::kResume:
+        co_await engine.sleep(costs.dpcl_suspend_resume);
+        process.resume();
+        break;
+      case Request::Kind::kSetFlag:
+        co_await engine.sleep(costs.dpcl_suspend_resume / 2);
+        process.set_flag(request.flag, request.value);
+        break;
+      case Request::Kind::kExecute: {
+        // Inferior RPC: the snippet runs once on a transient thread inside
+        // the target's address space, with full access to its libraries
+        // and memory.  The daemon waits for completion before acking.
+        DT_ASSERT(request.snippet != nullptr);
+        co_await engine.sleep(costs.dpcl_patch_per_probe / 2);  // stage the code
+        proc::SimThread& rpc = process.add_thread(process.main_thread().cpu());
+        co_await rpc.exec_snippet(*request.snippet);
+        break;
+      }
+    }
+  }
+
+  if (request.ack != nullptr) {
+    const sim::TimeNs delay = cluster_.message_delay(node_, request.reply_node, kAckBytes);
+    engine.schedule_after(delay, [ack = request.ack] {
+      if (--ack->remaining == 0) ack->done.fire();
+    });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SuperDaemon
+// ---------------------------------------------------------------------------
+
+SuperDaemon::SuperDaemon(machine::Cluster& cluster, int node)
+    : cluster_(cluster), node_(node), inbox_(cluster.engine()) {}
+
+void SuperDaemon::start() {
+  DT_ASSERT(!started_, "super daemon already started");
+  started_ = true;
+  cluster_.engine().spawn(loop(), str::format("dpcl.superd.node%d", node_),
+                          sim::Engine::SpawnOptions{.daemon = true});
+}
+
+sim::Coro<void> SuperDaemon::loop() {
+  sim::Engine& engine = cluster_.engine();
+  while (true) {
+    ConnectRequest request = co_await inbox_.recv();
+    ++connections_;
+    // Authenticate the user, then fork the per-user communication daemon.
+    co_await engine.sleep(kAuthCost);
+    co_await engine.sleep(kForkCommDaemonCost);
+    if (request.ack != nullptr) {
+      const sim::TimeNs delay = cluster_.message_delay(node_, request.reply_node, kAckBytes);
+      engine.schedule_after(delay, [ack = request.ack] {
+        if (--ack->remaining == 0) ack->done.fire();
+      });
+    }
+  }
+}
+
+}  // namespace dyntrace::dpcl

@@ -1,0 +1,121 @@
+// DPCL daemon infrastructure (paper §3.2, Figure 5).
+//
+// One SuperDaemon runs on every node: it authenticates connecting users and
+// forks one CommDaemon per user connection.  CommDaemons attach to the
+// local processes of the target application and execute instrumentation
+// requests (patch, activate, suspend, resume, poke memory).
+//
+// Requests travel as messages over the simulated interconnect with
+// per-message jitter, so daemons on different nodes receive them at
+// *different times* -- the asynchrony whose consequences (§3.4, Figure 6)
+// dynprof's initialization protocol must handle.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "image/image.hpp"
+#include "proc/job.hpp"
+#include "sim/mailbox.hpp"
+#include "sim/sync.hpp"
+
+namespace dyntrace::dpcl {
+
+/// Completion tracking for blocking requests: fires after every contacted
+/// daemon has acknowledged.
+struct AckState {
+  AckState(sim::Engine& engine, int outstanding) : remaining(outstanding), done(engine) {}
+  int remaining;
+  sim::Trigger done;
+};
+
+struct Request {
+  enum class Kind : std::uint8_t {
+    kAttach,            ///< attach + parse image of each local process
+    kInstall,           ///< install a probe (fn/where/snippet/active)
+    kRemoveFunction,    ///< remove all probes on a function
+    kActivateFunction,  ///< (de)activate all probes on a function
+    kSuspend,
+    kResume,
+    kSetFlag,           ///< poke a named memory word in each process
+    kExecute,           ///< one-shot snippet execution ("inferior RPC"):
+                        ///< run the snippet once in each target process,
+                        ///< without installing anything
+  };
+
+  Kind kind = Kind::kSuspend;
+  std::vector<int> pids;  ///< job pids local to the daemon's node
+
+  image::FunctionId fn = image::kInvalidFunction;
+  image::ProbeWhere where = image::ProbeWhere::kEntry;
+  image::SnippetPtr snippet;
+  bool active = true;
+
+  std::string flag;
+  std::int64_t value = 0;
+
+  std::shared_ptr<AckState> ack;  ///< null for fire-and-forget requests
+  int reply_node = 0;             ///< where the ack message goes
+};
+
+/// Estimated wire size of a request message (affects transfer time).
+std::int64_t request_bytes(const Request& request);
+
+class CommDaemon {
+ public:
+  CommDaemon(machine::Cluster& cluster, proc::ParallelJob& job, int node);
+  CommDaemon(const CommDaemon&) = delete;
+  CommDaemon& operator=(const CommDaemon&) = delete;
+
+  int node() const { return node_; }
+  sim::Mailbox<Request>& inbox() { return inbox_; }
+
+  /// Spawn the request-processing loop (an engine daemon process).
+  void start();
+
+  std::uint64_t requests_handled() const { return requests_handled_; }
+
+ private:
+  sim::Coro<void> loop();
+  sim::Coro<void> execute(Request request);
+
+  machine::Cluster& cluster_;
+  proc::ParallelJob& job_;
+  int node_;
+  sim::Mailbox<Request> inbox_;
+  std::uint64_t requests_handled_ = 0;
+  bool started_ = false;
+};
+
+/// Connection request handled by a node's super daemon.
+struct ConnectRequest {
+  std::string user;
+  std::shared_ptr<AckState> ack;
+  int reply_node = 0;
+};
+
+class SuperDaemon {
+ public:
+  SuperDaemon(machine::Cluster& cluster, int node);
+  SuperDaemon(const SuperDaemon&) = delete;
+  SuperDaemon& operator=(const SuperDaemon&) = delete;
+
+  int node() const { return node_; }
+  sim::Mailbox<ConnectRequest>& inbox() { return inbox_; }
+  void start();
+
+  std::uint64_t connections_served() const { return connections_; }
+
+ private:
+  sim::Coro<void> loop();
+
+  machine::Cluster& cluster_;
+  int node_;
+  sim::Mailbox<ConnectRequest> inbox_;
+  std::uint64_t connections_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace dyntrace::dpcl

@@ -1,0 +1,96 @@
+#include "dynprof/command.hpp"
+
+#include <sstream>
+
+#include "support/common.hpp"
+#include "support/strings.hpp"
+
+namespace dyntrace::dynprof {
+
+const std::vector<CommandInfo>& command_table() {
+  static const std::vector<CommandInfo> table = {
+      {CommandKind::kHelp, "help", "h", "Displays a help message"},
+      {CommandKind::kInsert, "insert", "i",
+       "Inserts instrumentation into one or more functions."},
+      {CommandKind::kRemove, "remove", "r",
+       "Removes instrumentation from one or more functions."},
+      {CommandKind::kInsertFile, "insert-file", "if",
+       "Inserts instrumentation into all of the functions listed in the provided file or "
+       "files."},
+      {CommandKind::kRemoveFile, "remove-file", "rf",
+       "Removes instrumentation from all of the functions listed in the provided file or "
+       "files."},
+      {CommandKind::kStart, "start", "s", "Starts execution of the target application."},
+      {CommandKind::kQuit, "quit", "q", "Detaches the instrumenter from the application."},
+      {CommandKind::kWait, "wait", "w",
+       "Causes the tool to wait before executing the next command."},
+  };
+  return table;
+}
+
+double Command::wait_seconds() const {
+  if (args.empty()) return 1.0;
+  const auto parsed = str::parse_f64(args[0]);
+  DT_EXPECT(parsed.has_value() && *parsed >= 0, "wait: bad duration '", args[0], "'");
+  return *parsed;
+}
+
+std::optional<Command> parse_command(const std::string& line) {
+  std::string_view text = str::trim(line);
+  if (text.empty() || text.front() == '#') return std::nullopt;
+  auto words = str::split_ws(text);
+  const std::string verb = str::to_lower(words[0]);
+
+  for (const auto& info : command_table()) {
+    if (verb == info.name || verb == info.shortcut) {
+      Command cmd;
+      cmd.kind = info.kind;
+      cmd.args.assign(words.begin() + 1, words.end());
+      switch (cmd.kind) {
+        case CommandKind::kInsert:
+        case CommandKind::kRemove:
+          DT_EXPECT(!cmd.args.empty(), info.name, ": expected at least one function name");
+          break;
+        case CommandKind::kInsertFile:
+        case CommandKind::kRemoveFile:
+          DT_EXPECT(!cmd.args.empty(), info.name, ": expected at least one file name");
+          break;
+        case CommandKind::kWait:
+          (void)cmd.wait_seconds();  // validate
+          break;
+        default:
+          DT_EXPECT(cmd.args.empty(), info.name, ": takes no arguments");
+          break;
+      }
+      return cmd;
+    }
+  }
+  fail("unknown dynprof command '", verb, "' (try 'help')");
+}
+
+std::vector<Command> parse_script(const std::string& text) {
+  std::vector<Command> script;
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    try {
+      if (auto cmd = parse_command(line)) script.push_back(std::move(*cmd));
+    } catch (const Error& e) {
+      fail("script line ", line_no, ": ", e.what());
+    }
+  }
+  return script;
+}
+
+std::string help_text() {
+  std::ostringstream os;
+  os << "dynprof commands:\n";
+  for (const auto& info : command_table()) {
+    os << "  " << info.name << " (" << info.shortcut << ")  " << info.description << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace dyntrace::dynprof

@@ -1,0 +1,62 @@
+// The dynprof command language (paper Table 1).
+//
+//   help (h)          display a help message
+//   insert (i)        insert instrumentation into one or more functions
+//   remove (r)        remove instrumentation from one or more functions
+//   insert-file (if)  insert into all functions listed in the given file(s)
+//   remove-file (rf)  remove from all functions listed in the given file(s)
+//   start (s)         start execution of the target application
+//   quit (q)          detach the instrumenter from the application
+//   wait (w)          wait before executing the next command
+//
+// Scripts are sequences of commands, one per line ('#' comments allowed) --
+// the mechanism the paper used to run experiments through batch queues.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dyntrace::dynprof {
+
+enum class CommandKind : int {
+  kHelp,
+  kInsert,
+  kRemove,
+  kInsertFile,
+  kRemoveFile,
+  kStart,
+  kQuit,
+  kWait,
+};
+
+struct CommandInfo {
+  CommandKind kind;
+  const char* name;
+  const char* shortcut;
+  const char* description;
+};
+
+/// Table 1, generated from the implementation (bench/table1_commands).
+const std::vector<CommandInfo>& command_table();
+
+struct Command {
+  CommandKind kind = CommandKind::kHelp;
+  std::vector<std::string> args;
+
+  /// For kWait: seconds to wait (parsed from args[0], default 1).
+  double wait_seconds() const;
+};
+
+/// Parse one command line; empty/comment lines give nullopt; throws
+/// dyntrace::Error for unknown commands or bad arguments.
+std::optional<Command> parse_command(const std::string& line);
+
+/// Parse a whole script.
+std::vector<Command> parse_script(const std::string& text);
+
+/// Render the help message (the `help` command's output).
+std::string help_text();
+
+}  // namespace dyntrace::dynprof

@@ -1,0 +1,69 @@
+// HybridController: the combined paradigm the paper concludes is promising
+// (§5.1, §6) -- ephemeral instrumentation in the sense of Traub et al. [15]:
+//
+//   1. watch the running application with cheap statistical sampling;
+//   2. pick the functions where the time actually goes;
+//   3. direct dynprof to dynamically insert detailed VT probes into just
+//      those functions (suspend / patch / resume);
+//   4. after a detail window, remove the probes again.
+//
+// The result is a complete-profile snapshot of exactly the interesting
+// region, at sampling cost everywhere else -- trace volume and
+// perturbation bounded by construction.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dynprof/tool.hpp"
+#include "sampling/sampler.hpp"
+
+namespace dyntrace::dynprof {
+
+class HybridController {
+ public:
+  struct Options {
+    sim::TimeNs sample_window = sim::seconds(5);     ///< phase-1 duration
+    sim::TimeNs sampling_interval = sim::milliseconds(5);
+    sim::TimeNs per_sample_cost = sim::microseconds(12);
+    std::size_t top_k = 4;                           ///< functions to instrument
+    sim::TimeNs detail_window = sim::seconds(10);    ///< phase-3 duration
+    bool remove_after_window = true;                 ///< phase 4
+  };
+
+  struct Report {
+    std::vector<std::string> selected;  ///< functions chosen by sampling
+    std::uint64_t total_samples = 0;
+    sim::TimeNs instrumented_from = -1;
+    sim::TimeNs instrumented_to = -1;
+    bool instrumented = false;
+    bool removed = false;
+  };
+
+  /// The tool must have been given a script that starts the application
+  /// (or attach mode); the controller waits for initialization to
+  /// complete, then drives phases 1-4 on the tool's thread.
+  HybridController(Launch& launch, DynprofTool& tool, Options options);
+  HybridController(const HybridController&) = delete;
+  HybridController& operator=(const HybridController&) = delete;
+
+  /// Spawn the controller coroutine; call before Engine::run().
+  void start();
+
+  const Report& report() const { return report_; }
+  bool finished() const { return finished_; }
+
+ private:
+  sim::Coro<void> run();
+  bool app_still_running() const { return !launch_.job().all_done().fired(); }
+
+  Launch& launch_;
+  DynprofTool& tool_;
+  Options options_;
+  std::vector<std::unique_ptr<sampling::Sampler>> samplers_;
+  Report report_;
+  bool finished_ = false;
+};
+
+}  // namespace dyntrace::dynprof

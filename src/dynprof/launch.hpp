@@ -1,0 +1,143 @@
+// Launch: assembles one VGV application run on the simulated cluster.
+//
+// A Launch owns the whole stack for a single experiment: engine, cluster,
+// MPI world (or OpenMP runtime), parallel job, per-process VT libraries with
+// their MPI wrappers / OpenMP listeners, and per-process AppContexts.  The
+// instrumentation policy (paper Table 3) selects static instrumentation and
+// the VT configuration file:
+//
+//   Full     -- all subroutines statically instrumented, no config file
+//   Full-Off -- statically instrumented, config deactivates everything
+//   Subset   -- statically instrumented, config leaves the subset active
+//   None     -- no subroutine instrumentation at all
+//   Dynamic  -- no static instrumentation; dynprof patches probes in
+//
+// MPI tracing through the wrapper interface is on in every policy (the VT
+// library is always linked in VGV).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "asci/app.hpp"
+#include "machine/cluster.hpp"
+#include "mpi/world.hpp"
+#include "omp/runtime.hpp"
+#include "proc/job.hpp"
+#include "sim/engine.hpp"
+#include "vt/interpose.hpp"
+#include "vt/trace_store.hpp"
+#include "vt/vtlib.hpp"
+
+namespace dyntrace::dynprof {
+
+enum class Policy : int { kFull, kFullOff, kSubset, kNone, kDynamic };
+
+const char* to_string(Policy policy);
+Policy policy_from_string(const std::string& name);
+
+/// Table 3 descriptions, generated from the implementation.
+struct PolicyInfo {
+  Policy policy;
+  const char* name;
+  const char* description;
+};
+const std::vector<PolicyInfo>& policy_table();
+
+/// The policies evaluated for an app (Sweep3d has no Subset run, §4.3).
+std::vector<Policy> policies_for(const asci::AppSpec& app);
+
+class Launch {
+ public:
+  struct Options {
+    const asci::AppSpec* app = nullptr;
+    asci::AppParams params;
+    Policy policy = Policy::kNone;
+    std::optional<machine::MachineSpec> machine;  ///< default: IBM Power3 SP
+    std::size_t vt_buffer_records = 16384;
+    /// First node used for application processes (tool daemons etc. can
+    /// use the nodes above the application's).
+    int first_app_node = 0;
+    /// Standard deviation of per-process clock offsets (0 = perfect global
+    /// clock).  Rank 0 is always the anchor; see analysis/clock_sync.hpp
+    /// for the postmortem correction.
+    sim::TimeNs clock_skew_stddev = 0;
+  };
+
+  explicit Launch(Options options);
+  ~Launch();
+  Launch(const Launch&) = delete;
+  Launch& operator=(const Launch&) = delete;
+
+  sim::Engine& engine() { return engine_; }
+  machine::Cluster& cluster() { return *cluster_; }
+  proc::ParallelJob& job() { return *job_; }
+  mpi::World* world() { return world_.get(); }  ///< null for pure OpenMP apps
+  /// Process 0's OpenMP runtime; null for pure MPI apps.
+  omp::OmpRuntime* omp_runtime() {
+    return omp_runtimes_.empty() ? nullptr : omp_runtimes_.front().get();
+  }
+  /// Per-rank team (kMixed apps); null for pure MPI apps.
+  omp::OmpRuntime* omp_runtime(int pid) {
+    return static_cast<std::size_t>(pid) < omp_runtimes_.size()
+               ? omp_runtimes_[static_cast<std::size_t>(pid)].get()
+               : nullptr;
+  }
+  vt::VtLib& vt(int pid) { return *vts_[static_cast<std::size_t>(pid)]; }
+  asci::AppContext& context(int pid) { return *contexts_[static_cast<std::size_t>(pid)]; }
+  std::shared_ptr<vt::TraceStore> trace() { return store_; }
+  std::shared_ptr<vt::StagedUpdate> staged() { return staged_; }
+  const Options& options() const { return options_; }
+  int process_count() const { return static_cast<int>(job_->size()); }
+
+  /// Start the application (static policies; dynprof drives this itself for
+  /// the Dynamic policy).
+  void start() { job_->start(); }
+
+  /// Simulation time when the last rank finished MPI_Init/VT_init (i.e.
+  /// when the main computation begins, after any dynamic-instrumentation
+  /// stall); -1 before that point.
+  sim::TimeNs init_complete_time() const { return init_complete_; }
+
+  /// Fires when every rank has completed initialization (what
+  /// init_complete_time() records); tool-side controllers wait on this.
+  sim::Trigger& init_complete_trigger() { return init_trigger_; }
+
+  struct Result {
+    double total_seconds = 0;  ///< job start -> last process exit
+    double app_seconds = 0;    ///< post-initialization main computation (Fig. 7 metric)
+    std::uint64_t trace_events = 0;     ///< virtual events incl. aggregated calls
+    std::uint64_t filtered_events = 0;  ///< probe executions filtered by the config table
+  };
+
+  /// Start + run the engine to completion and collect the result (static
+  /// policies only; Dynamic runs go through DynprofTool).
+  Result run_to_completion();
+
+  /// Collect the result after the engine has been run externally.
+  Result collect_result() const;
+
+ private:
+  sim::Coro<void> rank_main(int pid, proc::SimThread& thread);
+
+  Options options_;
+  sim::Engine engine_;
+  std::unique_ptr<machine::Cluster> cluster_;
+  std::shared_ptr<vt::TraceStore> store_;
+  std::shared_ptr<vt::StagedUpdate> staged_;
+  std::unique_ptr<mpi::World> world_;
+  std::unique_ptr<proc::ParallelJob> job_;
+  std::vector<std::unique_ptr<omp::OmpRuntime>> omp_runtimes_;
+  std::vector<std::unique_ptr<vt::VtLib>> vts_;
+  std::vector<std::unique_ptr<vt::VtMpiInterpose>> interposes_;
+  std::vector<std::unique_ptr<vt::VtOmpListener>> omp_listeners_;
+  std::vector<std::unique_ptr<asci::AppContext>> contexts_;
+
+  int init_done_count_ = 0;
+  sim::TimeNs init_complete_ = -1;
+  sim::Trigger init_trigger_{engine_};
+};
+
+}  // namespace dyntrace::dynprof

@@ -1,0 +1,58 @@
+#include "dynprof/policy.hpp"
+
+#include "support/common.hpp"
+
+namespace dyntrace::dynprof {
+
+std::vector<int> cpu_counts_for(const asci::AppSpec& app) {
+  std::vector<int> counts;
+  for (int p = 1; p <= app.max_procs; p *= 2) {
+    if (p >= app.min_procs) counts.push_back(p);
+  }
+  return counts;
+}
+
+PolicyResult run_policy(const RunConfig& config) {
+  DT_EXPECT(config.app != nullptr, "run_policy needs an application");
+
+  Launch::Options options;
+  options.app = config.app;
+  options.params.nprocs = config.nprocs;
+  options.params.problem_scale = config.problem_scale;
+  options.params.seed = config.seed;
+  options.policy = config.policy;
+  options.machine = config.machine;
+  Launch launch(std::move(options));
+
+  PolicyResult result;
+  result.policy = config.policy;
+  result.nprocs = config.nprocs;
+
+  if (config.policy == Policy::kDynamic) {
+    // "The programs were suspended after completing MPI_Init, and then a
+    // list of functions was dynamically instrumented using an insert-file
+    // command" (§4.2).
+    DynprofTool::Options tool_options;
+    tool_options.command_files = {{"subset.txt", config.app->dynamic_list}};
+    DynprofTool tool(launch, std::move(tool_options));
+    tool.run_script(parse_script("insert-file subset.txt\nstart\nquit\n"));
+    launch.engine().run();
+    DT_ASSERT(tool.finished(), "dynprof tool did not finish");
+
+    const Launch::Result r = launch.collect_result();
+    result.app_seconds = r.app_seconds;
+    result.total_seconds = r.total_seconds;
+    result.trace_events = r.trace_events;
+    result.filtered_events = r.filtered_events;
+    result.create_instrument_seconds = sim::to_seconds(tool.create_and_instrument_time());
+  } else {
+    const Launch::Result r = launch.run_to_completion();
+    result.app_seconds = r.app_seconds;
+    result.total_seconds = r.total_seconds;
+    result.trace_events = r.trace_events;
+    result.filtered_events = r.filtered_events;
+  }
+  return result;
+}
+
+}  // namespace dyntrace::dynprof

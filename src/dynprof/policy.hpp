@@ -1,0 +1,43 @@
+// The evaluation harness: run one application under one instrumentation
+// policy (paper Table 3) and measure what Figures 7 and 9 plot.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "dynprof/launch.hpp"
+#include "dynprof/tool.hpp"
+
+namespace dyntrace::dynprof {
+
+struct RunConfig {
+  const asci::AppSpec* app = nullptr;
+  Policy policy = Policy::kNone;
+  int nprocs = 1;
+  double problem_scale = 1.0;
+  std::uint64_t seed = 42;
+  std::optional<machine::MachineSpec> machine;  ///< default IBM Power3 SP
+};
+
+struct PolicyResult {
+  Policy policy = Policy::kNone;
+  int nprocs = 1;
+  /// Post-initialization main-computation time: the Figure 7 metric
+  /// ("program times reported do not include the time used to create and
+  /// insert the instrumentation", §4.2).
+  double app_seconds = 0;
+  double total_seconds = 0;
+  /// dynprof create+instrument time (Figure 9); 0 for static policies.
+  double create_instrument_seconds = 0;
+  std::uint64_t trace_events = 0;
+  std::uint64_t filtered_events = 0;
+};
+
+/// Run one (app, policy, nprocs) cell of Figure 7.
+PolicyResult run_policy(const RunConfig& config);
+
+/// The processor counts evaluated for an app in the paper (§4.2): MPI apps
+/// 1..64 (Sweep3d from 2), Umt98 1..8.
+std::vector<int> cpu_counts_for(const asci::AppSpec& app);
+
+}  // namespace dyntrace::dynprof

@@ -1,0 +1,34 @@
+#include "guide/compiler.hpp"
+
+namespace dyntrace::guide {
+
+bool is_runtime_module(const std::string& module) {
+  return module == "libmpi" || module == "libvt" || module == "crt";
+}
+
+image::ProgramImage compile(std::shared_ptr<const image::SymbolTable> symbols,
+                            const CompileOptions& options) {
+  image::ProgramImage img(std::move(symbols));
+  if (options.instrument_subroutines) {
+    for (const auto& fn : img.symbols().all()) {
+      if (!is_runtime_module(fn.module)) {
+        img.set_static_instrumented(fn.id, true);
+      }
+    }
+  }
+  return img;
+}
+
+vt::FilterProgram full_off_filter() {
+  return vt::FilterProgram{vt::FilterDirective{false, "*"}};
+}
+
+vt::FilterProgram subset_filter(const std::vector<std::string>& subset) {
+  vt::FilterProgram program{vt::FilterDirective{false, "*"}};
+  for (const auto& name : subset) {
+    program.push_back(vt::FilterDirective{true, name});
+  }
+  return program;
+}
+
+}  // namespace dyntrace::guide

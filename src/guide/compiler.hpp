@@ -1,0 +1,43 @@
+// The "Guide compiler" stage of VGV (paper §3.1, Figure 3).
+//
+// Real VGV compiles the application with Guide, which (a) inserts
+// subroutine entry/exit profile instrumentation and (b) lowers OpenMP
+// directives to Guide-runtime calls.  Here, (a) is modelled by marking
+// functions of the template ProgramImage as statically instrumented, and
+// (b) is the omp::OmpRuntime the workloads call directly.
+//
+// Runtime/library entry points (MPI_Init, VT_init, main, ...) are *not*
+// statically instrumented -- Guide only instruments user subroutines.
+// Which is exactly why dynprof must patch MPI_Init dynamically to learn
+// when instrumentation becomes safe.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "image/image.hpp"
+#include "vt/filter.hpp"
+
+namespace dyntrace::guide {
+
+struct CompileOptions {
+  /// -WGprof: statically instrument every user subroutine.
+  bool instrument_subroutines = true;
+};
+
+/// Modules whose functions are never statically instrumented.
+bool is_runtime_module(const std::string& module);
+
+/// Produce the template image for one application build.
+image::ProgramImage compile(std::shared_ptr<const image::SymbolTable> symbols,
+                            const CompileOptions& options);
+
+/// VT configuration for the Full-Off policy: deactivate every symbol.
+vt::FilterProgram full_off_filter();
+
+/// VT configuration for the Subset policy: deactivate everything, then
+/// re-activate the named functions.
+vt::FilterProgram subset_filter(const std::vector<std::string>& subset);
+
+}  // namespace dyntrace::guide

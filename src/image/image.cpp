@@ -1,0 +1,136 @@
+#include "image/image.hpp"
+
+#include "support/common.hpp"
+
+namespace dyntrace::image {
+
+const char* to_string(ProbeWhere where) {
+  return where == ProbeWhere::kEntry ? "entry" : "exit";
+}
+
+ProgramImage::ProgramImage(std::shared_ptr<const SymbolTable> symbols)
+    : symbols_(std::move(symbols)) {
+  DT_ASSERT(symbols_ != nullptr);
+  state_.resize(symbols_->size());
+}
+
+void ProgramImage::set_static_instrumented(FunctionId fn, bool on) {
+  DT_ASSERT(fn < state_.size());
+  state_[fn].static_instrumented = on;
+}
+
+bool ProgramImage::static_instrumented(FunctionId fn) const {
+  DT_ASSERT(fn < state_.size());
+  return state_[fn].static_instrumented;
+}
+
+std::size_t ProgramImage::static_instrumented_count() const {
+  std::size_t n = 0;
+  for (const auto& s : state_) n += s.static_instrumented ? 1 : 0;
+  return n;
+}
+
+ProbePoint& ProgramImage::point(FunctionId fn, ProbeWhere where) {
+  DT_ASSERT(fn < state_.size(), "function id out of range");
+  return state_[fn].points[static_cast<int>(where)];
+}
+
+const ProbePoint& ProgramImage::point(FunctionId fn, ProbeWhere where) const {
+  DT_ASSERT(fn < state_.size(), "function id out of range");
+  return state_[fn].points[static_cast<int>(where)];
+}
+
+ProbeHandle ProgramImage::install_probe(FunctionId fn, ProbeWhere where, SnippetPtr snippet,
+                                        bool active) {
+  DT_ASSERT(snippet != nullptr, "cannot install a null snippet");
+  ProbePoint& p = point(fn, where);
+  const ProbeHandle handle{next_handle_++};
+  p.minis.push_back(InstalledProbe{handle, std::move(snippet), active});
+  ++patch_epoch_;
+  return handle;
+}
+
+InstalledProbe* ProgramImage::find_probe(ProbeHandle handle, FunctionId* fn_out,
+                                         ProbeWhere* where_out) {
+  for (FunctionId fn = 0; fn < state_.size(); ++fn) {
+    for (int w = 0; w < 2; ++w) {
+      for (auto& probe : state_[fn].points[w].minis) {
+        if (probe.handle == handle) {
+          if (fn_out) *fn_out = fn;
+          if (where_out) *where_out = static_cast<ProbeWhere>(w);
+          return &probe;
+        }
+      }
+    }
+  }
+  return nullptr;
+}
+
+bool ProgramImage::remove_probe(ProbeHandle handle) {
+  FunctionId fn = kInvalidFunction;
+  ProbeWhere where = ProbeWhere::kEntry;
+  if (find_probe(handle, &fn, &where) == nullptr) return false;
+  auto& minis = point(fn, where).minis;
+  for (auto it = minis.begin(); it != minis.end(); ++it) {
+    if (it->handle == handle) {
+      minis.erase(it);
+      ++patch_epoch_;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ProgramImage::set_probe_active(ProbeHandle handle, bool active) {
+  InstalledProbe* probe = find_probe(handle, nullptr, nullptr);
+  if (probe == nullptr) return false;
+  if (probe->active != active) {
+    probe->active = active;
+    ++patch_epoch_;
+  }
+  return true;
+}
+
+const ProbePoint& ProgramImage::probe_point(FunctionId fn, ProbeWhere where) const {
+  return point(fn, where);
+}
+
+std::vector<SnippetPtr> ProgramImage::active_snippets(FunctionId fn, ProbeWhere where) const {
+  std::vector<SnippetPtr> out;
+  for (const auto& probe : point(fn, where).minis) {
+    if (probe.active) out.push_back(probe.snippet);
+  }
+  return out;
+}
+
+sim::TimeNs ProgramImage::trampoline_overhead(FunctionId fn, ProbeWhere where,
+                                              const machine::CostModel& costs) const {
+  const ProbePoint& p = point(fn, where);
+  if (!p.has_base_trampoline()) return 0;
+  sim::TimeNs total = costs.tramp_jump + costs.tramp_save_regs + costs.tramp_restore_regs +
+                      costs.tramp_relocated_insn;
+  for (const auto& probe : p.minis) {
+    if (probe.active) total += costs.tramp_mini_dispatch;
+  }
+  return total;
+}
+
+std::size_t ProgramImage::installed_probe_count() const {
+  std::size_t n = 0;
+  for (const auto& s : state_) {
+    n += s.points[0].minis.size() + s.points[1].minis.size();
+  }
+  return n;
+}
+
+std::size_t ProgramImage::active_probe_count() const {
+  std::size_t n = 0;
+  for (const auto& s : state_) {
+    for (const auto& p : s.points) {
+      for (const auto& probe : p.minis) n += probe.active ? 1 : 0;
+    }
+  }
+  return n;
+}
+
+}  // namespace dyntrace::image

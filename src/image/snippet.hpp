@@ -1,0 +1,89 @@
+// Instrumentation snippets: the code fragments a dynamic instrumenter
+// inserts at probe points (Figure 1 of the paper).
+//
+// A snippet is a small immutable AST.  Leaves either call into an
+// instrumentation library ("VT_begin", "MPI_Barrier", ...), touch process
+// memory (flags used for spin waits), or send a callback message to the
+// instrumenter (DPCL_callback).  The initialization snippet of Figure 6 is
+//     seq({ call("MPI_Barrier"), callback("init-done"),
+//           spin_until("dynvt_spin", 0), call("MPI_Barrier") })
+//
+// Execution semantics live in the proc layer (snippets can block, so
+// evaluation is a coroutine); this module only defines structure.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace dyntrace::image {
+
+class Snippet;
+using SnippetPtr = std::shared_ptr<const Snippet>;
+
+/// Do nothing (useful as a placeholder in tests).
+struct NoOp {};
+
+/// Call an instrumentation-library entry point with integer arguments.
+struct CallLibOp {
+  std::string function;
+  std::vector<std::int64_t> args;
+};
+
+/// Execute children in order.
+struct SequenceOp {
+  std::vector<SnippetPtr> items;
+};
+
+/// Store `value` to a named flag in process memory.
+struct SetFlagOp {
+  std::string flag;
+  std::int64_t value = 0;
+};
+
+/// Spin until the named flag equals `value` (DYNVT_spin of Figure 6).
+struct SpinUntilOp {
+  std::string flag;
+  std::int64_t value = 0;
+};
+
+/// Send an asynchronous message to the attached instrumenter
+/// (DPCL_callback of Figure 6).
+struct CallbackOp {
+  std::string tag;
+};
+
+class Snippet {
+ public:
+  using Node = std::variant<NoOp, CallLibOp, SequenceOp, SetFlagOp, SpinUntilOp, CallbackOp>;
+
+  explicit Snippet(Node node) : node_(std::move(node)) {}
+
+  const Node& node() const { return node_; }
+
+  /// Number of primitive (leaf) operations; a proxy for snippet size used
+  /// when charging patch time per probe.
+  int primitive_count() const;
+
+  /// Debug/trace rendering, e.g. "seq(call VT_begin(7), set dynvt_spin=1)".
+  std::string to_string() const;
+
+ private:
+  Node node_;
+};
+
+/// Builders.
+namespace snippet {
+
+SnippetPtr noop();
+SnippetPtr call(std::string function, std::vector<std::int64_t> args = {});
+SnippetPtr seq(std::vector<SnippetPtr> items);
+SnippetPtr set_flag(std::string flag, std::int64_t value);
+SnippetPtr spin_until(std::string flag, std::int64_t value);
+SnippetPtr callback(std::string tag);
+
+}  // namespace snippet
+
+}  // namespace dyntrace::image

@@ -1,0 +1,45 @@
+#include "machine/cluster.hpp"
+
+#include <cmath>
+
+#include "support/common.hpp"
+
+namespace dyntrace::machine {
+
+Cluster::Cluster(sim::Engine& engine, MachineSpec spec, std::uint64_t noise_seed)
+    : engine_(engine), spec_(std::move(spec)), noise_(noise_seed) {}
+
+std::vector<Cluster::Placement> Cluster::place_block(int units, int cpus_per_unit) const {
+  DT_EXPECT(units >= 1, "placement needs at least one unit");
+  DT_EXPECT(cpus_per_unit >= 1, "each unit needs at least one cpu");
+  DT_EXPECT(cpus_per_unit <= spec_.cpus_per_node, "a unit of ", cpus_per_unit,
+            " cpus does not fit on a ", spec_.cpus_per_node, "-cpu node of ", spec_.name);
+  const int units_per_node = spec_.cpus_per_node / cpus_per_unit;
+  const int nodes_needed = (units + units_per_node - 1) / units_per_node;
+  DT_EXPECT(nodes_needed <= spec_.nodes, "machine ", spec_.name, " has ", spec_.nodes,
+            " nodes; ", units, " x ", cpus_per_unit, " cpus needs ", nodes_needed);
+
+  std::vector<Placement> out;
+  out.reserve(static_cast<std::size_t>(units));
+  for (int u = 0; u < units; ++u) {
+    const int node = u / units_per_node;
+    const int cpu = (u % units_per_node) * cpus_per_unit;
+    out.push_back(Placement{node, cpu});
+  }
+  return out;
+}
+
+sim::TimeNs Cluster::jittered(sim::TimeNs base) {
+  if (spec_.latency_jitter <= 0.0 || base <= 0) return base;
+  // Multiplicative noise in [1 - j, 1 + j]; deterministic stream.
+  const double factor = 1.0 + spec_.latency_jitter * (2.0 * noise_.next_double() - 1.0);
+  return static_cast<sim::TimeNs>(std::llround(static_cast<double>(base) * factor));
+}
+
+sim::TimeNs Cluster::message_delay(int src_node, int dst_node, std::int64_t bytes) {
+  ++messages_sent_;
+  bytes_sent_ += static_cast<std::uint64_t>(bytes);
+  return jittered(spec_.transfer_time(src_node, dst_node, bytes));
+}
+
+}  // namespace dyntrace::machine

@@ -1,0 +1,55 @@
+// The simulated cluster: engine + machine spec + deterministic noise.
+//
+// A Cluster owns no processes itself; the proc layer places SimProcesses on
+// nodes via place_block() and charges communication time via
+// message_delay().
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "machine/spec.hpp"
+#include "sim/engine.hpp"
+#include "support/rng.hpp"
+
+namespace dyntrace::machine {
+
+class Cluster {
+ public:
+  struct Placement {
+    int node = 0;
+    int cpu = 0;
+  };
+
+  Cluster(sim::Engine& engine, MachineSpec spec, std::uint64_t noise_seed = 0x0dd5eed);
+
+  sim::Engine& engine() { return engine_; }
+  const MachineSpec& spec() const { return spec_; }
+
+  /// Block placement: consecutive units fill a node's CPUs, then spill to
+  /// the next node (the POE default).  Each unit occupies `cpus_per_unit`
+  /// consecutive CPUs (an OpenMP process occupies one CPU per thread).
+  /// Throws dyntrace::Error if the machine is too small.
+  std::vector<Placement> place_block(int units, int cpus_per_unit) const;
+
+  /// One-way delay for a message of `bytes` between nodes, with
+  /// deterministic jitter applied (models OS noise / switch contention and
+  /// the "differing delays" of DPCL daemon contact the paper discusses).
+  sim::TimeNs message_delay(int src_node, int dst_node, std::int64_t bytes);
+
+  /// Apply the cluster's jitter model to any base latency.
+  sim::TimeNs jittered(sim::TimeNs base);
+
+  /// Messages accounted so far (for tests and trace statistics).
+  std::uint64_t messages_sent() const { return messages_sent_; }
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+
+ private:
+  sim::Engine& engine_;
+  MachineSpec spec_;
+  Rng noise_;
+  std::uint64_t messages_sent_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+};
+
+}  // namespace dyntrace::machine

@@ -1,0 +1,132 @@
+#include "machine/spec.hpp"
+
+#include <cmath>
+
+#include "support/common.hpp"
+
+namespace dyntrace::machine {
+
+sim::TimeNs MachineSpec::transfer_time(int src_node, int dst_node,
+                                       std::int64_t bytes) const {
+  DT_ASSERT(bytes >= 0);
+  if (src_node == dst_node) {
+    const double wire = static_cast<double>(bytes) / intra_bandwidth_bytes_per_us;
+    return intra_latency + sim::microseconds(wire);
+  }
+  const double wire = static_cast<double>(bytes) / bandwidth_bytes_per_us;
+  return link_latency + per_message_software + sim::microseconds(wire);
+}
+
+MachineSpec ibm_power3_sp() {
+  MachineSpec s;
+  s.name = "ibm-power3-sp";
+  s.nodes = 144;
+  s.cpus_per_node = 8;
+  s.cpu_mhz = 375.0;
+  s.memory_gb_per_node = 4.0;
+  // Colony-class switch: ~20 us MPI latency, ~350 MB/s per link.
+  s.link_latency = sim::microseconds(19);
+  s.bandwidth_bytes_per_us = 350.0;
+  s.per_message_software = sim::microseconds(2.5);
+  s.intra_latency = sim::microseconds(1.2);
+  s.intra_bandwidth_bytes_per_us = 1600.0;
+  s.latency_jitter = 0.08;
+  return s;
+}
+
+MachineSpec ia32_linux_cluster() {
+  MachineSpec s;
+  s.name = "ia32-linux";
+  s.nodes = 16;
+  s.cpus_per_node = 1;
+  s.cpu_mhz = 800.0;  // Pentium III
+  s.memory_gb_per_node = 0.5;
+  // 100 Mb Ethernet-class fabric: higher wire latency than the SP switch,
+  // but the faster CPU clock makes the *software* side of VT_confsync
+  // cheaper -- which is why Fig. 8(c) sits an order of magnitude below 8(a).
+  s.link_latency = sim::microseconds(55);
+  s.bandwidth_bytes_per_us = 11.0;
+  s.per_message_software = sim::microseconds(6);
+  s.intra_latency = sim::microseconds(0.8);
+  s.intra_bandwidth_bytes_per_us = 2500.0;
+  s.latency_jitter = 0.10;
+  // Pentium III at 800 MHz vs Power3 at 375 MHz: scale CPU-bound costs.
+  const double cpu_scale = 375.0 / 800.0;
+  auto scale = [cpu_scale](sim::TimeNs t) {
+    return static_cast<sim::TimeNs>(std::llround(static_cast<double>(t) * cpu_scale));
+  };
+  s.costs.vt_timestamp = scale(s.costs.vt_timestamp);
+  s.costs.vt_record = scale(s.costs.vt_record);
+  s.costs.vt_filter_lookup = scale(s.costs.vt_filter_lookup);
+  s.costs.vt_call_overhead = scale(s.costs.vt_call_overhead);
+  s.costs.vt_funcdef = scale(s.costs.vt_funcdef);
+  s.costs.vt_flush_per_record = scale(s.costs.vt_flush_per_record);
+  // Lighter-weight OS and a faster clock: both confsync terms shrink more
+  // than the raw clock ratio (calibrated to Fig. 8c's < 6 ms ceiling).
+  s.costs.vt_confsync_entry = sim::microseconds(800);
+  s.costs.vt_confsync_noise_mean = sim::microseconds(600);
+  return s;
+}
+
+MachineSpec builtin_profile(const std::string& name) {
+  if (name == "ibm-power3-sp") return ibm_power3_sp();
+  if (name == "ia32-linux") return ia32_linux_cluster();
+  if (name == "generic") return MachineSpec{};
+  fail("unknown machine profile '", name, "' (expected ibm-power3-sp, ia32-linux or generic)");
+}
+
+MachineSpec spec_from_config(const ConfigFile& config) {
+  MachineSpec s = builtin_profile(config.get_string("machine", "base", "generic"));
+  s.name = config.get_string("machine", "name", s.name);
+  s.nodes = static_cast<int>(config.get_int("machine", "nodes", s.nodes));
+  s.cpus_per_node = static_cast<int>(config.get_int("machine", "cpus_per_node", s.cpus_per_node));
+  s.cpu_mhz = config.get_double("machine", "cpu_mhz", s.cpu_mhz);
+  s.memory_gb_per_node = config.get_double("machine", "memory_gb_per_node", s.memory_gb_per_node);
+  s.link_latency =
+      sim::microseconds(config.get_double("machine", "link_latency_us",
+                                          sim::to_microseconds(s.link_latency)));
+  s.bandwidth_bytes_per_us =
+      config.get_double("machine", "bandwidth_bytes_per_us", s.bandwidth_bytes_per_us);
+  s.per_message_software =
+      sim::microseconds(config.get_double("machine", "per_message_software_us",
+                                          sim::to_microseconds(s.per_message_software)));
+  s.intra_latency = sim::microseconds(
+      config.get_double("machine", "intra_latency_us", sim::to_microseconds(s.intra_latency)));
+  s.intra_bandwidth_bytes_per_us =
+      config.get_double("machine", "intra_bandwidth_bytes_per_us", s.intra_bandwidth_bytes_per_us);
+  s.latency_jitter = config.get_double("machine", "latency_jitter", s.latency_jitter);
+
+  DT_EXPECT(s.nodes >= 1, "machine.nodes must be >= 1");
+  DT_EXPECT(s.cpus_per_node >= 1, "machine.cpus_per_node must be >= 1");
+  DT_EXPECT(s.bandwidth_bytes_per_us > 0, "machine.bandwidth must be positive");
+  DT_EXPECT(s.latency_jitter >= 0 && s.latency_jitter < 1,
+            "machine.latency_jitter must be in [0, 1)");
+
+  auto cost_ns = [&config](const char* key, sim::TimeNs fallback) {
+    return static_cast<sim::TimeNs>(config.get_int("costs", key, fallback));
+  };
+  CostModel& c = s.costs;
+  c.vt_timestamp = cost_ns("vt_timestamp_ns", c.vt_timestamp);
+  c.vt_record = cost_ns("vt_record_ns", c.vt_record);
+  c.vt_filter_lookup = cost_ns("vt_filter_lookup_ns", c.vt_filter_lookup);
+  c.vt_call_overhead = cost_ns("vt_call_overhead_ns", c.vt_call_overhead);
+  c.vt_funcdef = cost_ns("vt_funcdef_ns", c.vt_funcdef);
+  c.vt_flush_per_record = cost_ns("vt_flush_per_record_ns", c.vt_flush_per_record);
+  c.vt_confsync_entry = cost_ns("vt_confsync_entry_ns", c.vt_confsync_entry);
+  c.vt_confsync_noise_mean = cost_ns("vt_confsync_noise_mean_ns", c.vt_confsync_noise_mean);
+  c.tramp_jump = cost_ns("tramp_jump_ns", c.tramp_jump);
+  c.tramp_save_regs = cost_ns("tramp_save_regs_ns", c.tramp_save_regs);
+  c.tramp_restore_regs = cost_ns("tramp_restore_regs_ns", c.tramp_restore_regs);
+  c.tramp_mini_dispatch = cost_ns("tramp_mini_dispatch_ns", c.tramp_mini_dispatch);
+  c.tramp_relocated_insn = cost_ns("tramp_relocated_insn_ns", c.tramp_relocated_insn);
+  c.dpcl_daemon_dispatch = cost_ns("dpcl_daemon_dispatch_ns", c.dpcl_daemon_dispatch);
+  c.dpcl_patch_per_probe = cost_ns("dpcl_patch_per_probe_ns", c.dpcl_patch_per_probe);
+  c.dpcl_parse_image = cost_ns("dpcl_parse_image_ns", c.dpcl_parse_image);
+  c.dpcl_connect = cost_ns("dpcl_connect_ns", c.dpcl_connect);
+  c.dpcl_suspend_resume = cost_ns("dpcl_suspend_resume_ns", c.dpcl_suspend_resume);
+  c.poe_spawn_base = cost_ns("poe_spawn_base_ns", c.poe_spawn_base);
+  c.poe_spawn_per_proc = cost_ns("poe_spawn_per_proc_ns", c.poe_spawn_per_proc);
+  return s;
+}
+
+}  // namespace dyntrace::machine

@@ -1,0 +1,53 @@
+#include "proc/job.hpp"
+
+#include "support/common.hpp"
+#include "support/strings.hpp"
+
+namespace dyntrace::proc {
+
+ParallelJob::ParallelJob(machine::Cluster& cluster, std::string name)
+    : cluster_(cluster), name_(std::move(name)), all_done_(cluster.engine()) {}
+
+SimProcess& ParallelJob::add_process(image::ProgramImage img, int node, int cpu) {
+  DT_ASSERT(!started_, "cannot add processes to a started job");
+  const int pid = static_cast<int>(processes_.size());
+  processes_.push_back(std::make_unique<SimProcess>(cluster_, pid, node, cpu, std::move(img)));
+  mains_.emplace_back();
+  return *processes_.back();
+}
+
+void ParallelJob::set_main(int pid, MainFn main) {
+  DT_ASSERT(pid >= 0 && static_cast<std::size_t>(pid) < mains_.size());
+  mains_[static_cast<std::size_t>(pid)] = std::move(main);
+}
+
+SimProcess& ParallelJob::process(int pid) {
+  DT_ASSERT(pid >= 0 && static_cast<std::size_t>(pid) < processes_.size(), "pid ", pid,
+            " out of range");
+  return *processes_[static_cast<std::size_t>(pid)];
+}
+
+sim::Coro<void> ParallelJob::run_process(SimProcess& process, MainFn main) {
+  co_await main(process.main_thread());
+  process.mark_terminated();
+  if (++finished_ == processes_.size()) {
+    finish_time_ = cluster_.engine().now();
+    all_done_.fire();
+  }
+}
+
+void ParallelJob::start() {
+  DT_ASSERT(!started_, "job already started");
+  DT_EXPECT(!processes_.empty(), "job '", name_, "' has no processes");
+  for (std::size_t pid = 0; pid < processes_.size(); ++pid) {
+    DT_EXPECT(mains_[pid] != nullptr, "job '", name_, "': process ", pid, " has no main");
+  }
+  started_ = true;
+  start_time_ = cluster_.engine().now();
+  for (std::size_t pid = 0; pid < processes_.size(); ++pid) {
+    cluster_.engine().spawn(run_process(*processes_[pid], mains_[pid]),
+                            str::format("%s.rank%zu", name_.c_str(), pid));
+  }
+}
+
+}  // namespace dyntrace::proc

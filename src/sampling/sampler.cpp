@@ -1,0 +1,66 @@
+#include "sampling/sampler.hpp"
+
+#include <algorithm>
+
+#include "support/common.hpp"
+#include "support/strings.hpp"
+
+namespace dyntrace::sampling {
+
+Sampler::Sampler(proc::SimProcess& process, Options options)
+    : process_(process), options_(options) {
+  DT_EXPECT(options.interval > 0, "sampling interval must be positive");
+  DT_EXPECT(options.per_sample_cost >= 0, "per-sample cost cannot be negative");
+}
+
+void Sampler::start() {
+  DT_EXPECT(!running_, "sampler already running");
+  running_ = true;
+  ++generation_;
+  process_.engine().spawn(run(),
+                          str::format("sampler.pid%d.gen%llu", process_.pid(),
+                                      static_cast<unsigned long long>(generation_)),
+                          sim::Engine::SpawnOptions{.daemon = true});
+}
+
+void Sampler::stop() { running_ = false; }
+
+sim::Coro<void> Sampler::run() {
+  const std::uint64_t my_generation = generation_;
+  sim::Engine& engine = process_.engine();
+  while (running_ && generation_ == my_generation) {
+    co_await engine.sleep(options_.interval);
+    if (!running_ || generation_ != my_generation) co_return;
+    if (process_.terminated().fired()) co_return;
+    // Skip samples that land while the process is stopped by a tool --
+    // a real profiling signal would not be delivered to a SIGSTOPed task.
+    if (process_.suspended()) continue;
+
+    // The "signal handler": steal per_sample_cost from the whole process
+    // (all threads briefly stop, as with a process-wide profiling signal).
+    if (options_.per_sample_cost > 0) {
+      process_.suspend();
+      co_await engine.sleep(options_.per_sample_cost);
+      process_.resume();
+    }
+    for (const auto& thread : process_.threads()) {
+      ++histogram_[thread->current_function()];
+      ++total_samples_;
+    }
+  }
+}
+
+std::vector<std::pair<image::FunctionId, std::uint64_t>> Sampler::top(std::size_t k) const {
+  std::vector<std::pair<image::FunctionId, std::uint64_t>> entries;
+  for (const auto& [fn, hits] : histogram_) {
+    if (fn != image::kInvalidFunction) entries.emplace_back(fn, hits);
+  }
+  std::sort(entries.begin(), entries.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  if (entries.size() > k) entries.resize(k);
+  return entries;
+}
+
+}  // namespace dyntrace::sampling

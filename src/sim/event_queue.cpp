@@ -1,0 +1,41 @@
+#include "sim/event_queue.hpp"
+
+#include "support/common.hpp"
+
+namespace dyntrace::sim {
+
+EventId EventQueue::schedule(TimeNs at, Callback cb) {
+  DT_ASSERT(cb != nullptr, "cannot schedule a null callback");
+  const std::uint64_t seq = next_seq_++;
+  heap_.push(HeapEntry{at, seq});
+  live_.emplace(seq, std::move(cb));
+  return EventId{seq};
+}
+
+bool EventQueue::cancel(EventId id) { return live_.erase(id.seq) > 0; }
+
+void EventQueue::drop_dead_top() const {
+  while (!heap_.empty() && live_.find(heap_.top().seq) == live_.end()) {
+    heap_.pop();
+  }
+}
+
+std::optional<TimeNs> EventQueue::next_time() const {
+  drop_dead_top();
+  if (heap_.empty()) return std::nullopt;
+  return heap_.top().time;
+}
+
+std::pair<TimeNs, EventQueue::Callback> EventQueue::pop() {
+  drop_dead_top();
+  DT_ASSERT(!heap_.empty(), "pop on empty event queue");
+  const HeapEntry top = heap_.top();
+  heap_.pop();
+  auto it = live_.find(top.seq);
+  DT_ASSERT(it != live_.end());
+  Callback cb = std::move(it->second);
+  live_.erase(it);
+  return {top.time, std::move(cb)};
+}
+
+}  // namespace dyntrace::sim

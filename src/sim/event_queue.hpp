@@ -1,0 +1,72 @@
+// The pending-event set of the discrete-event engine.
+//
+// A binary heap orders events by (time, sequence number); the sequence
+// number makes simultaneous events fire in scheduling order, which is what
+// makes whole-simulation runs deterministic.  Cancellation is lazy: the
+// callback is removed from a side table and the heap entry is skipped when
+// popped.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace dyntrace::sim {
+
+/// Opaque handle for cancelling a scheduled event.
+struct EventId {
+  std::uint64_t seq = 0;
+  friend bool operator==(EventId a, EventId b) { return a.seq == b.seq; }
+};
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedule `cb` at absolute time `at`.
+  EventId schedule(TimeNs at, Callback cb);
+
+  /// Cancel a pending event.  Returns false if it already fired or was
+  /// already cancelled.
+  bool cancel(EventId id);
+
+  /// Time of the earliest live event, if any.
+  std::optional<TimeNs> next_time() const;
+
+  /// Pop the earliest live event.  Precondition: !empty().
+  std::pair<TimeNs, Callback> pop();
+
+  bool empty() const { return live_.empty(); }
+  std::size_t size() const { return live_.size(); }
+
+  /// Total events ever scheduled (monotone; used for determinism checks).
+  std::uint64_t scheduled_count() const { return next_seq_; }
+
+ private:
+  struct HeapEntry {
+    TimeNs time;
+    std::uint64_t seq;
+  };
+  struct Later {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void drop_dead_top() const;
+
+  // `heap_` can contain entries whose seq is no longer in `live_`
+  // (cancelled); they are skipped on access.  Mutable so the const
+  // accessors can garbage-collect.
+  mutable std::priority_queue<HeapEntry, std::vector<HeapEntry>, Later> heap_;
+  std::unordered_map<std::uint64_t, Callback> live_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace dyntrace::sim

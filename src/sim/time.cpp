@@ -1,0 +1,23 @@
+#include "sim/time.hpp"
+
+#include "support/strings.hpp"
+
+namespace dyntrace::sim {
+
+std::string format_duration(TimeNs t) {
+  const bool negative = t < 0;
+  const TimeNs a = negative ? -t : t;
+  std::string body;
+  if (a < kMicrosecond) {
+    body = str::format("%lld ns", static_cast<long long>(a));
+  } else if (a < kMillisecond) {
+    body = str::format("%.3f us", to_microseconds(a));
+  } else if (a < kSecond) {
+    body = str::format("%.3f ms", to_milliseconds(a));
+  } else {
+    body = str::format("%.3f s", to_seconds(a));
+  }
+  return negative ? "-" + body : body;
+}
+
+}  // namespace dyntrace::sim

@@ -1,0 +1,11 @@
+#include "support/common.hpp"
+
+namespace dyntrace::detail {
+
+[[noreturn]] void panic_impl(const char* file, int line, const std::string& msg) {
+  std::fprintf(stderr, "dyntrace panic at %s:%d: %s\n", file, line, msg.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace dyntrace::detail

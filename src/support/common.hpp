@@ -1,0 +1,69 @@
+// Common error-handling primitives used across all dyntrace libraries.
+//
+// The codebase follows a simple discipline:
+//   * programmer errors (broken invariants, misuse of an API) abort via
+//     DT_ASSERT / dt::panic -- they are bugs, not recoverable conditions;
+//   * environment/user errors (bad config file, unknown function name)
+//     throw dt::Error, which carries a formatted message.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace dyntrace {
+
+/// Exception type for recoverable, user-facing errors (bad input, bad
+/// configuration, unknown names).  Programmer errors use DT_ASSERT instead.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(std::string msg) : std::runtime_error(std::move(msg)) {}
+};
+
+namespace detail {
+
+[[noreturn]] void panic_impl(const char* file, int line, const std::string& msg);
+
+template <typename... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+
+}  // namespace detail
+
+/// Throw a dyntrace::Error with a message assembled from the arguments.
+template <typename... Args>
+[[noreturn]] void fail(Args&&... args) {
+  throw Error(detail::concat(std::forward<Args>(args)...));
+}
+
+}  // namespace dyntrace
+
+/// Abort with a message; for unrecoverable programmer errors.
+#define DT_PANIC(...) \
+  ::dyntrace::detail::panic_impl(__FILE__, __LINE__, ::dyntrace::detail::concat(__VA_ARGS__))
+
+/// Assert an invariant; active in all build types (simulation correctness
+/// depends on these and their cost is negligible next to event dispatch).
+#define DT_ASSERT(cond, ...)                                                     \
+  do {                                                                           \
+    if (!(cond)) {                                                               \
+      ::dyntrace::detail::panic_impl(                                            \
+          __FILE__, __LINE__,                                                    \
+          ::dyntrace::detail::concat("assertion failed: ", #cond, " ", ##__VA_ARGS__)); \
+    }                                                                            \
+  } while (0)
+
+/// Check a user-facing precondition; throws dyntrace::Error on failure.
+#define DT_EXPECT(cond, ...)                      \
+  do {                                            \
+    if (!(cond)) {                                \
+      ::dyntrace::fail(__VA_ARGS__);              \
+    }                                             \
+  } while (0)

@@ -1,0 +1,73 @@
+// INI-style configuration files.
+//
+// Vampirtrace-style configuration files (see src/vt/vt_config.hpp for the
+// domain-specific layer on top of this) and machine profiles are expressed
+// as sections of key/value pairs:
+//
+//     [section]
+//     key = value        ; comment
+//     # full-line comment
+//
+// Keys outside any section land in the "" (global) section.  Repeated keys
+// are allowed and preserved in order (VT filter files rely on this).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dyntrace {
+
+class ConfigFile {
+ public:
+  struct Entry {
+    std::string section;
+    std::string key;
+    std::string value;
+    int line = 0;  ///< 1-based source line, for error messages.
+  };
+
+  /// Parse from text; throws dyntrace::Error with a line number on syntax
+  /// errors.  `origin` is used in error messages (e.g. a file name).
+  static ConfigFile parse(std::string_view text, std::string origin = "<config>");
+
+  /// Load from a file on disk.
+  static ConfigFile load(const std::string& path);
+
+  /// All entries in file order.
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  /// All entries of a section, in order.
+  std::vector<Entry> section(std::string_view name) const;
+
+  /// Last value for section/key, if present.
+  std::optional<std::string> get(std::string_view section, std::string_view key) const;
+
+  /// Typed getters with defaults; throw dyntrace::Error if a present value
+  /// fails to parse.
+  std::string get_string(std::string_view section, std::string_view key,
+                         std::string_view fallback) const;
+  std::int64_t get_int(std::string_view section, std::string_view key,
+                       std::int64_t fallback) const;
+  double get_double(std::string_view section, std::string_view key, double fallback) const;
+  bool get_bool(std::string_view section, std::string_view key, bool fallback) const;
+
+  /// True if any entry exists in the section.
+  bool has_section(std::string_view name) const;
+
+  /// Append an entry programmatically (used when building configs in code).
+  void add(std::string section, std::string key, std::string value);
+
+  /// Serialize back to INI text (stable order).
+  std::string to_text() const;
+
+  const std::string& origin() const { return origin_; }
+
+ private:
+  std::vector<Entry> entries_;
+  std::string origin_;
+};
+
+}  // namespace dyntrace

@@ -1,0 +1,71 @@
+// Minimal leveled logger.  All diagnostic output from the libraries goes
+// through here so tests and benchmarks can silence or capture it.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace dyntrace::log {
+
+enum class Level : int { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+/// Global threshold; messages below it are dropped.
+Level threshold();
+void set_threshold(Level level);
+
+/// Redirect log output (default writes to stderr).  Passing nullptr restores
+/// the default sink.  The sink receives fully formatted lines.
+using Sink = std::function<void(Level, std::string_view)>;
+void set_sink(Sink sink);
+
+void write(Level level, std::string_view component, std::string_view message);
+
+namespace detail {
+
+template <typename... Args>
+void emit(Level level, std::string_view component, Args&&... args) {
+  if (level < threshold()) return;
+  std::ostringstream os;
+  (os << ... << args);
+  write(level, component, os.str());
+}
+
+}  // namespace detail
+
+template <typename... Args>
+void trace(std::string_view component, Args&&... args) {
+  detail::emit(Level::kTrace, component, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void debug(std::string_view component, Args&&... args) {
+  detail::emit(Level::kDebug, component, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void info(std::string_view component, Args&&... args) {
+  detail::emit(Level::kInfo, component, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void warn(std::string_view component, Args&&... args) {
+  detail::emit(Level::kWarn, component, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void error(std::string_view component, Args&&... args) {
+  detail::emit(Level::kError, component, std::forward<Args>(args)...);
+}
+
+/// RAII guard that raises the threshold for the duration of a scope
+/// (used by tests to silence expected warnings).
+class ScopedThreshold {
+ public:
+  explicit ScopedThreshold(Level level) : previous_(threshold()) { set_threshold(level); }
+  ~ScopedThreshold() { set_threshold(previous_); }
+  ScopedThreshold(const ScopedThreshold&) = delete;
+  ScopedThreshold& operator=(const ScopedThreshold&) = delete;
+
+ private:
+  Level previous_;
+};
+
+}  // namespace dyntrace::log

@@ -1,0 +1,71 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/common.hpp"
+#include "support/strings.hpp"
+
+namespace dyntrace {
+
+TextTable::TextTable(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  aligns_.resize(headers_.size(), Align::kRight);
+  if (!aligns_.empty()) aligns_[0] = Align::kLeft;
+}
+
+void TextTable::set_align(std::size_t col, Align align) {
+  DT_ASSERT(col < aligns_.size(), "column out of range");
+  aligns_[col] = align;
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  DT_ASSERT(cells.size() == headers_.size(), "row width mismatch: expected ", headers_.size(),
+            " got ", cells.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::num(double value, int precision) {
+  return str::format("%.*f", precision, value);
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(headers_.size(), 0);
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) os << "  ";
+      const std::size_t pad = widths[c] - cells[c].size();
+      if (aligns_[c] == Align::kRight) os << std::string(pad, ' ') << cells[c];
+      else os << cells[c] << std::string(pad, ' ');
+    }
+    os << '\n';
+  };
+
+  emit_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) total += widths[c] + (c > 0 ? 2 : 0);
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+std::string TextTable::render_csv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) os << ',';
+      os << cells[c];
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+}  // namespace dyntrace

@@ -1,0 +1,41 @@
+// Plain-text table rendering for benchmark and analysis output.
+//
+// Every bench binary prints the series the paper plots as aligned tables;
+// this keeps the formatting in one place.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dyntrace {
+
+class TextTable {
+ public:
+  enum class Align { kLeft, kRight };
+
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Set alignment for a column (default: left for col 0, right otherwise).
+  void set_align(std::size_t col, Align align);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format a double with fixed precision.
+  static std::string num(double value, int precision = 3);
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Render with a header underline and two-space column padding.
+  std::string render() const;
+
+  /// Render as comma-separated values (for plotting scripts).
+  std::string render_csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<Align> aligns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dyntrace

@@ -1,0 +1,46 @@
+// Trace event records (the contents of a VGV trace file).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "sim/time.hpp"
+
+namespace dyntrace::vt {
+
+enum class EventKind : std::uint8_t {
+  kEnter,          ///< function entry (code = VT symbol id)
+  kLeave,          ///< function exit (code = VT symbol id)
+  kMpiBegin,       ///< MPI call entered (code = mpi::Op)
+  kMpiEnd,         ///< MPI call left (code = mpi::Op, aux = bytes)
+  kMsgSend,        ///< message injected (code = peer rank, aux = bytes)
+  kMsgRecv,        ///< message received (code = peer rank, aux = bytes)
+  kParallelBegin,  ///< OpenMP parallel region entered (code = region id)
+  kParallelEnd,    ///< OpenMP parallel region left (code = region id)
+  kWorkerBegin,    ///< OpenMP worker started in a region (code = region id)
+  kWorkerEnd,      ///< OpenMP worker finished in a region (code = region id)
+  kMarker,         ///< tool marker (config sync, breakpoints...)
+};
+
+std::string_view to_string(EventKind kind);
+
+struct Event {
+  sim::TimeNs time = 0;
+  std::int32_t pid = 0;  ///< MPI rank / process id
+  std::int32_t tid = 0;  ///< thread id within the process
+  EventKind kind = EventKind::kMarker;
+  std::int32_t code = 0;
+  std::int64_t aux = 0;
+};
+
+/// Strict weak order for merging per-process streams: by time, then pid,
+/// then tid (deterministic).
+struct EventOrder {
+  bool operator()(const Event& a, const Event& b) const {
+    if (a.time != b.time) return a.time < b.time;
+    if (a.pid != b.pid) return a.pid < b.pid;
+    return a.tid < b.tid;
+  }
+};
+
+}  // namespace dyntrace::vt

@@ -1,0 +1,51 @@
+#include "vt/filter.hpp"
+
+#include "support/common.hpp"
+#include "support/strings.hpp"
+
+namespace dyntrace::vt {
+
+FilterProgram parse_filter(const ConfigFile& config) {
+  FilterProgram program;
+  for (const auto& entry : config.section("filter")) {
+    if (entry.key == "deactivate") {
+      program.push_back(FilterDirective{false, entry.value});
+    } else if (entry.key == "activate") {
+      program.push_back(FilterDirective{true, entry.value});
+    } else {
+      fail(config.origin(), ":", entry.line, ": unknown filter directive '", entry.key,
+           "' (expected activate/deactivate)");
+    }
+  }
+  return program;
+}
+
+std::int64_t serialized_size(const FilterProgram& program) {
+  std::int64_t bytes = 8;  // header
+  for (const auto& d : program) {
+    bytes += 2 + static_cast<std::int64_t>(d.pattern.size());
+  }
+  return bytes;
+}
+
+FilterTable::FilterTable(const image::SymbolTable& symbols, const FilterProgram& program) {
+  apply(symbols, program);
+}
+
+void FilterTable::apply(const image::SymbolTable& symbols, const FilterProgram& program) {
+  if (deactivated_.size() < symbols.size()) deactivated_.resize(symbols.size(), 0);
+  if (!program.empty()) enabled_ = true;
+  for (const auto& directive : program) {
+    for (const image::FunctionId fn : symbols.match(directive.pattern)) {
+      deactivated_[fn] = directive.activate ? 0 : 1;
+    }
+  }
+}
+
+std::size_t FilterTable::deactivated_count() const {
+  std::size_t n = 0;
+  for (const auto d : deactivated_) n += d;
+  return n;
+}
+
+}  // namespace dyntrace::vt

@@ -1,0 +1,60 @@
+// The Vampirtrace symbol deactivation table.
+//
+// At VT_init the configuration file is read and a table of deactivated
+// symbols is built; every VT_begin / VT_end performs a lookup into this
+// table and bails out early when the current function is off (paper §4.2).
+// Dynamic control of instrumentation (§5) re-applies directives to this
+// table at safe points via VT_confsync.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "image/symbols.hpp"
+#include "support/config.hpp"
+
+namespace dyntrace::vt {
+
+/// One activation/deactivation directive ("deactivate = hypre_*").
+struct FilterDirective {
+  bool activate = false;
+  std::string pattern;
+};
+
+/// An ordered directive list; later directives win.
+using FilterProgram = std::vector<FilterDirective>;
+
+/// Parse the [filter] section of a VT config file.
+FilterProgram parse_filter(const ConfigFile& config);
+
+/// Serialized size in bytes (what VT_confsync broadcasts).
+std::int64_t serialized_size(const FilterProgram& program);
+
+class FilterTable {
+ public:
+  /// Build the table by resolving a directive program against a symbol
+  /// table.  All symbols start active.
+  FilterTable() = default;
+  FilterTable(const image::SymbolTable& symbols, const FilterProgram& program);
+
+  /// Apply additional directives (VT_confsync reconfiguration).
+  void apply(const image::SymbolTable& symbols, const FilterProgram& program);
+
+  /// The fast-path lookup of VT_begin/VT_end.
+  bool deactivated(image::FunctionId fn) const {
+    return fn < deactivated_.size() && deactivated_[fn] != 0;
+  }
+
+  /// True when any directive was ever applied -- an empty table costs no
+  /// lookup (the Full policy reads no config file).
+  bool enabled() const { return enabled_; }
+
+  std::size_t deactivated_count() const;
+
+ private:
+  std::vector<std::uint8_t> deactivated_;
+  bool enabled_ = false;
+};
+
+}  // namespace dyntrace::vt

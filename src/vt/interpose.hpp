@@ -1,0 +1,41 @@
+// Glue between the VT library and the MPI / OpenMP runtimes:
+//
+//   * VtMpiInterpose — the "MPI wrapper interface" (paper §3.1): logs an
+//     event pair around every MPI call, plus message send/receive events
+//     with peer and payload size.
+//   * VtOmpListener — the Guidetrace channel: logs OpenMP parallel-region
+//     and worker events.
+#pragma once
+
+#include "mpi/world.hpp"
+#include "omp/runtime.hpp"
+#include "vt/vtlib.hpp"
+
+namespace dyntrace::vt {
+
+class VtMpiInterpose final : public mpi::MpiInterpose {
+ public:
+  explicit VtMpiInterpose(VtLib& vt) : vt_(vt) {}
+
+  sim::Coro<void> on_begin(proc::SimThread& thread, const mpi::CallInfo& call) override;
+  sim::Coro<void> on_end(proc::SimThread& thread, const mpi::CallInfo& call) override;
+
+ private:
+  VtLib& vt_;
+};
+
+class VtOmpListener final : public omp::OmpListener {
+ public:
+  explicit VtOmpListener(VtLib& vt) : vt_(vt) {}
+
+  sim::Coro<void> on_parallel_begin(proc::SimThread& master, int region_id,
+                                    int num_threads) override;
+  sim::Coro<void> on_parallel_end(proc::SimThread& master, int region_id) override;
+  sim::Coro<void> on_worker_begin(proc::SimThread& worker, int region_id) override;
+  sim::Coro<void> on_worker_end(proc::SimThread& worker, int region_id) override;
+
+ private:
+  VtLib& vt_;
+};
+
+}  // namespace dyntrace::vt

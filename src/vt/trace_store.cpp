@@ -1,0 +1,96 @@
+#include "vt/trace_store.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "support/common.hpp"
+#include "support/strings.hpp"
+
+namespace dyntrace::vt {
+
+std::string_view to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::kEnter: return "enter";
+    case EventKind::kLeave: return "leave";
+    case EventKind::kMpiBegin: return "mpi_begin";
+    case EventKind::kMpiEnd: return "mpi_end";
+    case EventKind::kMsgSend: return "msg_send";
+    case EventKind::kMsgRecv: return "msg_recv";
+    case EventKind::kParallelBegin: return "par_begin";
+    case EventKind::kParallelEnd: return "par_end";
+    case EventKind::kWorkerBegin: return "worker_begin";
+    case EventKind::kWorkerEnd: return "worker_end";
+    case EventKind::kMarker: return "marker";
+  }
+  return "?";
+}
+
+namespace {
+
+EventKind kind_from_string(std::string_view s) {
+  for (int k = 0; k <= static_cast<int>(EventKind::kMarker); ++k) {
+    if (to_string(static_cast<EventKind>(k)) == s) return static_cast<EventKind>(k);
+  }
+  fail("unknown event kind '", std::string(s), "'");
+}
+
+}  // namespace
+
+std::vector<Event> TraceStore::merged() const {
+  std::vector<Event> out = events_;
+  std::stable_sort(out.begin(), out.end(), EventOrder{});
+  return out;
+}
+
+std::vector<Event> TraceStore::for_process(std::int32_t pid) const {
+  std::vector<Event> out;
+  for (const auto& e : events_) {
+    if (e.pid == pid) out.push_back(e);
+  }
+  return out;
+}
+
+void TraceStore::write(const std::string& path) const {
+  std::ofstream out(path);
+  DT_EXPECT(out.good(), "cannot open trace file '", path, "' for writing");
+  out << "# dyntrace trace v1: time_ns pid tid kind code aux\n";
+  for (const auto& e : merged()) {
+    out << e.time << '\t' << e.pid << '\t' << e.tid << '\t' << to_string(e.kind) << '\t'
+        << e.code << '\t' << e.aux << '\n';
+  }
+  DT_EXPECT(out.good(), "I/O error writing trace file '", path, "'");
+}
+
+TraceStore TraceStore::read(const std::string& path) {
+  std::ifstream in(path);
+  DT_EXPECT(in.good(), "cannot open trace file '", path, "'");
+  TraceStore store;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto trimmed = str::trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    const auto fields = str::split(std::string(trimmed), '\t');
+    DT_EXPECT(fields.size() == 6, path, ":", line_no, ": expected 6 fields, got ",
+              fields.size());
+    Event e;
+    const auto time = str::parse_i64(fields[0]);
+    const auto pid = str::parse_i64(fields[1]);
+    const auto tid = str::parse_i64(fields[2]);
+    const auto code = str::parse_i64(fields[4]);
+    const auto aux = str::parse_i64(fields[5]);
+    DT_EXPECT(time && pid && tid && code && aux, path, ":", line_no, ": bad numeric field");
+    e.time = *time;
+    e.pid = static_cast<std::int32_t>(*pid);
+    e.tid = static_cast<std::int32_t>(*tid);
+    e.kind = kind_from_string(fields[3]);
+    e.code = static_cast<std::int32_t>(*code);
+    e.aux = *aux;
+    store.append(e);
+  }
+  return store;
+}
+
+}  // namespace dyntrace::vt

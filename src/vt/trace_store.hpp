@@ -1,0 +1,43 @@
+// The trace "file": collected event streams of one job.
+//
+// Per the paper's model, data is buffered per process at run time and
+// dumped at program termination for postmortem inspection.  TraceStore is
+// the dump target shared by all VtLib instances of a job; analysis tools
+// read it back (src/analysis).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "vt/event.hpp"
+
+namespace dyntrace::vt {
+
+class TraceStore {
+ public:
+  /// Append a flushed event (in per-process buffer order).
+  void append(const Event& event) { events_.push_back(event); }
+
+  std::size_t size() const { return events_.size(); }
+  const std::vector<Event>& events() const { return events_; }
+
+  /// Events sorted by (time, pid, tid).
+  std::vector<Event> merged() const;
+
+  /// Events of one process, in record order.
+  std::vector<Event> for_process(std::int32_t pid) const;
+
+  /// Serialize to a tab-separated text file; throws dyntrace::Error on I/O
+  /// failure.
+  void write(const std::string& path) const;
+
+  /// Parse a file written by write().
+  static TraceStore read(const std::string& path);
+
+ private:
+  std::vector<Event> events_;
+};
+
+}  // namespace dyntrace::vt

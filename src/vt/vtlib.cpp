@@ -1,0 +1,292 @@
+#include "vt/vtlib.hpp"
+
+#include "support/common.hpp"
+#include "support/log.hpp"
+
+namespace dyntrace::vt {
+
+namespace {
+
+/// Software cost of VT_init itself (config parse, buffer setup).
+constexpr sim::TimeNs kVtInitCost = sim::milliseconds(4);
+/// Applying one filter directive against the symbol table.
+constexpr sim::TimeNs kApplyDirectiveCost = sim::microseconds(3);
+/// Writing one per-function statistics record at rank 0 (formatted I/O).
+constexpr sim::TimeNs kStatsWriteCost = sim::microseconds(2.2);
+/// Serialized statistics payload per function (gathered to rank 0).
+constexpr std::int64_t kStatsBytesPerFunc = 16;
+
+}  // namespace
+
+VtLib::VtLib(proc::SimProcess& process, std::shared_ptr<TraceStore> store, Options options)
+    : process_(process),
+      store_(std::move(store)),
+      options_(std::move(options)),
+      confsync_noise_(0xc0f5u ^ (static_cast<std::uint64_t>(process.pid()) * 0x9e3779b9u)) {
+  DT_ASSERT(store_ != nullptr);
+  const std::size_t nfuncs = process_.image().symbols().size();
+  registered_.assign(nfuncs, 0);
+  stats_.assign(nfuncs, FuncStats{});
+  buffer_.reserve(options_.buffer_records);
+}
+
+void VtLib::link() {
+  auto& reg = process_.registry();
+  reg.register_function("VT_init",
+                        [this](proc::SimThread& t, const std::vector<std::int64_t>&)
+                            -> sim::Coro<void> { co_await vt_init(t); });
+  reg.register_function(
+      "VT_begin",
+      [this](proc::SimThread& t, const std::vector<std::int64_t>& args) -> sim::Coro<void> {
+        DT_EXPECT(args.size() == 1, "VT_begin expects one argument");
+        co_await vt_begin(t, static_cast<image::FunctionId>(args[0]));
+      });
+  reg.register_function(
+      "VT_end",
+      [this](proc::SimThread& t, const std::vector<std::int64_t>& args) -> sim::Coro<void> {
+        DT_EXPECT(args.size() == 1, "VT_end expects one argument");
+        co_await vt_end(t, static_cast<image::FunctionId>(args[0]));
+      });
+  reg.register_function("VT_traceoff",
+                        [this](proc::SimThread& t, const std::vector<std::int64_t>&)
+                            -> sim::Coro<void> {
+                          trace_off();
+                          co_await t.compute(costs().vt_call_overhead);
+                        });
+  reg.register_function("VT_traceon",
+                        [this](proc::SimThread& t, const std::vector<std::int64_t>&)
+                            -> sim::Coro<void> {
+                          trace_on();
+                          co_await t.compute(costs().vt_call_overhead);
+                        });
+  reg.register_function("VT_finalize",
+                        [this](proc::SimThread& t, const std::vector<std::int64_t>&)
+                            -> sim::Coro<void> { co_await vt_finalize(t); });
+  reg.register_function(
+      "VT_confsync",
+      [this](proc::SimThread& t, const std::vector<std::int64_t>& args) -> sim::Coro<void> {
+        co_await confsync(t, !args.empty() && args[0] != 0);
+      });
+}
+
+sim::Coro<void> VtLib::vt_init(proc::SimThread& thread) {
+  if (initialized_) co_return;  // idempotent, as in VT
+  co_await thread.compute(kVtInitCost);
+  // Read the configuration file and build the deactivation table.
+  filter_.apply(process_.image().symbols(), options_.config_filter);
+  initialized_ = true;
+  // Advertise initialization in process memory, so a tool that *attaches*
+  // to a running application (rather than spawning it) can check whether
+  // VT instrumentation is already safe to insert.
+  process_.set_flag("vt_initialized", 1);
+}
+
+void VtLib::push_event(EventKind kind, proc::SimThread& thread, std::int32_t code,
+                       std::int64_t aux) {
+  Event e;
+  e.time = process_.engine().now() + options_.clock_offset;
+  e.pid = process_.pid();
+  e.tid = thread.tid();
+  e.kind = kind;
+  e.code = code;
+  e.aux = aux;
+  buffer_.push_back(e);
+  ++events_recorded_;
+}
+
+sim::Coro<void> VtLib::flush(proc::SimThread& thread) {
+  if (buffer_.empty()) co_return;
+  ++flushes_;
+  co_await thread.compute(costs().vt_flush_per_record *
+                          static_cast<sim::TimeNs>(buffer_.size()));
+  for (const auto& e : buffer_) store_->append(e);
+  buffer_.clear();
+}
+
+sim::Coro<void> VtLib::vt_begin(proc::SimThread& thread, image::FunctionId fn) {
+  const machine::CostModel& c = costs();
+  if (!initialized_) {
+    // Calling VT before VT_init is unsafe in real VT (paper §3.4); we are
+    // defensive: charge the call and drop the event.
+    ++events_dropped_preinit_;
+    co_await thread.compute(c.vt_call_overhead);
+    co_return;
+  }
+  if (!tracing_) {
+    ++events_dropped_traceoff_;
+    co_await thread.compute(c.vt_call_overhead);
+    co_return;
+  }
+  sim::TimeNs charge = c.vt_call_overhead;
+  if (filter_.enabled()) {
+    charge += c.vt_filter_lookup;
+    if (filter_.deactivated(fn)) {
+      // Early-out: no timestamp, no record.
+      ++events_filtered_;
+      co_await thread.compute(charge);
+      co_return;
+    }
+  }
+  if (!registered_[fn]) {
+    charge += c.vt_funcdef;  // lazy VT_funcdef on first encounter
+    registered_[fn] = 1;
+  }
+  charge += c.vt_timestamp + c.vt_record;
+  co_await thread.compute(charge);
+  push_event(EventKind::kEnter, thread, static_cast<std::int32_t>(fn), 0);
+  if (options_.collect_statistics) {
+    const auto tid = static_cast<std::size_t>(thread.tid());
+    if (enter_stacks_.size() <= tid) enter_stacks_.resize(tid + 1);
+    enter_stacks_[tid].emplace_back(fn, process_.engine().now());
+    ++stats_[fn].calls;
+  }
+  if (buffer_.size() >= options_.buffer_records) co_await flush(thread);
+}
+
+sim::Coro<void> VtLib::vt_end(proc::SimThread& thread, image::FunctionId fn) {
+  const machine::CostModel& c = costs();
+  if (!initialized_) {
+    ++events_dropped_preinit_;
+    co_await thread.compute(c.vt_call_overhead);
+    co_return;
+  }
+  if (!tracing_) {
+    ++events_dropped_traceoff_;
+    co_await thread.compute(c.vt_call_overhead);
+    co_return;
+  }
+  sim::TimeNs charge = c.vt_call_overhead;
+  if (filter_.enabled()) {
+    charge += c.vt_filter_lookup;
+    if (filter_.deactivated(fn)) {
+      ++events_filtered_;
+      co_await thread.compute(charge);
+      co_return;
+    }
+  }
+  charge += c.vt_timestamp + c.vt_record;
+  co_await thread.compute(charge);
+  push_event(EventKind::kLeave, thread, static_cast<std::int32_t>(fn), 0);
+  if (options_.collect_statistics) {
+    const auto tid = static_cast<std::size_t>(thread.tid());
+    if (tid < enter_stacks_.size() && !enter_stacks_[tid].empty() &&
+        enter_stacks_[tid].back().first == fn) {
+      stats_[fn].inclusive += process_.engine().now() - enter_stacks_[tid].back().second;
+      enter_stacks_[tid].pop_back();
+    }
+  }
+  if (buffer_.size() >= options_.buffer_records) co_await flush(thread);
+}
+
+sim::Coro<void> VtLib::record(proc::SimThread& thread, EventKind kind, std::int32_t code,
+                              std::int64_t aux) {
+  if (!initialized_) {
+    ++events_dropped_preinit_;
+    co_return;
+  }
+  if (!tracing_) {
+    ++events_dropped_traceoff_;
+    co_return;
+  }
+  const machine::CostModel& c = costs();
+  co_await thread.compute(c.vt_timestamp + c.vt_record);
+  push_event(kind, thread, code, aux);
+  if (buffer_.size() >= options_.buffer_records) co_await flush(thread);
+}
+
+sim::Coro<void> VtLib::vt_finalize(proc::SimThread& thread) {
+  if (!initialized_) co_return;
+  co_await flush(thread);
+  initialized_ = false;
+}
+
+sim::TimeNs VtLib::steady_call_cost(image::FunctionId fn) const {
+  const machine::CostModel& c = costs();
+  if (!initialized_ || !tracing_) return c.vt_call_overhead;
+  sim::TimeNs cost = c.vt_call_overhead;
+  if (filter_.enabled()) {
+    cost += c.vt_filter_lookup;
+    if (filter_.deactivated(fn)) return cost;
+  }
+  // Active path: timestamp + record + the flush cost this record will pay
+  // when the buffer drains.
+  return cost + c.vt_timestamp + c.vt_record + c.vt_flush_per_record;
+}
+
+bool VtLib::records(image::FunctionId fn) const {
+  return initialized_ && tracing_ && !(filter_.enabled() && filter_.deactivated(fn));
+}
+
+void VtLib::note_synthetic_pairs(image::FunctionId fn, std::uint64_t pairs,
+                                 sim::TimeNs inclusive_each) {
+  if (!records(fn)) {
+    events_filtered_ += 2 * pairs;
+    return;
+  }
+  synthetic_events_ += 2 * pairs;
+  if (options_.collect_statistics && fn < stats_.size()) {
+    stats_[fn].calls += pairs;
+    stats_[fn].inclusive += inclusive_each * static_cast<sim::TimeNs>(pairs);
+  }
+}
+
+sim::Coro<void> VtLib::confsync(proc::SimThread& thread, bool write_statistics) {
+  DT_EXPECT(initialized_, "VT_confsync before VT_init");
+  ++confsyncs_;
+  const machine::CostModel& c = costs();
+  // Fixed library bookkeeping plus this process's share of OS scheduling
+  // noise; the barrier below waits for the *slowest* rank, so the job-wide
+  // cost grows with the maximum over P noise samples (~ln P).
+  co_await thread.compute(c.vt_confsync_entry +
+                          static_cast<sim::TimeNs>(confsync_noise_.exponential(
+                              static_cast<double>(c.vt_confsync_noise_mean))));
+
+  const bool is_root = (rank_ == nullptr) || rank_->rank() == 0;
+
+  if (is_root && break_handler_) {
+    // configuration_break(): the monitoring tool's breakpoint.  The handler
+    // may stage a filter update and returns a modelled user-interaction
+    // delay (zero when driven by a script).
+    const sim::TimeNs interaction = break_handler_(*this);
+    if (interaction > 0) co_await thread.compute(interaction);
+  }
+
+  // Distribute the staged update (rank 0 -> everyone), then apply.  Only
+  // the root can inspect the staged program *before* the broadcast -- a
+  // non-root rank learns of it by receiving the broadcast, which cannot
+  // arrive before the root staged it (the breakpoint happens-before the
+  // root's send).  Non-root ranks forward using the header size, a minor
+  // under-estimate of wire time when a change is in flight.
+  std::int64_t payload = 8;  // version header
+  if (is_root && staged_ && staged_->version > applied_version_) {
+    payload += serialized_size(staged_->program);
+  }
+  if (rank_ != nullptr) {
+    co_await rank_->bcast(thread, 0, payload);
+  }
+  if (staged_ && staged_->version > applied_version_) {
+    const FilterProgram& to_apply = staged_->program;
+    co_await thread.compute(kApplyDirectiveCost *
+                            static_cast<sim::TimeNs>(to_apply.size()));
+    filter_.apply(process_.image().symbols(), to_apply);
+    applied_version_ = staged_->version;
+  }
+
+  if (write_statistics) {
+    const auto nfuncs = static_cast<std::int64_t>(stats_.size());
+    if (rank_ != nullptr) {
+      co_await rank_->gather(thread, 0, nfuncs * kStatsBytesPerFunc);
+    }
+    if (is_root) {
+      const std::int64_t ranks = rank_ != nullptr ? rank_->size() : 1;
+      co_await thread.compute(kStatsWriteCost * nfuncs * ranks);
+    }
+  }
+
+  if (rank_ != nullptr) {
+    co_await rank_->barrier(thread);
+  }
+  co_await thread.gate();
+}
+
+}  // namespace dyntrace::vt

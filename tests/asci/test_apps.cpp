@@ -1,0 +1,115 @@
+// The ASCI kernel inventory (paper Table 2 and §4.3 function counts).
+#include <gtest/gtest.h>
+
+#include "asci/app.hpp"
+#include "guide/compiler.hpp"
+
+namespace dyntrace::asci {
+namespace {
+
+TEST(Apps, RegistryListsAllFour) {
+  const auto apps = all_apps();
+  ASSERT_EQ(apps.size(), 4u);
+  EXPECT_EQ(apps[0]->name, "smg98");
+  EXPECT_EQ(apps[1]->name, "sppm");
+  EXPECT_EQ(apps[2]->name, "sweep3d");
+  EXPECT_EQ(apps[3]->name, "umt98");
+  EXPECT_EQ(find_app("sweep3d"), apps[2]);
+  EXPECT_EQ(find_app("linpack"), nullptr);
+}
+
+TEST(Apps, Table2Metadata) {
+  EXPECT_EQ(smg98().language, "MPI/C");
+  EXPECT_EQ(smg98().description, "A multigrid solver");
+  EXPECT_EQ(sppm().language, "MPI/F77");
+  EXPECT_EQ(sppm().description, "A 3D gas dynamics problem");
+  EXPECT_EQ(sweep3d().language, "MPI/F77");
+  EXPECT_EQ(sweep3d().description, "A neutron transport problem");
+  EXPECT_EQ(umt98().language, "OMP/F77");
+  EXPECT_EQ(umt98().description, "The Boltzmann transport equation");
+}
+
+TEST(Apps, Smg98FunctionCountsMatchPaper) {
+  // §4.3: "Smg98 contains 199 functions ... we selected 62 functions".
+  EXPECT_EQ(smg98().user_function_count(), 199u);
+  EXPECT_EQ(smg98().subset.size(), 62u);
+  EXPECT_EQ(smg98().dynamic_list.size(), 62u);
+}
+
+TEST(Apps, SppmFunctionCountsMatchPaper) {
+  // §4.3: "Sppm has 22 functions, 7 of which ...".
+  EXPECT_EQ(sppm().user_function_count(), 22u);
+  EXPECT_EQ(sppm().subset.size(), 7u);
+}
+
+TEST(Apps, Sweep3dFunctionCountsMatchPaper) {
+  // §4.3: "Sweep3d has 21 functions and the Dynamic version instruments
+  // all 21 of these"; no Subset version.
+  EXPECT_EQ(sweep3d().user_function_count(), 21u);
+  EXPECT_TRUE(sweep3d().subset.empty());
+  EXPECT_EQ(sweep3d().dynamic_list.size(), 21u);
+}
+
+TEST(Apps, Umt98FunctionCountsMatchPaper) {
+  // §4.3: "Umt98 contains 44 functions ... The 6 functions responsible for
+  // most of the functionality were selected".
+  EXPECT_EQ(umt98().user_function_count(), 44u);
+  EXPECT_EQ(umt98().subset.size(), 6u);
+}
+
+TEST(Apps, ModelsAndScaling) {
+  EXPECT_EQ(smg98().model, AppSpec::Model::kMpi);
+  EXPECT_EQ(smg98().scaling, AppSpec::Scaling::kWeak);
+  EXPECT_EQ(sppm().scaling, AppSpec::Scaling::kWeak);
+  EXPECT_EQ(sweep3d().scaling, AppSpec::Scaling::kStrong);
+  EXPECT_EQ(umt98().model, AppSpec::Model::kOpenMP);
+  EXPECT_EQ(umt98().scaling, AppSpec::Scaling::kStrong);
+}
+
+TEST(Apps, ProcessorRanges) {
+  EXPECT_EQ(smg98().min_procs, 1);
+  EXPECT_EQ(smg98().max_procs, 64);
+  EXPECT_EQ(sweep3d().min_procs, 2);  // does not run on one processor
+  EXPECT_EQ(umt98().max_procs, 8);    // restricted to one SMP node
+}
+
+TEST(Apps, SubsetNamesResolveInSymbolTable) {
+  for (const AppSpec* app : all_apps()) {
+    for (const auto& name : app->subset) {
+      EXPECT_TRUE(app->symbols->contains(name)) << app->name << ": " << name;
+    }
+    for (const auto& name : app->dynamic_list) {
+      EXPECT_TRUE(app->symbols->contains(name)) << app->name << ": " << name;
+    }
+  }
+}
+
+TEST(Apps, MpiAppsHaveRuntimeEntryPoints) {
+  for (const AppSpec* app : {&smg98(), &sppm(), &sweep3d()}) {
+    ASSERT_TRUE(app->symbols->contains("MPI_Init")) << app->name;
+    EXPECT_EQ(app->symbols->find("MPI_Init")->module, "libmpi");
+    EXPECT_TRUE(app->symbols->contains("MPI_Finalize"));
+    EXPECT_TRUE(app->symbols->contains("main"));
+  }
+  EXPECT_TRUE(umt98().symbols->contains("VT_init"));
+  EXPECT_EQ(umt98().symbols->find("VT_init")->module, "libvt");
+}
+
+TEST(Apps, SubsetFunctionsAreUserFunctions) {
+  for (const AppSpec* app : all_apps()) {
+    for (const auto& name : app->subset) {
+      const auto* info = app->symbols->find(name);
+      ASSERT_NE(info, nullptr);
+      EXPECT_FALSE(guide::is_runtime_module(info->module)) << name;
+    }
+  }
+}
+
+TEST(Apps, BodiesAreSet) {
+  for (const AppSpec* app : all_apps()) {
+    EXPECT_TRUE(static_cast<bool>(app->body)) << app->name;
+  }
+}
+
+}  // namespace
+}  // namespace dyntrace::asci

@@ -1,0 +1,104 @@
+#include "dynprof/command.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/common.hpp"
+
+namespace dyntrace::dynprof {
+namespace {
+
+TEST(Command, TableMatchesPaperTable1) {
+  const auto& table = command_table();
+  ASSERT_EQ(table.size(), 8u);
+  // Names and shortcuts exactly as in Table 1.
+  EXPECT_STREQ(table[0].name, "help");
+  EXPECT_STREQ(table[0].shortcut, "h");
+  EXPECT_STREQ(table[1].name, "insert");
+  EXPECT_STREQ(table[1].shortcut, "i");
+  EXPECT_STREQ(table[3].name, "insert-file");
+  EXPECT_STREQ(table[3].shortcut, "if");
+  EXPECT_STREQ(table[4].name, "remove-file");
+  EXPECT_STREQ(table[4].shortcut, "rf");
+  EXPECT_STREQ(table[5].name, "start");
+  EXPECT_STREQ(table[5].shortcut, "s");
+  EXPECT_STREQ(table[6].name, "quit");
+  EXPECT_STREQ(table[6].shortcut, "q");
+  EXPECT_STREQ(table[7].name, "wait");
+  EXPECT_STREQ(table[7].shortcut, "w");
+}
+
+TEST(Command, ParseLongAndShortForms) {
+  EXPECT_EQ(parse_command("insert foo bar")->kind, CommandKind::kInsert);
+  EXPECT_EQ(parse_command("i foo")->kind, CommandKind::kInsert);
+  EXPECT_EQ(parse_command("if subset.txt")->kind, CommandKind::kInsertFile);
+  EXPECT_EQ(parse_command("START")->kind, CommandKind::kStart);
+  EXPECT_EQ(parse_command("q")->kind, CommandKind::kQuit);
+}
+
+TEST(Command, ArgumentsArePreserved) {
+  const auto cmd = parse_command("insert hypre_SMGSolve hypre_SMGRelax");
+  ASSERT_TRUE(cmd.has_value());
+  EXPECT_EQ(cmd->args, (std::vector<std::string>{"hypre_SMGSolve", "hypre_SMGRelax"}));
+}
+
+TEST(Command, EmptyAndCommentLinesAreSkipped) {
+  EXPECT_FALSE(parse_command("").has_value());
+  EXPECT_FALSE(parse_command("   ").has_value());
+  EXPECT_FALSE(parse_command("# a comment").has_value());
+}
+
+TEST(Command, UnknownCommandThrows) {
+  EXPECT_THROW(parse_command("explode"), Error);
+}
+
+TEST(Command, InsertWithoutArgsThrows) {
+  EXPECT_THROW(parse_command("insert"), Error);
+  EXPECT_THROW(parse_command("insert-file"), Error);
+}
+
+TEST(Command, StartWithArgsThrows) {
+  EXPECT_THROW(parse_command("start now"), Error);
+}
+
+TEST(Command, WaitParsesSeconds) {
+  EXPECT_DOUBLE_EQ(parse_command("wait 2.5")->wait_seconds(), 2.5);
+  EXPECT_DOUBLE_EQ(parse_command("wait")->wait_seconds(), 1.0);
+  EXPECT_THROW(parse_command("wait -1"), Error);
+  EXPECT_THROW(parse_command("wait soon"), Error);
+}
+
+TEST(Command, ScriptParsesMultipleLines) {
+  const auto script = parse_script(R"(
+# instrument the solver subset, then run
+insert-file subset.txt
+start
+wait 5
+insert hypre_SMGRelax
+quit
+)");
+  ASSERT_EQ(script.size(), 5u);
+  EXPECT_EQ(script[0].kind, CommandKind::kInsertFile);
+  EXPECT_EQ(script[1].kind, CommandKind::kStart);
+  EXPECT_EQ(script[2].kind, CommandKind::kWait);
+  EXPECT_EQ(script[3].kind, CommandKind::kInsert);
+  EXPECT_EQ(script[4].kind, CommandKind::kQuit);
+}
+
+TEST(Command, ScriptErrorsCarryLineNumbers) {
+  try {
+    parse_script("start\nbogus cmd\n");
+    FAIL();
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(Command, HelpTextListsEveryCommand) {
+  const std::string help = help_text();
+  for (const auto& info : command_table()) {
+    EXPECT_NE(help.find(info.name), std::string::npos) << info.name;
+  }
+}
+
+}  // namespace
+}  // namespace dyntrace::dynprof

@@ -1,0 +1,63 @@
+// The Figure-8 experiment driver itself.
+#include <gtest/gtest.h>
+
+#include "dynprof/confsync_experiment.hpp"
+
+#include "support/common.hpp"
+
+namespace dyntrace::dynprof {
+namespace {
+
+ConfsyncExperimentConfig base_config(int nprocs) {
+  ConfsyncExperimentConfig config;
+  config.nprocs = nprocs;
+  config.machine = machine::ibm_power3_sp();
+  config.repetitions = 8;
+  return config;
+}
+
+TEST(ConfsyncExperiment, ProducesPositiveBoundedLatencies) {
+  const auto result = run_confsync_experiment(base_config(16));
+  EXPECT_GT(result.mean_seconds, 0.0);
+  EXPECT_LE(result.min_seconds, result.mean_seconds);
+  EXPECT_GE(result.max_seconds, result.mean_seconds);
+  EXPECT_LT(result.max_seconds, 0.04);  // the paper's Figure 8(a) bound
+}
+
+TEST(ConfsyncExperiment, DeterministicForSameSeed) {
+  const auto a = run_confsync_experiment(base_config(8));
+  const auto b = run_confsync_experiment(base_config(8));
+  EXPECT_DOUBLE_EQ(a.mean_seconds, b.mean_seconds);
+  EXPECT_DOUBLE_EQ(a.max_seconds, b.max_seconds);
+}
+
+TEST(ConfsyncExperiment, ChangesAreAppliedEachSync) {
+  auto config = base_config(4);
+  config.with_changes = true;
+  const auto result = run_confsync_experiment(config);
+  EXPECT_GT(result.mean_seconds, 0.0);
+}
+
+TEST(ConfsyncExperiment, StatisticsVariantCostsMore) {
+  auto plain = base_config(64);
+  auto stats = base_config(64);
+  stats.write_statistics = true;
+  EXPECT_GT(run_confsync_experiment(stats).mean_seconds,
+            run_confsync_experiment(plain).mean_seconds);
+}
+
+TEST(ConfsyncExperiment, SingleProcessWorks) {
+  const auto result = run_confsync_experiment(base_config(1));
+  EXPECT_GT(result.mean_seconds, 0.0);
+}
+
+TEST(ConfsyncExperiment, InvalidConfigRejected) {
+  auto config = base_config(0);
+  EXPECT_THROW(run_confsync_experiment(config), dyntrace::Error);
+  config = base_config(2);
+  config.repetitions = 0;
+  EXPECT_THROW(run_confsync_experiment(config), dyntrace::Error);
+}
+
+}  // namespace
+}  // namespace dyntrace::dynprof

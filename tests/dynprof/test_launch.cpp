@@ -1,0 +1,131 @@
+// Launch wiring: policy -> image/filter state, placement, VT plumbing.
+#include <gtest/gtest.h>
+
+#include "dynprof/launch.hpp"
+
+namespace dyntrace::dynprof {
+namespace {
+
+Launch make(const asci::AppSpec& app, Policy policy, int nprocs) {
+  Launch::Options options;
+  options.app = &app;
+  options.params.nprocs = nprocs;
+  options.params.problem_scale = 0.1;
+  options.policy = policy;
+  return Launch(std::move(options));
+}
+
+TEST(Launch, FullPolicyInstrumentsAllUserFunctions) {
+  auto launch = make(asci::sppm(), Policy::kFull, 2);
+  const auto& img = launch.job().process(0).image();
+  EXPECT_EQ(img.static_instrumented_count(), asci::sppm().user_function_count());
+  // Runtime entry points are never statically instrumented.
+  EXPECT_FALSE(img.static_instrumented(img.symbols().find("MPI_Init")->id));
+}
+
+TEST(Launch, NoneAndDynamicPoliciesHaveNoStaticInstrumentation) {
+  for (const Policy policy : {Policy::kNone, Policy::kDynamic}) {
+    auto launch = make(asci::sppm(), policy, 2);
+    EXPECT_EQ(launch.job().process(0).image().static_instrumented_count(), 0u)
+        << to_string(policy);
+  }
+}
+
+TEST(Launch, FullOffFilterDeactivatesEverythingAtInit) {
+  auto launch = make(asci::sppm(), Policy::kFullOff, 2);
+  launch.run_to_completion();
+  // After VT_init the filter is enabled and every user function is off.
+  const auto& vt = launch.vt(0);
+  EXPECT_TRUE(vt.filter().enabled());
+  EXPECT_GE(vt.filter().deactivated_count(), asci::sppm().user_function_count());
+}
+
+TEST(Launch, SubsetFilterLeavesSubsetActive) {
+  auto launch = make(asci::sppm(), Policy::kSubset, 2);
+  launch.run_to_completion();
+  const auto& vt = launch.vt(0);
+  const auto& symbols = *asci::sppm().symbols;
+  for (const auto& name : asci::sppm().subset) {
+    EXPECT_FALSE(vt.filter().deactivated(symbols.find(name)->id)) << name;
+  }
+  EXPECT_TRUE(vt.filter().deactivated(symbols.find("sppm_intrfc_00")->id));
+}
+
+TEST(Launch, SubsetPolicyForSweep3dRejected) {
+  Launch::Options options;
+  options.app = &asci::sweep3d();
+  options.params.nprocs = 2;
+  options.policy = Policy::kSubset;
+  EXPECT_THROW(Launch{std::move(options)}, Error);
+}
+
+TEST(Launch, MpiRanksFillNodesBlockwise) {
+  auto launch = make(asci::smg98(), Policy::kNone, 10);
+  EXPECT_EQ(launch.job().process(0).node(), 0);
+  EXPECT_EQ(launch.job().process(7).node(), 0);
+  EXPECT_EQ(launch.job().process(8).node(), 1);
+  EXPECT_EQ(launch.process_count(), 10);
+  EXPECT_NE(launch.world(), nullptr);
+  EXPECT_EQ(launch.omp_runtime(), nullptr);
+}
+
+TEST(Launch, OpenMpAppIsOneProcessWithTeam) {
+  auto launch = make(asci::umt98(), Policy::kNone, 6);
+  EXPECT_EQ(launch.process_count(), 1);
+  EXPECT_EQ(launch.world(), nullptr);
+  ASSERT_NE(launch.omp_runtime(), nullptr);
+  EXPECT_EQ(launch.omp_runtime()->num_threads(), 6);
+  EXPECT_EQ(launch.job().process(0).threads().size(), 6u);
+}
+
+TEST(Launch, AllRanksShareOneTraceStoreAndStagedUpdate) {
+  auto launch = make(asci::sppm(), Policy::kFull, 3);
+  launch.run_to_completion();
+  EXPECT_GT(launch.trace()->size(), 0u);
+  // Events from every rank are in the single store.
+  for (int pid = 0; pid < 3; ++pid) {
+    EXPECT_FALSE(launch.trace()->for_process(pid).empty()) << "rank " << pid;
+  }
+}
+
+TEST(Launch, InitTriggerFiresWithTimestamp) {
+  auto launch = make(asci::sppm(), Policy::kNone, 2);
+  EXPECT_FALSE(launch.init_complete_trigger().fired());
+  EXPECT_EQ(launch.init_complete_time(), -1);
+  launch.run_to_completion();
+  EXPECT_TRUE(launch.init_complete_trigger().fired());
+  EXPECT_GT(launch.init_complete_time(), 0);
+}
+
+TEST(Launch, RejectsOutOfRangeProcessCounts) {
+  Launch::Options options;
+  options.app = &asci::umt98();
+  options.params.nprocs = 9;  // one SMP node has 8 CPUs
+  options.policy = Policy::kNone;
+  EXPECT_THROW(Launch{std::move(options)}, Error);
+}
+
+TEST(Launch, CustomMachineProfileIsUsed) {
+  Launch::Options options;
+  options.app = &asci::sppm();
+  options.params.nprocs = 2;
+  options.params.problem_scale = 0.1;
+  options.policy = Policy::kNone;
+  options.machine = machine::ia32_linux_cluster();
+  Launch launch(std::move(options));
+  EXPECT_EQ(launch.cluster().spec().name, "ia32-linux");
+  // 1 cpu per node: the two ranks land on different nodes.
+  EXPECT_EQ(launch.job().process(0).node(), 0);
+  EXPECT_EQ(launch.job().process(1).node(), 1);
+}
+
+TEST(Launch, ResultMetricsAreConsistent) {
+  auto launch = make(asci::sppm(), Policy::kFull, 2);
+  const auto result = launch.run_to_completion();
+  EXPECT_GT(result.total_seconds, result.app_seconds);  // init takes time
+  EXPECT_GT(result.trace_events, 0u);
+  EXPECT_EQ(result.filtered_events, 0u);  // Full: nothing filtered
+}
+
+}  // namespace
+}  // namespace dyntrace::dynprof

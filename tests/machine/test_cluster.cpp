@@ -1,0 +1,91 @@
+#include "machine/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/common.hpp"
+
+namespace dyntrace::machine {
+namespace {
+
+TEST(Cluster, BlockPlacementFillsNodes) {
+  sim::Engine engine;
+  Cluster cluster(engine, ibm_power3_sp());
+  const auto placement = cluster.place_block(20, 1);
+  ASSERT_EQ(placement.size(), 20u);
+  // 8 cpus per node: ranks 0-7 on node 0, 8-15 on node 1, 16-19 on node 2.
+  EXPECT_EQ(placement[0].node, 0);
+  EXPECT_EQ(placement[7].node, 0);
+  EXPECT_EQ(placement[7].cpu, 7);
+  EXPECT_EQ(placement[8].node, 1);
+  EXPECT_EQ(placement[8].cpu, 0);
+  EXPECT_EQ(placement[19].node, 2);
+  EXPECT_EQ(placement[19].cpu, 3);
+}
+
+TEST(Cluster, PlacementOfMultiCpuUnits) {
+  sim::Engine engine;
+  Cluster cluster(engine, ibm_power3_sp());
+  // An 8-thread OpenMP process occupies a whole node.
+  const auto placement = cluster.place_block(1, 8);
+  ASSERT_EQ(placement.size(), 1u);
+  EXPECT_EQ(placement[0].node, 0);
+  EXPECT_EQ(placement[0].cpu, 0);
+  // Two 4-thread units share a node.
+  const auto two = cluster.place_block(2, 4);
+  EXPECT_EQ(two[0].node, 0);
+  EXPECT_EQ(two[1].node, 0);
+  EXPECT_EQ(two[1].cpu, 4);
+}
+
+TEST(Cluster, PlacementRejectsOversizedRequests) {
+  sim::Engine engine;
+  Cluster cluster(engine, ia32_linux_cluster());  // 16 nodes x 1 cpu
+  EXPECT_THROW(cluster.place_block(17, 1), Error);
+  EXPECT_THROW(cluster.place_block(1, 2), Error);
+  EXPECT_NO_THROW(cluster.place_block(16, 1));
+}
+
+TEST(Cluster, JitterIsBoundedAndDeterministic) {
+  sim::Engine e1, e2;
+  Cluster a(e1, ibm_power3_sp(), 7);
+  Cluster b(e2, ibm_power3_sp(), 7);
+  const sim::TimeNs base = sim::microseconds(100);
+  for (int i = 0; i < 1000; ++i) {
+    const auto ja = a.jittered(base);
+    EXPECT_EQ(ja, b.jittered(base));  // same seed, same sequence
+    EXPECT_GE(ja, static_cast<sim::TimeNs>(base * 0.91));
+    EXPECT_LE(ja, static_cast<sim::TimeNs>(base * 1.09));
+  }
+}
+
+TEST(Cluster, DifferentSeedsGiveDifferentJitter) {
+  sim::Engine e1, e2;
+  Cluster a(e1, ibm_power3_sp(), 1);
+  Cluster b(e2, ibm_power3_sp(), 2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.jittered(sim::microseconds(100)) == b.jittered(sim::microseconds(100))) ++same;
+  }
+  EXPECT_LT(same, 10);
+}
+
+TEST(Cluster, MessageAccounting) {
+  sim::Engine engine;
+  Cluster cluster(engine, ibm_power3_sp());
+  EXPECT_EQ(cluster.messages_sent(), 0u);
+  cluster.message_delay(0, 1, 1000);
+  cluster.message_delay(1, 2, 500);
+  EXPECT_EQ(cluster.messages_sent(), 2u);
+  EXPECT_EQ(cluster.bytes_sent(), 1500u);
+}
+
+TEST(Cluster, ZeroJitterSpecPassesThrough) {
+  sim::Engine engine;
+  MachineSpec spec = ibm_power3_sp();
+  spec.latency_jitter = 0.0;
+  Cluster cluster(engine, spec);
+  EXPECT_EQ(cluster.jittered(12345), 12345);
+}
+
+}  // namespace
+}  // namespace dyntrace::machine

@@ -1,0 +1,121 @@
+// single / master constructs.
+#include <gtest/gtest.h>
+
+#include "omp/runtime.hpp"
+
+namespace dyntrace::omp {
+namespace {
+
+std::shared_ptr<const image::SymbolTable> make_symbols() {
+  auto table = std::make_shared<image::SymbolTable>();
+  table->add("main");
+  return table;
+}
+
+struct Fixture {
+  explicit Fixture(int threads)
+      : cluster(engine, machine::ibm_power3_sp()),
+        process(cluster, 0, 0, 0, image::ProgramImage(make_symbols())),
+        runtime(process, threads) {}
+
+  void run(OmpRuntime::RegionFn region) {
+    engine.spawn(
+        [](OmpRuntime& rt, proc::SimThread& m, OmpRuntime::RegionFn fn) -> sim::Coro<void> {
+          co_await rt.parallel(m, std::move(fn));
+        }(runtime, process.main_thread(), std::move(region)),
+        "master");
+    engine.run();
+  }
+
+  sim::Engine engine;
+  machine::Cluster cluster;
+  proc::SimProcess process;
+  OmpRuntime runtime;
+};
+
+TEST(OmpSingle, ExactlyOneThreadExecutes) {
+  Fixture f(6);
+  int executions = 0;
+  f.run([&f, &executions](proc::SimThread& t, int tnum, int) -> sim::Coro<void> {
+    co_await f.runtime.single(t, tnum, [&executions](proc::SimThread&) -> sim::Coro<void> {
+      ++executions;
+      co_return;
+    });
+  });
+  EXPECT_EQ(executions, 1);
+}
+
+TEST(OmpSingle, ImpliedBarrierHoldsTeam) {
+  Fixture f(4);
+  sim::TimeNs leave_min = -1, leave_max = -1;
+  f.run([&](proc::SimThread& t, int tnum, int) -> sim::Coro<void> {
+    co_await f.runtime.single(t, tnum, [](proc::SimThread& th) -> sim::Coro<void> {
+      co_await th.compute(sim::milliseconds(20));  // long single body
+    });
+    const sim::TimeNs now = t.engine().now();
+    if (leave_min < 0 || now < leave_min) leave_min = now;
+    if (now > leave_max) leave_max = now;
+  });
+  // Everyone leaves together, after the single body.
+  EXPECT_GE(leave_min, sim::milliseconds(20));
+  EXPECT_EQ(leave_min, leave_max);
+}
+
+TEST(OmpSingle, ConsecutiveSinglesEachClaimedOnce) {
+  Fixture f(3);
+  std::vector<int> executions(5, 0);
+  f.run([&](proc::SimThread& t, int tnum, int) -> sim::Coro<void> {
+    for (int i = 0; i < 5; ++i) {
+      co_await f.runtime.single(t, tnum, [&, i](proc::SimThread&) -> sim::Coro<void> {
+        ++executions[static_cast<std::size_t>(i)];
+        co_return;
+      });
+    }
+  });
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(executions[i], 1) << "single #" << i;
+}
+
+TEST(OmpSingle, FirstArriverWins) {
+  Fixture f(3);
+  int executor = -1;
+  f.run([&](proc::SimThread& t, int tnum, int) -> sim::Coro<void> {
+    // Thread 2 arrives first.
+    co_await t.compute(sim::milliseconds(tnum == 2 ? 1 : 10));
+    co_await f.runtime.single(t, tnum, [&, tnum](proc::SimThread&) -> sim::Coro<void> {
+      executor = tnum;
+      co_return;
+    });
+  });
+  EXPECT_EQ(executor, 2);
+}
+
+TEST(OmpMaster, OnlyThreadZeroNoBarrier) {
+  Fixture f(4);
+  int executions = 0;
+  std::vector<sim::TimeNs> leave(4, 0);
+  f.run([&](proc::SimThread& t, int tnum, int) -> sim::Coro<void> {
+    co_await f.runtime.master(t, tnum, [&](proc::SimThread& th) -> sim::Coro<void> {
+      ++executions;
+      co_await th.compute(sim::milliseconds(30));
+    });
+    leave[static_cast<std::size_t>(tnum)] = t.engine().now();
+  });
+  EXPECT_EQ(executions, 1);
+  // Workers pass straight through while the master computes.
+  EXPECT_LT(leave[1], sim::milliseconds(1));
+  EXPECT_GE(leave[0], sim::milliseconds(30));
+}
+
+TEST(OmpSingle, OutsideRegionRejected) {
+  Fixture f(2);
+  f.engine.spawn(
+      [](Fixture& fx) -> sim::Coro<void> {
+        co_await fx.runtime.single(fx.process.main_thread(), 0,
+                                   [](proc::SimThread&) -> sim::Coro<void> { co_return; });
+      }(f),
+      "bad");
+  EXPECT_THROW(f.engine.run(), Error);
+}
+
+}  // namespace
+}  // namespace dyntrace::omp

@@ -1,0 +1,259 @@
+#include "proc/process.hpp"
+
+#include <gtest/gtest.h>
+
+#include "image/snippet.hpp"
+#include "proc/job.hpp"
+
+namespace dyntrace::proc {
+namespace {
+
+std::shared_ptr<const image::SymbolTable> make_symbols() {
+  auto table = std::make_shared<image::SymbolTable>();
+  table->add("main");
+  table->add("work");
+  return table;
+}
+
+struct Fixture {
+  sim::Engine engine;
+  machine::Cluster cluster{engine, machine::ibm_power3_sp()};
+  SimProcess process{cluster, 0, 0, 0, image::ProgramImage(make_symbols())};
+};
+
+TEST(Process, ComputeAdvancesVirtualTime) {
+  Fixture f;
+  f.engine.spawn(
+      [](SimThread& t) -> sim::Coro<void> { co_await t.compute(sim::milliseconds(3)); }(
+          f.process.main_thread()),
+      "p");
+  f.engine.run();
+  EXPECT_EQ(f.engine.now(), sim::milliseconds(3));
+}
+
+TEST(Process, SuspendFreezesComputeMidway) {
+  Fixture f;
+  sim::TimeNs done_at = -1;
+  f.engine.spawn(
+      [](SimThread& t, sim::TimeNs& out) -> sim::Coro<void> {
+        co_await t.compute(sim::milliseconds(10));
+        out = t.engine().now();
+      }(f.process.main_thread(), done_at),
+      "worker");
+  // Suspend at t=4ms for 6ms: completion slips from 10ms to 16ms.
+  f.engine.schedule_at(sim::milliseconds(4), [&] { f.process.suspend(); });
+  f.engine.schedule_at(sim::milliseconds(10), [&] { f.process.resume(); });
+  f.engine.run();
+  EXPECT_EQ(done_at, sim::milliseconds(16));
+  EXPECT_EQ(f.process.suspend_count(), 1u);
+}
+
+TEST(Process, DoubleSuspendAndResumeAreIdempotent) {
+  Fixture f;
+  sim::TimeNs done_at = -1;
+  f.engine.spawn(
+      [](SimThread& t, sim::TimeNs& out) -> sim::Coro<void> {
+        co_await t.compute(sim::milliseconds(10));
+        out = t.engine().now();
+      }(f.process.main_thread(), done_at),
+      "worker");
+  f.engine.schedule_at(sim::milliseconds(2), [&] { f.process.suspend(); });
+  f.engine.schedule_at(sim::milliseconds(3), [&] { f.process.suspend(); });
+  f.engine.schedule_at(sim::milliseconds(5), [&] { f.process.resume(); });
+  f.engine.schedule_at(sim::milliseconds(6), [&] { f.process.resume(); });
+  f.engine.run();
+  EXPECT_EQ(done_at, sim::milliseconds(13));
+}
+
+TEST(Process, GateParksWhileSuspended) {
+  Fixture f;
+  f.process.suspend();
+  bool passed = false;
+  f.engine.spawn(
+      [](SimThread& t, bool& flag) -> sim::Coro<void> {
+        co_await t.gate();
+        flag = true;
+      }(f.process.main_thread(), passed),
+      "gated");
+  f.engine.schedule_at(sim::milliseconds(7), [&] { f.process.resume(); });
+  f.engine.run();
+  EXPECT_TRUE(passed);
+  EXPECT_EQ(f.engine.now(), sim::milliseconds(7));
+}
+
+TEST(Process, FlagsDefaultZeroAndWake) {
+  Fixture f;
+  sim::TimeNs woke = -1;
+  EXPECT_EQ(f.process.flag("dynvt_spin"), 0);
+  f.engine.spawn(
+      [](SimProcess& p, sim::TimeNs& out) -> sim::Coro<void> {
+        co_await p.wait_flag("dynvt_spin", 1);
+        out = p.engine().now();
+      }(f.process, woke),
+      "spinner");
+  f.engine.schedule_at(sim::milliseconds(2), [&] { f.process.set_flag("dynvt_spin", 1); });
+  f.engine.run();
+  EXPECT_EQ(woke, sim::milliseconds(2));
+  EXPECT_EQ(f.process.flag("dynvt_spin"), 1);
+}
+
+TEST(Process, WaitFlagAlreadySatisfiedReturnsImmediately) {
+  Fixture f;
+  f.process.set_flag("x", 5);
+  bool done = false;
+  f.engine.spawn(
+      [](SimProcess& p, bool& flag) -> sim::Coro<void> {
+        co_await p.wait_flag("x", 5);
+        flag = true;
+      }(f.process, done),
+      "w");
+  f.engine.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(f.engine.now(), 0);
+}
+
+TEST(Process, CallFunctionFiresStaticInstrumentation) {
+  Fixture f;
+  std::vector<std::string> calls;
+  f.process.registry().register_function(
+      "VT_begin", [&calls](SimThread&, const std::vector<std::int64_t>& args) -> sim::Coro<void> {
+        calls.push_back("begin:" + std::to_string(args.at(0)));
+        co_return;
+      });
+  f.process.registry().register_function(
+      "VT_end", [&calls](SimThread&, const std::vector<std::int64_t>& args) -> sim::Coro<void> {
+        calls.push_back("end:" + std::to_string(args.at(0)));
+        co_return;
+      });
+  f.process.image().set_static_instrumented(1, true);
+  f.engine.spawn(
+      [](SimThread& t, std::vector<std::string>& log) -> sim::Coro<void> {
+        co_await t.call_function(1, [&log](SimThread& t2) -> sim::Coro<void> {
+          log.push_back("body");
+          co_await t2.compute(100);
+        });
+      }(f.process.main_thread(), calls),
+      "caller");
+  f.engine.run();
+  EXPECT_EQ(calls, (std::vector<std::string>{"begin:1", "body", "end:1"}));
+  EXPECT_EQ(f.process.main_thread().function_entries(), 1u);
+}
+
+TEST(Process, CallFunctionExecutesDynamicProbesAndChargesTrampolines) {
+  Fixture f;
+  int probes = 0;
+  f.process.registry().register_function(
+      "probe_fn", [&probes](SimThread&, const std::vector<std::int64_t>&) -> sim::Coro<void> {
+        ++probes;
+        co_return;
+      });
+  f.process.image().install_probe(1, image::ProbeWhere::kEntry, image::snippet::call("probe_fn"));
+  f.process.image().install_probe(1, image::ProbeWhere::kExit, image::snippet::call("probe_fn"));
+  f.engine.spawn(
+      [](SimThread& t) -> sim::Coro<void> { co_await t.call_function(1, nullptr); }(
+          f.process.main_thread()),
+      "caller");
+  f.engine.run();
+  EXPECT_EQ(probes, 2);
+  // Two trampoline traversals were charged.
+  const auto& costs = f.cluster.spec().costs;
+  const sim::TimeNs per = costs.tramp_jump + costs.tramp_save_regs + costs.tramp_restore_regs +
+                          costs.tramp_relocated_insn + costs.tramp_mini_dispatch;
+  EXPECT_EQ(f.engine.now(), 2 * per);
+}
+
+TEST(Process, UninstrumentedCallCostsNothing) {
+  // The paper's central premise: an unpatched, uninstrumented function has
+  // exactly zero instrumentation cost.
+  Fixture f;
+  f.engine.spawn(
+      [](SimThread& t) -> sim::Coro<void> { co_await t.call_function(1, nullptr); }(
+          f.process.main_thread()),
+      "caller");
+  f.engine.run();
+  EXPECT_EQ(f.engine.now(), 0);
+}
+
+TEST(Process, UnresolvedLibraryFunctionThrows) {
+  Fixture f;
+  f.process.image().set_static_instrumented(1, true);  // needs VT_begin, not linked
+  f.engine.spawn(
+      [](SimThread& t) -> sim::Coro<void> { co_await t.call_function(1, nullptr); }(
+          f.process.main_thread()),
+      "caller");
+  EXPECT_THROW(f.engine.run(), Error);
+}
+
+TEST(Process, SnippetSpinAndFlagOps) {
+  Fixture f;
+  auto seq = image::snippet::seq({
+      image::snippet::set_flag("a", 1),
+      image::snippet::spin_until("b", 2),
+  });
+  sim::TimeNs done = -1;
+  f.engine.spawn(
+      [](SimThread& t, const image::Snippet& s, sim::TimeNs& out) -> sim::Coro<void> {
+        co_await t.exec_snippet(s);
+        out = t.engine().now();
+      }(f.process.main_thread(), *seq, done),
+      "snippet");
+  f.engine.schedule_at(sim::milliseconds(5), [&] { f.process.set_flag("b", 2); });
+  f.engine.run();
+  EXPECT_EQ(f.process.flag("a"), 1);
+  EXPECT_EQ(done, sim::milliseconds(5));
+}
+
+TEST(Process, CallbackSnippetReachesSink) {
+  Fixture f;
+  std::string got_tag;
+  int got_pid = -1;
+  f.process.set_callback_sink([&](const std::string& tag, int pid) {
+    got_tag = tag;
+    got_pid = pid;
+  });
+  auto cb = image::snippet::callback("vt-ready");
+  f.engine.spawn(
+      [](SimThread& t, const image::Snippet& s) -> sim::Coro<void> {
+        co_await t.exec_snippet(s);
+      }(f.process.main_thread(), *cb),
+      "snippet");
+  f.engine.run();
+  EXPECT_EQ(got_tag, "vt-ready");
+  EXPECT_EQ(got_pid, 0);
+}
+
+TEST(Process, AddThreadAssignsCpusAndTids) {
+  Fixture f;
+  SimThread& t1 = f.process.add_thread(1);
+  SimThread& t2 = f.process.add_thread(2);
+  EXPECT_EQ(t1.tid(), 1);
+  EXPECT_EQ(t2.tid(), 2);
+  EXPECT_EQ(t2.cpu(), 2);
+  EXPECT_EQ(f.process.threads().size(), 3u);
+}
+
+TEST(Process, SuspendFreezesAllThreads) {
+  Fixture f;
+  SimThread& worker = f.process.add_thread(1);
+  sim::TimeNs main_done = -1, worker_done = -1;
+  f.engine.spawn(
+      [](SimThread& t, sim::TimeNs& out) -> sim::Coro<void> {
+        co_await t.compute(sim::milliseconds(10));
+        out = t.engine().now();
+      }(f.process.main_thread(), main_done),
+      "main");
+  f.engine.spawn(
+      [](SimThread& t, sim::TimeNs& out) -> sim::Coro<void> {
+        co_await t.compute(sim::milliseconds(6));
+        out = t.engine().now();
+      }(worker, worker_done),
+      "worker");
+  f.engine.schedule_at(sim::milliseconds(2), [&] { f.process.suspend(); });
+  f.engine.schedule_at(sim::milliseconds(5), [&] { f.process.resume(); });
+  f.engine.run();
+  EXPECT_EQ(main_done, sim::milliseconds(13));
+  EXPECT_EQ(worker_done, sim::milliseconds(9));
+}
+
+}  // namespace
+}  // namespace dyntrace::proc

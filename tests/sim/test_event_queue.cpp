@@ -1,0 +1,102 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace dyntrace::sim {
+namespace {
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(30, [&] { order.push_back(3); });
+  q.schedule(10, [&] { order.push_back(1); });
+  q.schedule(20, [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBreakByScheduleOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(5, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop().second();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  const EventId id = q.schedule(10, [&] { ran = true; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, CancelTwiceReturnsFalse) {
+  EventQueue q;
+  const EventId id = q.schedule(10, [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelAfterFireReturnsFalse) {
+  EventQueue q;
+  const EventId id = q.schedule(10, [] {});
+  q.pop().second();
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled) {
+  EventQueue q;
+  const EventId early = q.schedule(10, [] {});
+  q.schedule(20, [] {});
+  ASSERT_TRUE(q.cancel(early));
+  ASSERT_TRUE(q.next_time().has_value());
+  EXPECT_EQ(*q.next_time(), 20);
+}
+
+TEST(EventQueue, SizeTracksLiveEvents) {
+  EventQueue q;
+  const EventId a = q.schedule(1, [] {});
+  q.schedule(2, [] {});
+  EXPECT_EQ(q.size(), 2u);
+  q.cancel(a);
+  EXPECT_EQ(q.size(), 1u);
+  q.pop();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, RandomizedOrderProperty) {
+  // Property: for random schedules and cancellations, pops are
+  // non-decreasing in time and only live events fire.
+  Rng rng(99);
+  EventQueue q;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 500; ++i) {
+    ids.push_back(q.schedule(static_cast<TimeNs>(rng.next_below(1000)), [] {}));
+  }
+  int cancelled = 0;
+  for (int i = 0; i < 200; ++i) {
+    const auto idx = static_cast<std::size_t>(rng.next_below(ids.size()));
+    if (q.cancel(ids[idx])) ++cancelled;
+  }
+  EXPECT_EQ(q.size(), 500u - cancelled);
+  TimeNs last = -1;
+  int fired = 0;
+  while (!q.empty()) {
+    auto [t, cb] = q.pop();
+    EXPECT_GE(t, last);
+    last = t;
+    ++fired;
+  }
+  EXPECT_EQ(fired, 500 - cancelled);
+}
+
+}  // namespace
+}  // namespace dyntrace::sim

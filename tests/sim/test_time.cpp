@@ -1,0 +1,37 @@
+#include "sim/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dyntrace::sim {
+namespace {
+
+TEST(Time, UnitConstructors) {
+  EXPECT_EQ(microseconds(1), 1'000);
+  EXPECT_EQ(milliseconds(1), 1'000'000);
+  EXPECT_EQ(seconds(1), 1'000'000'000);
+  EXPECT_EQ(seconds(2.5), 2'500'000'000);
+  EXPECT_EQ(nanoseconds(42.7), 42);
+}
+
+TEST(Time, Conversions) {
+  EXPECT_DOUBLE_EQ(to_seconds(seconds(3)), 3.0);
+  EXPECT_DOUBLE_EQ(to_milliseconds(milliseconds(7)), 7.0);
+  EXPECT_DOUBLE_EQ(to_microseconds(microseconds(9)), 9.0);
+}
+
+TEST(Time, FormatDurationPicksAdaptiveUnits) {
+  EXPECT_EQ(format_duration(500), "500 ns");
+  EXPECT_EQ(format_duration(microseconds(1.5)), "1.500 us");
+  EXPECT_EQ(format_duration(milliseconds(2.25)), "2.250 ms");
+  EXPECT_EQ(format_duration(seconds(3)), "3.000 s");
+}
+
+TEST(Time, FormatDurationNegative) {
+  EXPECT_EQ(format_duration(-500), "-500 ns");
+  EXPECT_EQ(format_duration(-seconds(1)), "-1.000 s");
+}
+
+TEST(Time, FormatDurationZero) { EXPECT_EQ(format_duration(0), "0 ns"); }
+
+}  // namespace
+}  // namespace dyntrace::sim

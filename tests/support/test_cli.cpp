@@ -1,0 +1,103 @@
+#include "support/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/common.hpp"
+
+namespace dyntrace {
+namespace {
+
+TEST(Cli, ParsesFlagsAndOptions) {
+  bool verbose = false;
+  std::int64_t cpus = 1;
+  double scale = 1.0;
+  std::string name = "default";
+  CliParser p("tool", "test tool");
+  p.flag("verbose", "be chatty", &verbose)
+      .option_int("cpus", "processor count", &cpus)
+      .option_double("scale", "scale factor", &scale)
+      .option_string("name", "app name", &name);
+
+  const char* argv[] = {"tool", "--verbose", "--cpus", "64", "--scale=2.5", "--name", "smg98"};
+  ASSERT_TRUE(p.parse(7, argv));
+  EXPECT_TRUE(verbose);
+  EXPECT_EQ(cpus, 64);
+  EXPECT_DOUBLE_EQ(scale, 2.5);
+  EXPECT_EQ(name, "smg98");
+}
+
+TEST(Cli, DefaultsSurviveWhenAbsent) {
+  std::int64_t cpus = 8;
+  CliParser p("tool", "t");
+  p.option_int("cpus", "c", &cpus);
+  const char* argv[] = {"tool"};
+  ASSERT_TRUE(p.parse(1, argv));
+  EXPECT_EQ(cpus, 8);
+}
+
+TEST(Cli, PositionalsRequiredAndOptional) {
+  std::string in, out;
+  CliParser p("tool", "t");
+  p.positional("input", "input file", &in).positional("output", "output file", &out, true);
+
+  const char* argv1[] = {"tool", "app.x"};
+  ASSERT_TRUE(p.parse(2, argv1));
+  EXPECT_EQ(in, "app.x");
+  EXPECT_EQ(out, "");
+
+  const char* argv2[] = {"tool"};
+  EXPECT_THROW(p.parse(1, argv2), Error);
+}
+
+TEST(Cli, RestCollectsExtraArguments) {
+  std::string first;
+  std::vector<std::string> rest;
+  CliParser p("tool", "t");
+  p.positional("first", "f", &first).rest(&rest);
+  const char* argv[] = {"tool", "a", "b", "c"};
+  ASSERT_TRUE(p.parse(4, argv));
+  EXPECT_EQ(first, "a");
+  EXPECT_EQ(rest, (std::vector<std::string>{"b", "c"}));
+}
+
+TEST(Cli, UnknownOptionThrows) {
+  CliParser p("tool", "t");
+  const char* argv[] = {"tool", "--nope"};
+  EXPECT_THROW(p.parse(2, argv), Error);
+}
+
+TEST(Cli, UnexpectedPositionalThrows) {
+  CliParser p("tool", "t");
+  const char* argv[] = {"tool", "stray"};
+  EXPECT_THROW(p.parse(2, argv), Error);
+}
+
+TEST(Cli, MissingValueThrows) {
+  std::int64_t cpus = 0;
+  CliParser p("tool", "t");
+  p.option_int("cpus", "c", &cpus);
+  const char* argv[] = {"tool", "--cpus"};
+  EXPECT_THROW(p.parse(2, argv), Error);
+}
+
+TEST(Cli, BadIntValueThrows) {
+  std::int64_t cpus = 0;
+  CliParser p("tool", "t");
+  p.option_int("cpus", "c", &cpus);
+  const char* argv[] = {"tool", "--cpus", "many"};
+  EXPECT_THROW(p.parse(3, argv), Error);
+}
+
+TEST(Cli, HelpReturnsFalseAndMentionsOptions) {
+  bool v = false;
+  CliParser p("tool", "does things");
+  p.flag("verbose", "chatty", &v);
+  const char* argv[] = {"tool", "--help"};
+  EXPECT_FALSE(p.parse(2, argv));
+  const std::string help = p.help_text();
+  EXPECT_NE(help.find("--verbose"), std::string::npos);
+  EXPECT_NE(help.find("does things"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dyntrace

@@ -1,0 +1,35 @@
+#include "support/common.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dyntrace {
+namespace {
+
+TEST(Common, FailThrowsErrorWithMessage) {
+  try {
+    fail("bad thing: ", 42, " happened");
+    FAIL() << "fail() returned";
+  } catch (const Error& e) {
+    EXPECT_STREQ(e.what(), "bad thing: 42 happened");
+  }
+}
+
+TEST(Common, ExpectPassesWhenTrue) {
+  EXPECT_NO_THROW(DT_EXPECT(1 + 1 == 2, "never"));
+}
+
+TEST(Common, ExpectThrowsWhenFalse) {
+  EXPECT_THROW(DT_EXPECT(false, "reason ", 7), Error);
+}
+
+TEST(Common, ErrorIsRuntimeError) {
+  // Client code may catch std::runtime_error generically.
+  EXPECT_THROW({ throw Error("x"); }, std::runtime_error);
+}
+
+TEST(Common, ConcatHandlesMixedTypes) {
+  EXPECT_EQ(detail::concat("a", 1, '-', 2.5), "a1-2.5");
+}
+
+}  // namespace
+}  // namespace dyntrace

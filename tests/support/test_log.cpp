@@ -1,0 +1,56 @@
+#include "support/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dyntrace::log {
+namespace {
+
+/// RAII sink capture (restores the default stderr sink on exit).
+struct CaptureSink {
+  CaptureSink() {
+    set_sink([this](Level level, std::string_view line) {
+      lines.emplace_back(level, std::string(line));
+    });
+  }
+  ~CaptureSink() { set_sink(nullptr); }
+  std::vector<std::pair<Level, std::string>> lines;
+};
+
+TEST(Log, ThresholdFiltersLowerLevels) {
+  CaptureSink capture;
+  ScopedThreshold guard(Level::kWarn);
+  info("test", "dropped ", 1);
+  warn("test", "kept ", 2);
+  error("test", "kept too");
+  ASSERT_EQ(capture.lines.size(), 2u);
+  EXPECT_EQ(capture.lines[0].first, Level::kWarn);
+  EXPECT_EQ(capture.lines[0].second, "test: kept 2");
+  EXPECT_EQ(capture.lines[1].first, Level::kError);
+}
+
+TEST(Log, OffSilencesEverything) {
+  CaptureSink capture;
+  ScopedThreshold guard(Level::kOff);
+  error("test", "even errors");
+  EXPECT_TRUE(capture.lines.empty());
+}
+
+TEST(Log, ScopedThresholdRestores) {
+  const Level before = threshold();
+  {
+    ScopedThreshold guard(Level::kTrace);
+    EXPECT_EQ(threshold(), Level::kTrace);
+  }
+  EXPECT_EQ(threshold(), before);
+}
+
+TEST(Log, MessageAssemblyMixesTypes) {
+  CaptureSink capture;
+  ScopedThreshold guard(Level::kTrace);
+  debug("component", "x=", 3, " y=", 2.5, " z=", 'c');
+  ASSERT_EQ(capture.lines.size(), 1u);
+  EXPECT_EQ(capture.lines[0].second, "component: x=3 y=2.5 z=c");
+}
+
+}  // namespace
+}  // namespace dyntrace::log

@@ -1,0 +1,42 @@
+#include "support/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dyntrace {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+  TextTable t({"Policy", "Time (s)"});
+  t.add_row({"Full", "531.2"});
+  t.add_row({"None", "27.9"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("Policy"), std::string::npos);
+  EXPECT_NE(out.find("531.2"), std::string::npos);
+  // Header separator exists.
+  EXPECT_NE(out.find("----"), std::string::npos);
+  // Each line has the same rendered width for the value column.
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, NumFormatsWithPrecision) {
+  EXPECT_EQ(TextTable::num(1.23456, 2), "1.23");
+  EXPECT_EQ(TextTable::num(2.0, 0), "2");
+}
+
+TEST(Table, CsvOutput) {
+  TextTable t({"cpus", "full", "none"});
+  t.add_row({"64", "531.0", "70.5"});
+  EXPECT_EQ(t.render_csv(), "cpus,full,none\n64,531.0,70.5\n");
+}
+
+TEST(Table, RightAlignmentPadsLeft) {
+  TextTable t({"a", "b"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "22"});
+  const std::string out = t.render();
+  // "b" column is right aligned: "1" should be preceded by a space in its row.
+  EXPECT_NE(out.find(" 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dyntrace

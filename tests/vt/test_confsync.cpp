@@ -1,0 +1,237 @@
+// VT_confsync: dynamic control of instrumentation (paper §5, Figure 8).
+#include <gtest/gtest.h>
+
+#include "proc/job.hpp"
+#include "vt/vtlib.hpp"
+
+namespace dyntrace::vt {
+namespace {
+
+std::shared_ptr<const image::SymbolTable> make_symbols() {
+  // A realistically sized symbol table (the statistics experiment's cost
+  // is per registered function).
+  auto table = std::make_shared<image::SymbolTable>();
+  table->add("main");
+  table->add("solver");
+  table->add("util");
+  for (int i = 0; i < 200; ++i) table->add("aux_fn_" + std::to_string(i));
+  return table;
+}
+
+/// MPI job where every rank has a linked VtLib sharing one staged-update
+/// channel -- the §5 experimental setup.
+struct ConfsyncHarness {
+  explicit ConfsyncHarness(int nprocs,
+                           machine::MachineSpec spec = machine::ibm_power3_sp())
+      : cluster(engine, std::move(spec)),
+        world(cluster),
+        job(cluster, "confsync-test"),
+        store(std::make_shared<TraceStore>()),
+        staged(std::make_shared<StagedUpdate>()) {
+    const auto placement = cluster.place_block(nprocs, 1);
+    for (int pid = 0; pid < nprocs; ++pid) {
+      proc::SimProcess& p = job.add_process(image::ProgramImage(make_symbols()),
+                                            placement[pid].node, placement[pid].cpu);
+      mpi::Rank& rank = world.add_rank(p);
+      auto vt = std::make_unique<VtLib>(p, store, VtLib::Options{});
+      vt->link();
+      vt->set_rank(&rank);
+      vt->set_staged_update(staged);
+      vts.push_back(std::move(vt));
+    }
+  }
+
+  using Body = std::function<sim::Coro<void>(int, proc::SimThread&)>;
+
+  void run(Body body) {
+    for (int pid = 0; pid < world.size(); ++pid) {
+      job.set_main(pid, [this, pid, body](proc::SimThread& t) -> sim::Coro<void> {
+        co_await world.rank(pid).init(t);
+        co_await vts[pid]->vt_init(t);
+        co_await body(pid, t);
+        co_await world.rank(pid).finalize(t);
+      });
+    }
+    job.start();
+    engine.run();
+  }
+
+  sim::Engine engine;
+  machine::Cluster cluster;
+  mpi::World world;
+  proc::ParallelJob job;
+  std::shared_ptr<TraceStore> store;
+  std::shared_ptr<StagedUpdate> staged;
+  std::vector<std::unique_ptr<VtLib>> vts;
+};
+
+TEST(Confsync, NoChangeCompletesOnAllRanks) {
+  ConfsyncHarness h(4);
+  int done = 0;
+  h.run([&h, &done](int pid, proc::SimThread& t) -> sim::Coro<void> {
+    co_await h.vts[pid]->confsync(t);
+    ++done;
+  });
+  EXPECT_EQ(done, 4);
+  for (const auto& vt : h.vts) EXPECT_EQ(vt->confsyncs(), 1u);
+}
+
+TEST(Confsync, StagedUpdateIsAppliedOnEveryRank) {
+  ConfsyncHarness h(4);
+  // The monitoring tool stages a reconfiguration at rank 0's breakpoint.
+  h.vts[0]->set_break_handler([&h](VtLib&) -> sim::TimeNs {
+    h.staged->program = {{false, "util"}};
+    h.staged->version = 1;
+    return 0;
+  });
+  h.run([&h](int pid, proc::SimThread& t) -> sim::Coro<void> {
+    co_await h.vts[pid]->confsync(t);
+  });
+  const image::FunctionId util = 2;
+  for (const auto& vt : h.vts) {
+    EXPECT_TRUE(vt->filter().deactivated(util));
+    EXPECT_FALSE(vt->filter().deactivated(1));
+  }
+}
+
+TEST(Confsync, SafePointSemanticsOnlyAppliesAtSync) {
+  // A staged update must not take effect until the next VT_confsync --
+  // that's what makes the point "safe".
+  ConfsyncHarness h(2);
+  h.staged->program = {{false, "*"}};
+  h.staged->version = 1;
+  sim::TimeNs before_state_checked = -1;
+  h.run([&](int pid, proc::SimThread& t) -> sim::Coro<void> {
+    if (pid == 0) {
+      EXPECT_FALSE(h.vts[0]->filter().deactivated(1));
+      before_state_checked = t.engine().now();
+    }
+    co_await h.vts[pid]->confsync(t);
+    EXPECT_TRUE(h.vts[pid]->filter().deactivated(1));
+  });
+  EXPECT_GE(before_state_checked, 0);
+}
+
+TEST(Confsync, CostIsSmallAndGrowsSlowlyWithRanks) {
+  // Figure 8(a): < 0.04 s up to 512 processes, growing ~log P.
+  auto confsync_cost = [](int p) {
+    ConfsyncHarness h(p);
+    sim::TimeNs begin = 0, end = 0;
+    h.run([&](int pid, proc::SimThread& t) -> sim::Coro<void> {
+      co_await h.world.rank(pid).barrier(t);  // align ranks
+      if (pid == 0) begin = t.engine().now();
+      co_await h.vts[pid]->confsync(t);
+      if (pid == 0) end = t.engine().now();
+    });
+    return sim::to_seconds(end - begin);
+  };
+  const double c8 = confsync_cost(8);
+  const double c128 = confsync_cost(128);
+  EXPECT_LT(c8, 0.04);
+  EXPECT_LT(c128, 0.04);
+  EXPECT_GT(c128, c8);
+  EXPECT_LT(c128, c8 * 8);  // sub-linear growth
+}
+
+TEST(Confsync, ChangesCostMoreThanNoChanges) {
+  auto cost = [](bool with_changes) {
+    ConfsyncHarness h(16);
+    if (with_changes) {
+      h.vts[0]->set_break_handler([&h](VtLib&) -> sim::TimeNs {
+        h.staged->program = {{false, "util"}, {false, "solver"}, {true, "main"}};
+        ++h.staged->version;
+        return 0;
+      });
+    }
+    sim::TimeNs begin = 0, end = 0;
+    h.run([&](int pid, proc::SimThread& t) -> sim::Coro<void> {
+      co_await h.world.rank(pid).barrier(t);
+      if (pid == 0) begin = t.engine().now();
+      co_await h.vts[pid]->confsync(t);
+      if (pid == 0) end = t.engine().now();
+    });
+    return sim::to_seconds(end - begin);
+  };
+  EXPECT_GT(cost(true), cost(false));
+}
+
+TEST(Confsync, StatisticsWriteIsOrderOfMagnitudeCostlier) {
+  // Figure 8(b) vs 8(a): the gap is driven by rank 0 writing P x nfuncs
+  // statistics records, so it emerges at scale (the paper plots to 512).
+  auto cost = [](bool with_stats) {
+    ConfsyncHarness h(256);
+    sim::TimeNs begin = 0, end = 0;
+    h.run([&](int pid, proc::SimThread& t) -> sim::Coro<void> {
+      co_await h.world.rank(pid).barrier(t);
+      if (pid == 0) begin = t.engine().now();
+      co_await h.vts[pid]->confsync(t, with_stats);
+      if (pid == 0) end = t.engine().now();
+    });
+    return sim::to_seconds(end - begin);
+  };
+  const double plain = cost(false);
+  const double stats = cost(true);
+  EXPECT_GT(stats, plain * 3);
+  EXPECT_LT(stats, 0.4);  // still negligible against user interaction time
+}
+
+TEST(Confsync, BreakHandlerOnlyFiresOnRankZero) {
+  ConfsyncHarness h(4);
+  int fires = 0;
+  for (auto& vt : h.vts) {
+    vt->set_break_handler([&fires](VtLib&) -> sim::TimeNs {
+      ++fires;
+      return 0;
+    });
+  }
+  h.run([&h](int pid, proc::SimThread& t) -> sim::Coro<void> {
+    co_await h.vts[pid]->confsync(t);
+  });
+  EXPECT_EQ(fires, 1);
+}
+
+TEST(Confsync, UserInteractionDelayIsCharged) {
+  // §5: "the update time will be limited by user interactions".
+  ConfsyncHarness h(2);
+  h.vts[0]->set_break_handler(
+      [](VtLib&) -> sim::TimeNs { return sim::seconds(3); });  // human at the GUI
+  sim::TimeNs end0 = 0;
+  h.run([&](int pid, proc::SimThread& t) -> sim::Coro<void> {
+    co_await h.vts[pid]->confsync(t);
+    if (pid == 0) end0 = t.engine().now();
+  });
+  EXPECT_GT(end0, sim::seconds(3));
+}
+
+TEST(Confsync, WorksWithoutMpiForOpenMpApps) {
+  sim::Engine engine;
+  machine::Cluster cluster(engine, machine::ibm_power3_sp());
+  proc::SimProcess process(cluster, 0, 0, 0, image::ProgramImage(make_symbols()));
+  auto store = std::make_shared<TraceStore>();
+  auto staged = std::make_shared<StagedUpdate>();
+  VtLib vt(process, store, {});
+  vt.set_staged_update(staged);
+  staged->program = {{false, "*"}};
+  staged->version = 1;
+  engine.spawn(
+      [](VtLib& lib, proc::SimThread& t) -> sim::Coro<void> {
+        co_await lib.vt_init(t);
+        co_await lib.confsync(t, true);
+      }(vt, process.main_thread()),
+      "omp-confsync");
+  engine.run();
+  EXPECT_TRUE(vt.filter().deactivated(0));
+}
+
+TEST(Confsync, BeforeInitThrows) {
+  ConfsyncHarness h(2);
+  h.job.set_main(0, [&h](proc::SimThread& t) -> sim::Coro<void> {
+    co_await h.vts[0]->confsync(t);
+  });
+  h.job.set_main(1, [](proc::SimThread&) -> sim::Coro<void> { co_return; });
+  h.job.start();
+  EXPECT_THROW(h.engine.run(), Error);
+}
+
+}  // namespace
+}  // namespace dyntrace::vt

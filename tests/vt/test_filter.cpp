@@ -1,0 +1,88 @@
+#include "vt/filter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/common.hpp"
+
+namespace dyntrace::vt {
+namespace {
+
+image::SymbolTable make_symbols() {
+  image::SymbolTable table;
+  table.add("main");
+  table.add("hypre_SMGSolve");
+  table.add("hypre_SMGRelax");
+  table.add("hypre_BoxLoop_001");
+  table.add("sppm_hydro_x");
+  return table;
+}
+
+TEST(Filter, ParseDirectivesInOrder) {
+  const auto cfg = ConfigFile::parse(R"(
+[filter]
+deactivate = *
+activate = hypre_SMG*
+)");
+  const auto program = parse_filter(cfg);
+  ASSERT_EQ(program.size(), 2u);
+  EXPECT_FALSE(program[0].activate);
+  EXPECT_EQ(program[0].pattern, "*");
+  EXPECT_TRUE(program[1].activate);
+}
+
+TEST(Filter, UnknownDirectiveThrows) {
+  const auto cfg = ConfigFile::parse("[filter]\nremove = x\n");
+  EXPECT_THROW(parse_filter(cfg), Error);
+}
+
+TEST(Filter, EmptyTableIsDisabledAndFree) {
+  // The Full policy: no config file -> no lookups performed at all.
+  FilterTable table;
+  EXPECT_FALSE(table.enabled());
+  EXPECT_FALSE(table.deactivated(0));
+}
+
+TEST(Filter, DeactivateAllThenReactivateSubset) {
+  const auto symbols = make_symbols();
+  FilterProgram program{{false, "*"}, {true, "hypre_SMG*"}};
+  FilterTable table(symbols, program);
+  EXPECT_TRUE(table.enabled());
+  EXPECT_TRUE(table.deactivated(symbols.find("main")->id));
+  EXPECT_FALSE(table.deactivated(symbols.find("hypre_SMGSolve")->id));
+  EXPECT_FALSE(table.deactivated(symbols.find("hypre_SMGRelax")->id));
+  EXPECT_TRUE(table.deactivated(symbols.find("hypre_BoxLoop_001")->id));
+  EXPECT_EQ(table.deactivated_count(), 3u);
+}
+
+TEST(Filter, LaterDirectivesWin) {
+  const auto symbols = make_symbols();
+  FilterTable table(symbols, {{false, "hypre_*"}, {true, "hypre_*"}});
+  EXPECT_FALSE(table.deactivated(symbols.find("hypre_SMGSolve")->id));
+  EXPECT_EQ(table.deactivated_count(), 0u);
+  EXPECT_TRUE(table.enabled());  // lookups still happen once a config was read
+}
+
+TEST(Filter, ApplyIsIncremental) {
+  const auto symbols = make_symbols();
+  FilterTable table(symbols, {{false, "sppm_*"}});
+  EXPECT_EQ(table.deactivated_count(), 1u);
+  table.apply(symbols, {{false, "hypre_*"}});
+  EXPECT_EQ(table.deactivated_count(), 4u);
+  table.apply(symbols, {{true, "*"}});
+  EXPECT_EQ(table.deactivated_count(), 0u);
+}
+
+TEST(Filter, SerializedSizeGrowsWithProgram) {
+  EXPECT_EQ(serialized_size({}), 8);
+  const FilterProgram one{{false, "abc"}};
+  const FilterProgram two{{false, "abc"}, {true, "defgh"}};
+  EXPECT_LT(serialized_size(one), serialized_size(two));
+}
+
+TEST(Filter, OutOfRangeFunctionIsNotDeactivated) {
+  FilterTable table(make_symbols(), {{false, "*"}});
+  EXPECT_FALSE(table.deactivated(1000));
+}
+
+}  // namespace
+}  // namespace dyntrace::vt
