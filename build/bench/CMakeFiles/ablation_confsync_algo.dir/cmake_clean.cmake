@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_confsync_algo.dir/ablation_confsync_algo.cpp.o"
+  "CMakeFiles/ablation_confsync_algo.dir/ablation_confsync_algo.cpp.o.d"
+  "ablation_confsync_algo"
+  "ablation_confsync_algo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_confsync_algo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_filter_cost.dir/ablation_filter_cost.cpp.o"
+  "CMakeFiles/ablation_filter_cost.dir/ablation_filter_cost.cpp.o.d"
+  "ablation_filter_cost"
+  "ablation_filter_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_filter_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sync_protocol.dir/ablation_sync_protocol.cpp.o"
+  "CMakeFiles/ablation_sync_protocol.dir/ablation_sync_protocol.cpp.o.d"
+  "ablation_sync_protocol"
+  "ablation_sync_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sync_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_trampoline.dir/ablation_trampoline.cpp.o"
+  "CMakeFiles/ablation_trampoline.dir/ablation_trampoline.cpp.o.d"
+  "ablation_trampoline"
+  "ablation_trampoline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_trampoline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7a_smg98.dir/fig7a_smg98.cpp.o"
+  "CMakeFiles/fig7a_smg98.dir/fig7a_smg98.cpp.o.d"
+  "fig7a_smg98"
+  "fig7a_smg98.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7a_smg98.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7a_smg98.
+# This may be replaced when dependencies are built.

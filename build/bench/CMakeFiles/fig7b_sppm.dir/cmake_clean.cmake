@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7b_sppm.dir/fig7b_sppm.cpp.o"
+  "CMakeFiles/fig7b_sppm.dir/fig7b_sppm.cpp.o.d"
+  "fig7b_sppm"
+  "fig7b_sppm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7b_sppm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7c_sweep3d.dir/fig7c_sweep3d.cpp.o"
+  "CMakeFiles/fig7c_sweep3d.dir/fig7c_sweep3d.cpp.o.d"
+  "fig7c_sweep3d"
+  "fig7c_sweep3d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7c_sweep3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7d_umt98.dir/fig7d_umt98.cpp.o"
+  "CMakeFiles/fig7d_umt98.dir/fig7d_umt98.cpp.o.d"
+  "fig7d_umt98"
+  "fig7d_umt98.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7d_umt98.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

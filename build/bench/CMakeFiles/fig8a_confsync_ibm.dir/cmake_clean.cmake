@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8a_confsync_ibm.dir/fig8a_confsync_ibm.cpp.o"
+  "CMakeFiles/fig8a_confsync_ibm.dir/fig8a_confsync_ibm.cpp.o.d"
+  "fig8a_confsync_ibm"
+  "fig8a_confsync_ibm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8a_confsync_ibm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8b_confsync_stats.dir/fig8b_confsync_stats.cpp.o"
+  "CMakeFiles/fig8b_confsync_stats.dir/fig8b_confsync_stats.cpp.o.d"
+  "fig8b_confsync_stats"
+  "fig8b_confsync_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8b_confsync_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

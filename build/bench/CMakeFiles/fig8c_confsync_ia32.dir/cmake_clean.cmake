@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8c_confsync_ia32.dir/fig8c_confsync_ia32.cpp.o"
+  "CMakeFiles/fig8c_confsync_ia32.dir/fig8c_confsync_ia32.cpp.o.d"
+  "fig8c_confsync_ia32"
+  "fig8c_confsync_ia32.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8c_confsync_ia32.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

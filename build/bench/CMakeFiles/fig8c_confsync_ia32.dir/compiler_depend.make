@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig8c_confsync_ia32.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_commands.dir/table1_commands.cpp.o"
+  "CMakeFiles/table1_commands.dir/table1_commands.cpp.o.d"
+  "table1_commands"
+  "table1_commands.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_commands.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

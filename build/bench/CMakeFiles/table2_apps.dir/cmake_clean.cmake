@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_apps.dir/table2_apps.cpp.o"
+  "CMakeFiles/table2_apps.dir/table2_apps.cpp.o.d"
+  "table2_apps"
+  "table2_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_policies.dir/table3_policies.cpp.o"
+  "CMakeFiles/table3_policies.dir/table3_policies.cpp.o.d"
+  "table3_policies"
+  "table3_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_control.dir/dynamic_control.cpp.o"
+  "CMakeFiles/dynamic_control.dir/dynamic_control.cpp.o.d"
+  "dynamic_control"
+  "dynamic_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynprof_cli.dir/dynprof_cli.cpp.o"
+  "CMakeFiles/dynprof_cli.dir/dynprof_cli.cpp.o.d"
+  "dynprof_cli"
+  "dynprof_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynprof_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

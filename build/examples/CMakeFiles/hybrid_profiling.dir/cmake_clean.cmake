@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_profiling.dir/hybrid_profiling.cpp.o"
+  "CMakeFiles/hybrid_profiling.dir/hybrid_profiling.cpp.o.d"
+  "hybrid_profiling"
+  "hybrid_profiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_profiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("sim")
+subdirs("machine")
+subdirs("image")
+subdirs("proc")
+subdirs("mpi")
+subdirs("omp")
+subdirs("sampling")
+subdirs("vt")
+subdirs("guide")
+subdirs("asci")
+subdirs("dpcl")
+subdirs("dynprof")
+subdirs("analysis")

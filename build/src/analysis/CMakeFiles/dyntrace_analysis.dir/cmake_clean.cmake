@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dyntrace_analysis.dir/clock_sync.cpp.o"
+  "CMakeFiles/dyntrace_analysis.dir/clock_sync.cpp.o.d"
+  "CMakeFiles/dyntrace_analysis.dir/profile.cpp.o"
+  "CMakeFiles/dyntrace_analysis.dir/profile.cpp.o.d"
+  "CMakeFiles/dyntrace_analysis.dir/report.cpp.o"
+  "CMakeFiles/dyntrace_analysis.dir/report.cpp.o.d"
+  "CMakeFiles/dyntrace_analysis.dir/timeline.cpp.o"
+  "CMakeFiles/dyntrace_analysis.dir/timeline.cpp.o.d"
+  "libdyntrace_analysis.a"
+  "libdyntrace_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dyntrace_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

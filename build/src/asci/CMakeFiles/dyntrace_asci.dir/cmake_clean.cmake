@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dyntrace_asci.dir/app.cpp.o"
+  "CMakeFiles/dyntrace_asci.dir/app.cpp.o.d"
+  "CMakeFiles/dyntrace_asci.dir/smg98.cpp.o"
+  "CMakeFiles/dyntrace_asci.dir/smg98.cpp.o.d"
+  "CMakeFiles/dyntrace_asci.dir/sppm.cpp.o"
+  "CMakeFiles/dyntrace_asci.dir/sppm.cpp.o.d"
+  "CMakeFiles/dyntrace_asci.dir/sweep3d.cpp.o"
+  "CMakeFiles/dyntrace_asci.dir/sweep3d.cpp.o.d"
+  "CMakeFiles/dyntrace_asci.dir/umt98.cpp.o"
+  "CMakeFiles/dyntrace_asci.dir/umt98.cpp.o.d"
+  "libdyntrace_asci.a"
+  "libdyntrace_asci.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dyntrace_asci.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

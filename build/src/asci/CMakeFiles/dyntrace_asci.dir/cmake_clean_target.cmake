@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdyntrace_asci.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dyntrace_dpcl.dir/application.cpp.o"
+  "CMakeFiles/dyntrace_dpcl.dir/application.cpp.o.d"
+  "CMakeFiles/dyntrace_dpcl.dir/daemon.cpp.o"
+  "CMakeFiles/dyntrace_dpcl.dir/daemon.cpp.o.d"
+  "libdyntrace_dpcl.a"
+  "libdyntrace_dpcl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dyntrace_dpcl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

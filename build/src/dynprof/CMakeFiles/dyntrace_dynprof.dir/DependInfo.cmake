@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dynprof/command.cpp" "src/dynprof/CMakeFiles/dyntrace_dynprof.dir/command.cpp.o" "gcc" "src/dynprof/CMakeFiles/dyntrace_dynprof.dir/command.cpp.o.d"
+  "/root/repo/src/dynprof/confsync_experiment.cpp" "src/dynprof/CMakeFiles/dyntrace_dynprof.dir/confsync_experiment.cpp.o" "gcc" "src/dynprof/CMakeFiles/dyntrace_dynprof.dir/confsync_experiment.cpp.o.d"
+  "/root/repo/src/dynprof/hybrid.cpp" "src/dynprof/CMakeFiles/dyntrace_dynprof.dir/hybrid.cpp.o" "gcc" "src/dynprof/CMakeFiles/dyntrace_dynprof.dir/hybrid.cpp.o.d"
+  "/root/repo/src/dynprof/launch.cpp" "src/dynprof/CMakeFiles/dyntrace_dynprof.dir/launch.cpp.o" "gcc" "src/dynprof/CMakeFiles/dyntrace_dynprof.dir/launch.cpp.o.d"
+  "/root/repo/src/dynprof/policy.cpp" "src/dynprof/CMakeFiles/dyntrace_dynprof.dir/policy.cpp.o" "gcc" "src/dynprof/CMakeFiles/dyntrace_dynprof.dir/policy.cpp.o.d"
+  "/root/repo/src/dynprof/tool.cpp" "src/dynprof/CMakeFiles/dyntrace_dynprof.dir/tool.cpp.o" "gcc" "src/dynprof/CMakeFiles/dyntrace_dynprof.dir/tool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/asci/CMakeFiles/dyntrace_asci.dir/DependInfo.cmake"
+  "/root/repo/build/src/dpcl/CMakeFiles/dyntrace_dpcl.dir/DependInfo.cmake"
+  "/root/repo/build/src/sampling/CMakeFiles/dyntrace_sampling.dir/DependInfo.cmake"
+  "/root/repo/build/src/vt/CMakeFiles/dyntrace_vt.dir/DependInfo.cmake"
+  "/root/repo/build/src/guide/CMakeFiles/dyntrace_guide.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/dyntrace_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/omp/CMakeFiles/dyntrace_omp.dir/DependInfo.cmake"
+  "/root/repo/build/src/proc/CMakeFiles/dyntrace_proc.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dyntrace_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/dyntrace_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/dyntrace_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dyntrace_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

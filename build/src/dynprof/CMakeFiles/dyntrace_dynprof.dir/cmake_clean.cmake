@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dyntrace_dynprof.dir/command.cpp.o"
+  "CMakeFiles/dyntrace_dynprof.dir/command.cpp.o.d"
+  "CMakeFiles/dyntrace_dynprof.dir/confsync_experiment.cpp.o"
+  "CMakeFiles/dyntrace_dynprof.dir/confsync_experiment.cpp.o.d"
+  "CMakeFiles/dyntrace_dynprof.dir/hybrid.cpp.o"
+  "CMakeFiles/dyntrace_dynprof.dir/hybrid.cpp.o.d"
+  "CMakeFiles/dyntrace_dynprof.dir/launch.cpp.o"
+  "CMakeFiles/dyntrace_dynprof.dir/launch.cpp.o.d"
+  "CMakeFiles/dyntrace_dynprof.dir/policy.cpp.o"
+  "CMakeFiles/dyntrace_dynprof.dir/policy.cpp.o.d"
+  "CMakeFiles/dyntrace_dynprof.dir/tool.cpp.o"
+  "CMakeFiles/dyntrace_dynprof.dir/tool.cpp.o.d"
+  "libdyntrace_dynprof.a"
+  "libdyntrace_dynprof.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dyntrace_dynprof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

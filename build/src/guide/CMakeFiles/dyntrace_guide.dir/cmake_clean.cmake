@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dyntrace_guide.dir/compiler.cpp.o"
+  "CMakeFiles/dyntrace_guide.dir/compiler.cpp.o.d"
+  "libdyntrace_guide.a"
+  "libdyntrace_guide.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dyntrace_guide.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dyntrace_image.dir/image.cpp.o"
+  "CMakeFiles/dyntrace_image.dir/image.cpp.o.d"
+  "CMakeFiles/dyntrace_image.dir/snippet.cpp.o"
+  "CMakeFiles/dyntrace_image.dir/snippet.cpp.o.d"
+  "CMakeFiles/dyntrace_image.dir/symbols.cpp.o"
+  "CMakeFiles/dyntrace_image.dir/symbols.cpp.o.d"
+  "libdyntrace_image.a"
+  "libdyntrace_image.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dyntrace_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dyntrace_machine.dir/cluster.cpp.o"
+  "CMakeFiles/dyntrace_machine.dir/cluster.cpp.o.d"
+  "CMakeFiles/dyntrace_machine.dir/spec.cpp.o"
+  "CMakeFiles/dyntrace_machine.dir/spec.cpp.o.d"
+  "libdyntrace_machine.a"
+  "libdyntrace_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dyntrace_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dyntrace_mpi.dir/world.cpp.o"
+  "CMakeFiles/dyntrace_mpi.dir/world.cpp.o.d"
+  "libdyntrace_mpi.a"
+  "libdyntrace_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dyntrace_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dyntrace_omp.dir/runtime.cpp.o"
+  "CMakeFiles/dyntrace_omp.dir/runtime.cpp.o.d"
+  "libdyntrace_omp.a"
+  "libdyntrace_omp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dyntrace_omp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dyntrace_proc.dir/job.cpp.o"
+  "CMakeFiles/dyntrace_proc.dir/job.cpp.o.d"
+  "CMakeFiles/dyntrace_proc.dir/process.cpp.o"
+  "CMakeFiles/dyntrace_proc.dir/process.cpp.o.d"
+  "libdyntrace_proc.a"
+  "libdyntrace_proc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dyntrace_proc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

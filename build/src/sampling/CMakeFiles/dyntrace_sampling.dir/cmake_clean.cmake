@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dyntrace_sampling.dir/sampler.cpp.o"
+  "CMakeFiles/dyntrace_sampling.dir/sampler.cpp.o.d"
+  "libdyntrace_sampling.a"
+  "libdyntrace_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dyntrace_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

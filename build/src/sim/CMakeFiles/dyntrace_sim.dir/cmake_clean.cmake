@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dyntrace_sim.dir/engine.cpp.o"
+  "CMakeFiles/dyntrace_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/dyntrace_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/dyntrace_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/dyntrace_sim.dir/stats.cpp.o"
+  "CMakeFiles/dyntrace_sim.dir/stats.cpp.o.d"
+  "CMakeFiles/dyntrace_sim.dir/time.cpp.o"
+  "CMakeFiles/dyntrace_sim.dir/time.cpp.o.d"
+  "libdyntrace_sim.a"
+  "libdyntrace_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dyntrace_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dyntrace_support.dir/cli.cpp.o"
+  "CMakeFiles/dyntrace_support.dir/cli.cpp.o.d"
+  "CMakeFiles/dyntrace_support.dir/common.cpp.o"
+  "CMakeFiles/dyntrace_support.dir/common.cpp.o.d"
+  "CMakeFiles/dyntrace_support.dir/config.cpp.o"
+  "CMakeFiles/dyntrace_support.dir/config.cpp.o.d"
+  "CMakeFiles/dyntrace_support.dir/log.cpp.o"
+  "CMakeFiles/dyntrace_support.dir/log.cpp.o.d"
+  "CMakeFiles/dyntrace_support.dir/rng.cpp.o"
+  "CMakeFiles/dyntrace_support.dir/rng.cpp.o.d"
+  "CMakeFiles/dyntrace_support.dir/strings.cpp.o"
+  "CMakeFiles/dyntrace_support.dir/strings.cpp.o.d"
+  "CMakeFiles/dyntrace_support.dir/table.cpp.o"
+  "CMakeFiles/dyntrace_support.dir/table.cpp.o.d"
+  "libdyntrace_support.a"
+  "libdyntrace_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dyntrace_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vt/filter.cpp" "src/vt/CMakeFiles/dyntrace_vt.dir/filter.cpp.o" "gcc" "src/vt/CMakeFiles/dyntrace_vt.dir/filter.cpp.o.d"
+  "/root/repo/src/vt/interpose.cpp" "src/vt/CMakeFiles/dyntrace_vt.dir/interpose.cpp.o" "gcc" "src/vt/CMakeFiles/dyntrace_vt.dir/interpose.cpp.o.d"
+  "/root/repo/src/vt/trace_store.cpp" "src/vt/CMakeFiles/dyntrace_vt.dir/trace_store.cpp.o" "gcc" "src/vt/CMakeFiles/dyntrace_vt.dir/trace_store.cpp.o.d"
+  "/root/repo/src/vt/vtlib.cpp" "src/vt/CMakeFiles/dyntrace_vt.dir/vtlib.cpp.o" "gcc" "src/vt/CMakeFiles/dyntrace_vt.dir/vtlib.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mpi/CMakeFiles/dyntrace_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/omp/CMakeFiles/dyntrace_omp.dir/DependInfo.cmake"
+  "/root/repo/build/src/proc/CMakeFiles/dyntrace_proc.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/dyntrace_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dyntrace_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/dyntrace_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dyntrace_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

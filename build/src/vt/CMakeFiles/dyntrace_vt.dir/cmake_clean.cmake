@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dyntrace_vt.dir/filter.cpp.o"
+  "CMakeFiles/dyntrace_vt.dir/filter.cpp.o.d"
+  "CMakeFiles/dyntrace_vt.dir/interpose.cpp.o"
+  "CMakeFiles/dyntrace_vt.dir/interpose.cpp.o.d"
+  "CMakeFiles/dyntrace_vt.dir/trace_store.cpp.o"
+  "CMakeFiles/dyntrace_vt.dir/trace_store.cpp.o.d"
+  "CMakeFiles/dyntrace_vt.dir/vtlib.cpp.o"
+  "CMakeFiles/dyntrace_vt.dir/vtlib.cpp.o.d"
+  "libdyntrace_vt.a"
+  "libdyntrace_vt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dyntrace_vt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_asci.dir/asci/test_apps.cpp.o"
+  "CMakeFiles/test_asci.dir/asci/test_apps.cpp.o.d"
+  "CMakeFiles/test_asci.dir/asci/test_leaf_repeat.cpp.o"
+  "CMakeFiles/test_asci.dir/asci/test_leaf_repeat.cpp.o.d"
+  "test_asci"
+  "test_asci.pdb"
+  "test_asci[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_asci.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

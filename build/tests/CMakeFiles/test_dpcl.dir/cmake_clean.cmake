@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dpcl.dir/dpcl/test_dpcl.cpp.o"
+  "CMakeFiles/test_dpcl.dir/dpcl/test_dpcl.cpp.o.d"
+  "test_dpcl"
+  "test_dpcl.pdb"
+  "test_dpcl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dpcl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_dpcl.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dynprof.dir/dynprof/test_command.cpp.o"
+  "CMakeFiles/test_dynprof.dir/dynprof/test_command.cpp.o.d"
+  "CMakeFiles/test_dynprof.dir/dynprof/test_confsync_experiment.cpp.o"
+  "CMakeFiles/test_dynprof.dir/dynprof/test_confsync_experiment.cpp.o.d"
+  "CMakeFiles/test_dynprof.dir/dynprof/test_launch.cpp.o"
+  "CMakeFiles/test_dynprof.dir/dynprof/test_launch.cpp.o.d"
+  "CMakeFiles/test_dynprof.dir/dynprof/test_mixed_mode.cpp.o"
+  "CMakeFiles/test_dynprof.dir/dynprof/test_mixed_mode.cpp.o.d"
+  "CMakeFiles/test_dynprof.dir/dynprof/test_tool.cpp.o"
+  "CMakeFiles/test_dynprof.dir/dynprof/test_tool.cpp.o.d"
+  "test_dynprof"
+  "test_dynprof.pdb"
+  "test_dynprof[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dynprof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/guide/test_compiler.cpp" "tests/CMakeFiles/test_guide.dir/guide/test_compiler.cpp.o" "gcc" "tests/CMakeFiles/test_guide.dir/guide/test_compiler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/guide/CMakeFiles/dyntrace_guide.dir/DependInfo.cmake"
+  "/root/repo/build/src/vt/CMakeFiles/dyntrace_vt.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/dyntrace_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/omp/CMakeFiles/dyntrace_omp.dir/DependInfo.cmake"
+  "/root/repo/build/src/proc/CMakeFiles/dyntrace_proc.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/dyntrace_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/dyntrace_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dyntrace_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dyntrace_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

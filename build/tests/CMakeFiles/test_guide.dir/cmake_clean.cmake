@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_guide.dir/guide/test_compiler.cpp.o"
+  "CMakeFiles/test_guide.dir/guide/test_compiler.cpp.o.d"
+  "test_guide"
+  "test_guide.pdb"
+  "test_guide[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_guide.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/image/test_image.cpp" "tests/CMakeFiles/test_image.dir/image/test_image.cpp.o" "gcc" "tests/CMakeFiles/test_image.dir/image/test_image.cpp.o.d"
+  "/root/repo/tests/image/test_snippet.cpp" "tests/CMakeFiles/test_image.dir/image/test_snippet.cpp.o" "gcc" "tests/CMakeFiles/test_image.dir/image/test_snippet.cpp.o.d"
+  "/root/repo/tests/image/test_symbols.cpp" "tests/CMakeFiles/test_image.dir/image/test_symbols.cpp.o" "gcc" "tests/CMakeFiles/test_image.dir/image/test_symbols.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/image/CMakeFiles/dyntrace_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/dyntrace_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dyntrace_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dyntrace_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_image.dir/image/test_image.cpp.o"
+  "CMakeFiles/test_image.dir/image/test_image.cpp.o.d"
+  "CMakeFiles/test_image.dir/image/test_snippet.cpp.o"
+  "CMakeFiles/test_image.dir/image/test_snippet.cpp.o.d"
+  "CMakeFiles/test_image.dir/image/test_symbols.cpp.o"
+  "CMakeFiles/test_image.dir/image/test_symbols.cpp.o.d"
+  "test_image"
+  "test_image.pdb"
+  "test_image[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

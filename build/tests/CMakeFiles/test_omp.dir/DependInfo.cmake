@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/omp/test_omp.cpp" "tests/CMakeFiles/test_omp.dir/omp/test_omp.cpp.o" "gcc" "tests/CMakeFiles/test_omp.dir/omp/test_omp.cpp.o.d"
+  "/root/repo/tests/omp/test_omp_constructs.cpp" "tests/CMakeFiles/test_omp.dir/omp/test_omp_constructs.cpp.o" "gcc" "tests/CMakeFiles/test_omp.dir/omp/test_omp_constructs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/omp/CMakeFiles/dyntrace_omp.dir/DependInfo.cmake"
+  "/root/repo/build/src/proc/CMakeFiles/dyntrace_proc.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/dyntrace_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/dyntrace_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dyntrace_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dyntrace_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_omp.dir/omp/test_omp.cpp.o"
+  "CMakeFiles/test_omp.dir/omp/test_omp.cpp.o.d"
+  "CMakeFiles/test_omp.dir/omp/test_omp_constructs.cpp.o"
+  "CMakeFiles/test_omp.dir/omp/test_omp_constructs.cpp.o.d"
+  "test_omp"
+  "test_omp.pdb"
+  "test_omp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_omp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/test_engine.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_engine.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_engine.cpp.o.d"
+  "/root/repo/tests/sim/test_event_queue.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_event_queue.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_event_queue.cpp.o.d"
+  "/root/repo/tests/sim/test_mailbox.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_mailbox.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_mailbox.cpp.o.d"
+  "/root/repo/tests/sim/test_stats.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_stats.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_stats.cpp.o.d"
+  "/root/repo/tests/sim/test_sync.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_sync.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_sync.cpp.o.d"
+  "/root/repo/tests/sim/test_time.cpp" "tests/CMakeFiles/test_sim.dir/sim/test_time.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/test_time.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dyntrace_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dyntrace_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/vt/test_confsync.cpp" "tests/CMakeFiles/test_vt.dir/vt/test_confsync.cpp.o" "gcc" "tests/CMakeFiles/test_vt.dir/vt/test_confsync.cpp.o.d"
+  "/root/repo/tests/vt/test_filter.cpp" "tests/CMakeFiles/test_vt.dir/vt/test_filter.cpp.o" "gcc" "tests/CMakeFiles/test_vt.dir/vt/test_filter.cpp.o.d"
+  "/root/repo/tests/vt/test_trace_store.cpp" "tests/CMakeFiles/test_vt.dir/vt/test_trace_store.cpp.o" "gcc" "tests/CMakeFiles/test_vt.dir/vt/test_trace_store.cpp.o.d"
+  "/root/repo/tests/vt/test_traceonoff.cpp" "tests/CMakeFiles/test_vt.dir/vt/test_traceonoff.cpp.o" "gcc" "tests/CMakeFiles/test_vt.dir/vt/test_traceonoff.cpp.o.d"
+  "/root/repo/tests/vt/test_vtlib.cpp" "tests/CMakeFiles/test_vt.dir/vt/test_vtlib.cpp.o" "gcc" "tests/CMakeFiles/test_vt.dir/vt/test_vtlib.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vt/CMakeFiles/dyntrace_vt.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/dyntrace_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/omp/CMakeFiles/dyntrace_omp.dir/DependInfo.cmake"
+  "/root/repo/build/src/proc/CMakeFiles/dyntrace_proc.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/dyntrace_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/dyntrace_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dyntrace_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dyntrace_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vt.dir/vt/test_confsync.cpp.o"
+  "CMakeFiles/test_vt.dir/vt/test_confsync.cpp.o.d"
+  "CMakeFiles/test_vt.dir/vt/test_filter.cpp.o"
+  "CMakeFiles/test_vt.dir/vt/test_filter.cpp.o.d"
+  "CMakeFiles/test_vt.dir/vt/test_trace_store.cpp.o"
+  "CMakeFiles/test_vt.dir/vt/test_trace_store.cpp.o.d"
+  "CMakeFiles/test_vt.dir/vt/test_traceonoff.cpp.o"
+  "CMakeFiles/test_vt.dir/vt/test_traceonoff.cpp.o.d"
+  "CMakeFiles/test_vt.dir/vt/test_vtlib.cpp.o"
+  "CMakeFiles/test_vt.dir/vt/test_vtlib.cpp.o.d"
+  "test_vt"
+  "test_vt.pdb"
+  "test_vt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
