@@ -3,6 +3,8 @@
 // performance of the engine that every experiment binary depends on.
 #include <benchmark/benchmark.h>
 
+#include <limits>
+
 #include "image/image.hpp"
 #include "machine/cluster.hpp"
 #include "proc/process.hpp"
@@ -11,6 +13,7 @@
 #include "sim/sync.hpp"
 #include "support/rng.hpp"
 #include "support/strings.hpp"
+#include "vt/trace_store.hpp"
 #include "vt/vtlib.hpp"
 
 namespace {
@@ -159,6 +162,89 @@ void BM_GlobMatchSymbolTable(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GlobMatchSymbolTable);
+
+vt::Event trace_event(sim::TimeNs time, std::int32_t pid, std::int32_t code) {
+  vt::Event e;
+  e.time = time;
+  e.pid = pid;
+  e.tid = 0;
+  e.kind = vt::EventKind::kEnter;
+  e.code = code;
+  e.aux = 0;
+  return e;
+}
+
+void BM_TraceShardAppend(benchmark::State& state) {
+  // The flush hot path: single-writer append into one process shard, no
+  // spilling.  Guards the write path against regressing below the old
+  // single-vector push_back.
+  const auto n = static_cast<std::int32_t>(state.range(0));
+  for (auto _ : state) {
+    vt::TraceStore store;
+    vt::TraceShard& shard = store.shard(0);
+    for (std::int32_t i = 0; i < n; ++i) {
+      shard.append(trace_event(i, 0, i & 1023));
+    }
+    benchmark::DoNotOptimize(shard.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_TraceShardAppend)->Arg(16384)->Arg(262144);
+
+void BM_TraceShardAppendWithSpill(benchmark::State& state) {
+  // Same write path but with a 256 KiB budget, so the shard periodically
+  // sorts its tail and spills it to disk as a binary run.
+  const auto n = static_cast<std::int32_t>(state.range(0));
+  for (auto _ : state) {
+    vt::TraceStore::Options options;
+    options.spill_budget_bytes = 256 * 1024;
+    vt::TraceStore store(std::move(options));
+    vt::TraceShard& shard = store.shard(0);
+    for (std::int32_t i = 0; i < n; ++i) {
+      shard.append(trace_event(i, 0, i & 1023));
+    }
+    benchmark::DoNotOptimize(shard.spill_runs());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_TraceShardAppendWithSpill)->Arg(262144);
+
+void BM_TraceMergedStreamRead(benchmark::State& state) {
+  // Streaming k-way merge over a >=1M-event multi-shard trace with spilling
+  // enabled: every shard holds at most spill_budget bytes in memory, so the
+  // read never materialises a full merged copy (the acceptance criterion for
+  // the sharded store).
+  const std::int32_t shards = 16;
+  const std::int32_t per_shard = static_cast<std::int32_t>(state.range(0)) / shards;
+  vt::TraceStore::Options options;
+  options.spill_budget_bytes = 64 * 1024;  // ~2K events in memory per shard
+  vt::TraceStore store(std::move(options));
+  Rng rng(11);
+  for (std::int32_t pid = 0; pid < shards; ++pid) {
+    vt::TraceShard& shard = store.shard(pid);
+    for (std::int32_t i = 0; i < per_shard; ++i) {
+      // Mostly-monotone per-rank times with jitter, like a skewed clock.
+      const auto jitter = static_cast<sim::TimeNs>(rng.next_below(64));
+      shard.append(trace_event(static_cast<sim::TimeNs>(i) * 100 + jitter, pid, i & 1023));
+    }
+  }
+  for (auto _ : state) {
+    auto cursor = store.merge_cursor();
+    vt::Event e;
+    std::int64_t count = 0;
+    sim::TimeNs last = std::numeric_limits<sim::TimeNs>::min();
+    while (cursor->next(e)) {
+      if (e.time < last) state.SkipWithError("merge produced out-of-order events");
+      last = e.time;
+      ++count;
+    }
+    if (count != static_cast<std::int64_t>(shards) * per_shard) {
+      state.SkipWithError("merge lost events");
+    }
+    state.SetItemsProcessed(state.items_processed() + count);
+  }
+}
+BENCHMARK(BM_TraceMergedStreamRead)->Arg(1 << 20)->Unit(benchmark::kMillisecond);
 
 void BM_RngNextDouble(benchmark::State& state) {
   Rng rng(7);

@@ -207,24 +207,32 @@ examples/CMakeFiles/dynamic_control.dir/dynamic_control.cpp.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/vt/event.hpp \
- /root/repo/src/sim/time.hpp /root/repo/src/analysis/timeline.hpp \
- /root/repo/src/dynprof/launch.hpp /usr/include/c++/12/optional \
- /root/repo/src/asci/app.hpp /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h /usr/include/c++/12/array \
- /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/vt/event.hpp \
+ /root/repo/src/sim/time.hpp /root/repo/src/vt/trace_reader.hpp \
+ /usr/include/c++/12/fstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc /usr/include/c++/12/bits/codecvt.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
+ /usr/include/c++/12/bits/fstream.tcc /root/repo/src/vt/trace_shard.hpp \
+ /root/repo/src/vt/trace_format.hpp /usr/include/c++/12/cstddef \
+ /root/repo/src/analysis/timeline.hpp /root/repo/src/dynprof/launch.hpp \
+ /usr/include/c++/12/optional /root/repo/src/asci/app.hpp \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/array /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
  /root/repo/src/image/image.hpp /root/repo/src/image/snippet.hpp \
- /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
- /root/repo/src/machine/spec.hpp /root/repo/src/support/config.hpp \
- /root/repo/src/mpi/world.hpp /root/repo/src/machine/cluster.hpp \
- /root/repo/src/sim/engine.hpp /usr/include/c++/12/coroutine \
- /root/repo/src/sim/coro.hpp /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/support/common.hpp \
- /usr/include/c++/12/sstream /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/variant /root/repo/src/machine/spec.hpp \
+ /root/repo/src/support/config.hpp /root/repo/src/mpi/world.hpp \
+ /root/repo/src/machine/cluster.hpp /root/repo/src/sim/engine.hpp \
+ /usr/include/c++/12/coroutine /root/repo/src/sim/coro.hpp \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/support/common.hpp /usr/include/c++/12/sstream \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/sim/event_queue.hpp \
  /usr/include/c++/12/queue /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \

@@ -212,16 +212,22 @@ examples/CMakeFiles/dynprof_cli.dir/dynprof_cli.cpp.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/vt/event.hpp \
- /root/repo/src/sim/time.hpp /root/repo/src/analysis/report.hpp \
+ /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/vt/event.hpp \
+ /root/repo/src/sim/time.hpp /root/repo/src/vt/trace_reader.hpp \
+ /root/repo/src/vt/trace_shard.hpp /root/repo/src/vt/trace_format.hpp \
+ /usr/include/c++/12/cstddef /root/repo/src/analysis/report.hpp \
  /root/repo/src/analysis/timeline.hpp /root/repo/src/dynprof/tool.hpp \
  /root/repo/src/dpcl/application.hpp /root/repo/src/dpcl/daemon.hpp \
  /root/repo/src/image/image.hpp /root/repo/src/image/snippet.hpp \
- /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
- /root/repo/src/machine/spec.hpp /root/repo/src/support/config.hpp \
- /usr/include/c++/12/optional /root/repo/src/proc/job.hpp \
- /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
- /usr/include/c++/12/array /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/variant /root/repo/src/machine/spec.hpp \
+ /root/repo/src/support/config.hpp /usr/include/c++/12/optional \
+ /root/repo/src/proc/job.hpp /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h /usr/include/c++/12/array \
+ /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \

@@ -253,4 +253,13 @@ src/asci/CMakeFiles/dyntrace_asci.dir/umt98.cpp.o: \
  /root/repo/src/sim/mailbox.hpp /root/repo/src/omp/runtime.hpp \
  /root/repo/src/vt/vtlib.hpp /root/repo/src/vt/event.hpp \
  /root/repo/src/vt/filter.hpp /root/repo/src/vt/trace_store.hpp \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/vt/trace_reader.hpp /usr/include/c++/12/fstream \
+ /usr/include/c++/12/bits/codecvt.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
+ /usr/include/c++/12/bits/fstream.tcc /root/repo/src/vt/trace_shard.hpp \
+ /root/repo/src/vt/trace_format.hpp /usr/include/c++/12/cstddef \
  /root/repo/src/support/strings.hpp

@@ -10,6 +10,9 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/vt/filter.cpp" "src/vt/CMakeFiles/dyntrace_vt.dir/filter.cpp.o" "gcc" "src/vt/CMakeFiles/dyntrace_vt.dir/filter.cpp.o.d"
   "/root/repo/src/vt/interpose.cpp" "src/vt/CMakeFiles/dyntrace_vt.dir/interpose.cpp.o" "gcc" "src/vt/CMakeFiles/dyntrace_vt.dir/interpose.cpp.o.d"
+  "/root/repo/src/vt/trace_format.cpp" "src/vt/CMakeFiles/dyntrace_vt.dir/trace_format.cpp.o" "gcc" "src/vt/CMakeFiles/dyntrace_vt.dir/trace_format.cpp.o.d"
+  "/root/repo/src/vt/trace_reader.cpp" "src/vt/CMakeFiles/dyntrace_vt.dir/trace_reader.cpp.o" "gcc" "src/vt/CMakeFiles/dyntrace_vt.dir/trace_reader.cpp.o.d"
+  "/root/repo/src/vt/trace_shard.cpp" "src/vt/CMakeFiles/dyntrace_vt.dir/trace_shard.cpp.o" "gcc" "src/vt/CMakeFiles/dyntrace_vt.dir/trace_shard.cpp.o.d"
   "/root/repo/src/vt/trace_store.cpp" "src/vt/CMakeFiles/dyntrace_vt.dir/trace_store.cpp.o" "gcc" "src/vt/CMakeFiles/dyntrace_vt.dir/trace_store.cpp.o.d"
   "/root/repo/src/vt/vtlib.cpp" "src/vt/CMakeFiles/dyntrace_vt.dir/vtlib.cpp.o" "gcc" "src/vt/CMakeFiles/dyntrace_vt.dir/vtlib.cpp.o.d"
   )

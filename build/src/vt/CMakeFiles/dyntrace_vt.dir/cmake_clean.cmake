@@ -3,6 +3,12 @@ file(REMOVE_RECURSE
   "CMakeFiles/dyntrace_vt.dir/filter.cpp.o.d"
   "CMakeFiles/dyntrace_vt.dir/interpose.cpp.o"
   "CMakeFiles/dyntrace_vt.dir/interpose.cpp.o.d"
+  "CMakeFiles/dyntrace_vt.dir/trace_format.cpp.o"
+  "CMakeFiles/dyntrace_vt.dir/trace_format.cpp.o.d"
+  "CMakeFiles/dyntrace_vt.dir/trace_reader.cpp.o"
+  "CMakeFiles/dyntrace_vt.dir/trace_reader.cpp.o.d"
+  "CMakeFiles/dyntrace_vt.dir/trace_shard.cpp.o"
+  "CMakeFiles/dyntrace_vt.dir/trace_shard.cpp.o.d"
   "CMakeFiles/dyntrace_vt.dir/trace_store.cpp.o"
   "CMakeFiles/dyntrace_vt.dir/trace_store.cpp.o.d"
   "CMakeFiles/dyntrace_vt.dir/vtlib.cpp.o"

@@ -294,8 +294,15 @@ tests/CMakeFiles/test_analysis.dir/analysis/test_analysis.cpp.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/analysis/profile.hpp /root/repo/src/image/symbols.hpp \
- /root/repo/src/vt/trace_store.hpp /root/repo/src/vt/event.hpp \
- /root/repo/src/sim/time.hpp /root/repo/src/analysis/timeline.hpp \
+ /root/repo/src/vt/trace_store.hpp /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/vt/event.hpp \
+ /root/repo/src/sim/time.hpp /root/repo/src/vt/trace_reader.hpp \
+ /usr/include/c++/12/fstream \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
+ /usr/include/c++/12/bits/fstream.tcc /root/repo/src/vt/trace_shard.hpp \
+ /root/repo/src/vt/trace_format.hpp /root/repo/src/analysis/timeline.hpp \
  /root/repo/src/dynprof/policy.hpp /root/repo/src/dynprof/launch.hpp \
  /root/repo/src/asci/app.hpp /root/repo/src/image/image.hpp \
  /root/repo/src/image/snippet.hpp /root/repo/src/machine/spec.hpp \

@@ -294,21 +294,28 @@ tests/CMakeFiles/test_analysis.dir/analysis/test_clock_sync.cpp.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/analysis/clock_sync.hpp /root/repo/src/vt/trace_store.hpp \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/vt/event.hpp /root/repo/src/sim/time.hpp \
- /root/repo/src/dynprof/policy.hpp /root/repo/src/dynprof/launch.hpp \
- /root/repo/src/asci/app.hpp /root/repo/src/image/image.hpp \
- /root/repo/src/image/snippet.hpp /root/repo/src/image/symbols.hpp \
- /root/repo/src/machine/spec.hpp /root/repo/src/support/config.hpp \
- /root/repo/src/mpi/world.hpp /root/repo/src/machine/cluster.hpp \
- /root/repo/src/sim/engine.hpp /usr/include/c++/12/coroutine \
- /root/repo/src/sim/coro.hpp /root/repo/src/support/common.hpp \
- /root/repo/src/sim/event_queue.hpp /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/support/rng.hpp /root/repo/src/mpi/message.hpp \
- /root/repo/src/proc/process.hpp /root/repo/src/sim/sync.hpp \
- /root/repo/src/sim/mailbox.hpp /root/repo/src/omp/runtime.hpp \
- /root/repo/src/vt/vtlib.hpp /root/repo/src/vt/filter.hpp \
- /root/repo/src/proc/job.hpp /root/repo/src/vt/interpose.hpp \
- /root/repo/src/dynprof/tool.hpp /root/repo/src/dpcl/application.hpp \
- /root/repo/src/dpcl/daemon.hpp /root/repo/src/dynprof/command.hpp
+ /root/repo/src/vt/trace_reader.hpp /usr/include/c++/12/fstream \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
+ /usr/include/c++/12/bits/fstream.tcc /root/repo/src/vt/trace_shard.hpp \
+ /root/repo/src/vt/trace_format.hpp /root/repo/src/dynprof/policy.hpp \
+ /root/repo/src/dynprof/launch.hpp /root/repo/src/asci/app.hpp \
+ /root/repo/src/image/image.hpp /root/repo/src/image/snippet.hpp \
+ /root/repo/src/image/symbols.hpp /root/repo/src/machine/spec.hpp \
+ /root/repo/src/support/config.hpp /root/repo/src/mpi/world.hpp \
+ /root/repo/src/machine/cluster.hpp /root/repo/src/sim/engine.hpp \
+ /usr/include/c++/12/coroutine /root/repo/src/sim/coro.hpp \
+ /root/repo/src/support/common.hpp /root/repo/src/sim/event_queue.hpp \
+ /usr/include/c++/12/queue /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/bits/stl_queue.h /root/repo/src/support/rng.hpp \
+ /root/repo/src/mpi/message.hpp /root/repo/src/proc/process.hpp \
+ /root/repo/src/sim/sync.hpp /root/repo/src/sim/mailbox.hpp \
+ /root/repo/src/omp/runtime.hpp /root/repo/src/vt/vtlib.hpp \
+ /root/repo/src/vt/filter.hpp /root/repo/src/proc/job.hpp \
+ /root/repo/src/vt/interpose.hpp /root/repo/src/dynprof/tool.hpp \
+ /root/repo/src/dpcl/application.hpp /root/repo/src/dpcl/daemon.hpp \
+ /root/repo/src/dynprof/command.hpp

@@ -311,4 +311,11 @@ tests/CMakeFiles/test_hybrid.dir/dynprof/test_hybrid.cpp.o: \
  /root/repo/src/mpi/message.hpp /root/repo/src/omp/runtime.hpp \
  /root/repo/src/vt/vtlib.hpp /root/repo/src/vt/event.hpp \
  /root/repo/src/vt/filter.hpp /root/repo/src/vt/trace_store.hpp \
- /root/repo/src/vt/interpose.hpp /root/repo/src/sampling/sampler.hpp
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/vt/trace_reader.hpp /usr/include/c++/12/fstream \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
+ /usr/include/c++/12/bits/fstream.tcc /root/repo/src/vt/trace_shard.hpp \
+ /root/repo/src/vt/trace_format.hpp /root/repo/src/vt/interpose.hpp \
+ /root/repo/src/sampling/sampler.hpp

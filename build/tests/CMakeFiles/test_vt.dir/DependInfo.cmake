@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/vt/test_confsync.cpp" "tests/CMakeFiles/test_vt.dir/vt/test_confsync.cpp.o" "gcc" "tests/CMakeFiles/test_vt.dir/vt/test_confsync.cpp.o.d"
   "/root/repo/tests/vt/test_filter.cpp" "tests/CMakeFiles/test_vt.dir/vt/test_filter.cpp.o" "gcc" "tests/CMakeFiles/test_vt.dir/vt/test_filter.cpp.o.d"
+  "/root/repo/tests/vt/test_trace_merge.cpp" "tests/CMakeFiles/test_vt.dir/vt/test_trace_merge.cpp.o" "gcc" "tests/CMakeFiles/test_vt.dir/vt/test_trace_merge.cpp.o.d"
   "/root/repo/tests/vt/test_trace_store.cpp" "tests/CMakeFiles/test_vt.dir/vt/test_trace_store.cpp.o" "gcc" "tests/CMakeFiles/test_vt.dir/vt/test_trace_store.cpp.o.d"
   "/root/repo/tests/vt/test_traceonoff.cpp" "tests/CMakeFiles/test_vt.dir/vt/test_traceonoff.cpp.o" "gcc" "tests/CMakeFiles/test_vt.dir/vt/test_traceonoff.cpp.o.d"
   "/root/repo/tests/vt/test_vtlib.cpp" "tests/CMakeFiles/test_vt.dir/vt/test_vtlib.cpp.o" "gcc" "tests/CMakeFiles/test_vt.dir/vt/test_vtlib.cpp.o.d"

@@ -3,6 +3,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/test_vt.dir/vt/test_confsync.cpp.o.d"
   "CMakeFiles/test_vt.dir/vt/test_filter.cpp.o"
   "CMakeFiles/test_vt.dir/vt/test_filter.cpp.o.d"
+  "CMakeFiles/test_vt.dir/vt/test_trace_merge.cpp.o"
+  "CMakeFiles/test_vt.dir/vt/test_trace_merge.cpp.o.d"
   "CMakeFiles/test_vt.dir/vt/test_trace_store.cpp.o"
   "CMakeFiles/test_vt.dir/vt/test_trace_store.cpp.o.d"
   "CMakeFiles/test_vt.dir/vt/test_traceonoff.cpp.o"

@@ -306,4 +306,11 @@ tests/CMakeFiles/test_vt.dir/vt/test_traceonoff.cpp.o: \
  /root/repo/src/image/snippet.hpp /root/repo/src/image/symbols.hpp \
  /root/repo/src/sim/sync.hpp /root/repo/src/sim/mailbox.hpp \
  /root/repo/src/vt/event.hpp /root/repo/src/vt/filter.hpp \
- /root/repo/src/vt/trace_store.hpp
+ /root/repo/src/vt/trace_store.hpp /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/vt/trace_reader.hpp /usr/include/c++/12/fstream \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
+ /usr/include/c++/12/bits/fstream.tcc /root/repo/src/vt/trace_shard.hpp \
+ /root/repo/src/vt/trace_format.hpp

@@ -228,8 +228,16 @@ tests/CMakeFiles/test_vt.dir/vt/test_vtlib.cpp.o: \
  /root/repo/src/image/symbols.hpp /root/repo/src/sim/sync.hpp \
  /root/repo/src/sim/mailbox.hpp /root/repo/src/vt/event.hpp \
  /root/repo/src/vt/filter.hpp /root/repo/src/vt/trace_store.hpp \
- /root/miniconda/include/gtest/gtest.h /usr/include/c++/12/cstddef \
- /usr/include/c++/12/limits \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/limits \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/vt/trace_reader.hpp /usr/include/c++/12/fstream \
+ /usr/include/c++/12/bits/codecvt.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
+ /usr/include/c++/12/bits/fstream.tcc /root/repo/src/vt/trace_shard.hpp \
+ /root/repo/src/vt/trace_format.hpp /usr/include/c++/12/cstddef \
+ /root/miniconda/include/gtest/gtest.h \
  /root/miniconda/include/gtest/internal/gtest-internal.h \
  /root/miniconda/include/gtest/internal/gtest-port.h \
  /usr/include/c++/12/stdlib.h /usr/include/string.h \
@@ -249,11 +257,10 @@ tests/CMakeFiles/test_vt.dir/vt/test_vtlib.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/types/struct_statx_timestamp.h \
  /usr/include/x86_64-linux-gnu/bits/types/struct_statx.h \
  /usr/include/c++/12/iostream /usr/include/c++/12/locale \
- /usr/include/c++/12/bits/locale_facets_nonio.h /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/locale_facets_nonio.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/time_members.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/messages_members.h \
- /usr/include/libintl.h /usr/include/c++/12/bits/codecvt.h \
- /usr/include/c++/12/bits/locale_facets_nonio.tcc \
+ /usr/include/libintl.h /usr/include/c++/12/bits/locale_facets_nonio.tcc \
  /usr/include/c++/12/bits/locale_conv.h \
  /root/miniconda/include/gtest/internal/custom/gtest-port.h \
  /root/miniconda/include/gtest/internal/gtest-port-arch.h \

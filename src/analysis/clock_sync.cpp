@@ -21,7 +21,9 @@ LatencyMap paired_latencies(const vt::TraceStore& store, int* nprocs_out) {
   std::map<std::pair<int, int>, std::deque<sim::TimeNs>> sends;
   std::map<std::pair<int, int>, std::deque<sim::TimeNs>> recvs;
   int nprocs = 0;
-  for (const auto& e : store.merged()) {
+  auto cursor = store.merge_cursor();
+  vt::Event e;
+  while (cursor->next(e)) {
     nprocs = std::max(nprocs, e.pid + 1);
     if (e.kind == vt::EventKind::kMsgSend) {
       sends[{e.pid, e.code}].push_back(e.time);
@@ -100,7 +102,9 @@ ClockSyncResult estimate_clock_offsets(const vt::TraceStore& store) {
 vt::TraceStore apply_clock_correction(const vt::TraceStore& store,
                                       const std::vector<sim::TimeNs>& offsets) {
   vt::TraceStore corrected;
-  for (auto e : store.events()) {
+  auto cursor = store.merge_cursor();
+  vt::Event e;
+  while (cursor->next(e)) {
     if (e.pid >= 0 && static_cast<std::size_t>(e.pid) < offsets.size()) {
       e.time -= offsets[static_cast<std::size_t>(e.pid)];
     }

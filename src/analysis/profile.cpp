@@ -20,20 +20,11 @@ struct StackEntry {
 }  // namespace
 
 TraceAnalyzer::TraceAnalyzer(const vt::TraceStore& store) {
-  // Group events per process.
-  std::map<std::int32_t, std::vector<vt::Event>> by_pid;
-  for (const auto& e : store.events()) by_pid[e.pid].push_back(e);
-
-  for (auto& [pid, events] : by_pid) {
-    std::stable_sort(events.begin(), events.end(), vt::EventOrder{});
-
+  // Replay each process's shard as a time-ordered stream; the trace is
+  // never materialized as one vector.
+  for (const std::int32_t pid : store.pids()) {
     ProcessProfile profile;
     profile.pid = pid;
-    profile.events = events.size();
-    if (!events.empty()) {
-      profile.first_event = events.front().time;
-      profile.last_event = events.back().time;
-    }
 
     std::map<std::int32_t, FunctionProfile> functions;
     // Per-thread call stacks (threads of one process interleave in the
@@ -41,7 +32,12 @@ TraceAnalyzer::TraceAnalyzer(const vt::TraceStore& store) {
     std::map<std::int32_t, std::vector<StackEntry>> stacks;
     std::map<std::int32_t, sim::TimeNs> mpi_begin;  // per thread
 
-    for (const auto& e : events) {
+    auto cursor = store.process_cursor(pid);
+    vt::Event e;
+    while (cursor->next(e)) {
+      if (profile.events == 0) profile.first_event = e.time;
+      profile.last_event = e.time;
+      ++profile.events;
       switch (e.kind) {
         case vt::EventKind::kEnter: {
           auto& fp = functions[e.code];

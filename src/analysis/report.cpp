@@ -37,19 +37,24 @@ std::string CommMatrix::render() const {
 }
 
 CommMatrix communication_matrix(const vt::TraceStore& store) {
-  // Determine the process-id range first (pids are dense from 0).
+  // One streaming pass: accumulate sends sparsely, then lay the matrix out
+  // once the process-id range (pids are dense from 0) is known.
   int nprocs = 0;
-  for (const auto& e : store.events()) {
-    nprocs = std::max({nprocs, e.pid + 1,
-                       e.kind == vt::EventKind::kMsgSend ? e.code + 1 : 0});
+  for (const std::int32_t pid : store.pids()) nprocs = std::max(nprocs, pid + 1);
+  std::map<std::pair<std::int32_t, std::int32_t>, std::int64_t> sends;
+  auto cursor = store.merge_cursor();
+  vt::Event e;
+  while (cursor->next(e)) {
+    if (e.kind != vt::EventKind::kMsgSend) continue;
+    nprocs = std::max(nprocs, e.code + 1);
+    if (e.code < 0) continue;
+    sends[{e.pid, e.code}] += e.aux;
   }
   CommMatrix matrix;
   matrix.nprocs = nprocs;
   matrix.bytes.assign(static_cast<std::size_t>(nprocs) * nprocs, 0);
-  for (const auto& e : store.events()) {
-    if (e.kind != vt::EventKind::kMsgSend) continue;
-    if (e.code < 0 || e.code >= nprocs) continue;
-    matrix.bytes[static_cast<std::size_t>(e.pid) * nprocs + e.code] += e.aux;
+  for (const auto& [pair, bytes] : sends) {
+    matrix.bytes[static_cast<std::size_t>(pair.first) * nprocs + pair.second] += bytes;
   }
   return matrix;
 }
@@ -91,7 +96,9 @@ std::vector<OmpRegionProfile> omp_region_profiles(const vt::TraceStore& store) {
   std::map<std::tuple<std::int32_t, std::int32_t, std::int32_t>, sim::TimeNs> open_master;
   std::map<std::tuple<std::int32_t, std::int32_t, std::int32_t>, sim::TimeNs> open_worker;
 
-  for (const auto& e : store.merged()) {
+  auto cursor = store.merge_cursor();
+  vt::Event e;
+  while (cursor->next(e)) {
     const auto key = std::make_tuple(e.pid, e.tid, e.code);
     switch (e.kind) {
       case vt::EventKind::kParallelBegin: {

@@ -10,11 +10,11 @@
 namespace dyntrace::analysis {
 
 std::string render_timeline(const vt::TraceStore& store, const TimelineOptions& options) {
-  const auto events = store.merged();
-  if (events.empty()) return "";
-
-  const sim::TimeNs t0 = events.front().time;
-  const sim::TimeNs t1 = events.back().time;
+  // Bounds come from shard metadata (O(shards)); the paint pass streams
+  // the merged trace without materializing it.
+  sim::TimeNs t0 = 0;
+  sim::TimeNs t1 = 0;
+  if (!store.time_bounds(&t0, &t1)) return "";
   const sim::TimeNs span = std::max<sim::TimeNs>(1, t1 - t0);
   const int columns = std::max(8, options.columns);
 
@@ -45,7 +45,9 @@ std::string render_timeline(const vt::TraceStore& store, const TimelineOptions& 
     }
   };
 
-  for (const auto& e : events) {
+  auto cursor = store.merge_cursor();
+  vt::Event e;
+  while (cursor->next(e)) {
     State& st = states[{e.pid, e.tid}];
     // Paint the elapsed interval with the state we were in.
     if (st.mpi_depth > 0) {

@@ -62,7 +62,10 @@ Launch::Launch(Options options) : options_(std::move(options)) {
       options_.machine.has_value() ? *options_.machine : machine::ibm_power3_sp();
   cluster_ = std::make_unique<machine::Cluster>(engine_, std::move(spec),
                                                 /*noise_seed=*/params.seed ^ 0x9e3779b9);
-  store_ = std::make_shared<vt::TraceStore>();
+  vt::TraceStore::Options store_options;
+  store_options.spill_budget_bytes = options_.trace_spill_bytes;
+  store_options.spill_dir = options_.trace_spill_dir;
+  store_ = std::make_shared<vt::TraceStore>(std::move(store_options));
   staged_ = std::make_shared<vt::StagedUpdate>();
   job_ = std::make_unique<proc::ParallelJob>(*cluster_, app.name);
 

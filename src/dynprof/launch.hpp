@@ -57,6 +57,11 @@ class Launch {
     Policy policy = Policy::kNone;
     std::optional<machine::MachineSpec> machine;  ///< default: IBM Power3 SP
     std::size_t vt_buffer_records = 16384;
+    /// Per-process trace-shard byte budget before sorted runs spill to
+    /// disk (0 = keep shards fully in memory; see vt::ShardOptions).
+    std::size_t trace_spill_bytes = 0;
+    /// Spill directory for shard runs; empty = system temp directory.
+    std::string trace_spill_dir;
     /// First node used for application processes (tool daemons etc. can
     /// use the nodes above the application's).
     int first_app_node = 0;

@@ -1,0 +1,93 @@
+#include "vt/trace_format.hpp"
+
+#include "support/common.hpp"
+
+namespace dyntrace::vt {
+
+namespace {
+
+void put_u16(std::uint8_t* out, std::uint16_t v) {
+  out[0] = static_cast<std::uint8_t>(v);
+  out[1] = static_cast<std::uint8_t>(v >> 8);
+}
+
+void put_u32(std::uint8_t* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+void put_u64(std::uint8_t* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::uint16_t get_u16(const std::uint8_t* in) {
+  return static_cast<std::uint16_t>(in[0] | (in[1] << 8));
+}
+
+std::uint32_t get_u32(const std::uint8_t* in) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(in[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t get_u64(const std::uint8_t* in) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(in[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+bool valid_event_kind(std::uint8_t kind) {
+  return kind <= static_cast<std::uint8_t>(EventKind::kMarker);
+}
+
+void encode_trace_header(std::uint64_t record_count, std::uint8_t* out) {
+  out[0] = kTraceMagic[0];
+  out[1] = kTraceMagic[1];
+  out[2] = kTraceMagic[2];
+  out[3] = kTraceMagic[3];
+  put_u16(out + 4, kTraceFormatVersion);
+  put_u16(out + 6, static_cast<std::uint16_t>(kTraceRecordBytes));
+  put_u64(out + 8, record_count);
+}
+
+std::uint64_t decode_trace_header(const std::uint8_t* data, std::size_t size,
+                                  const std::string& context) {
+  DT_EXPECT(size >= kTraceHeaderBytes, context, ": truncated binary trace header (", size,
+            " of ", kTraceHeaderBytes, " bytes)");
+  DT_EXPECT(data[0] == kTraceMagic[0] && data[1] == kTraceMagic[1] &&
+                data[2] == kTraceMagic[2] && data[3] == kTraceMagic[3],
+            context, ": not a binary trace file (bad magic)");
+  const std::uint16_t version = get_u16(data + 4);
+  DT_EXPECT(version == kTraceFormatVersion, context, ": unsupported trace format version ",
+            version, " (expected ", kTraceFormatVersion, ")");
+  const std::uint16_t record_bytes = get_u16(data + 6);
+  DT_EXPECT(record_bytes == kTraceRecordBytes, context, ": unexpected record size ",
+            record_bytes, " (expected ", kTraceRecordBytes, ")");
+  return get_u64(data + 8);
+}
+
+void encode_event(const Event& event, std::uint8_t* out) {
+  put_u64(out, static_cast<std::uint64_t>(event.time));
+  put_u64(out + 8, static_cast<std::uint64_t>(event.aux));
+  put_u32(out + 16, static_cast<std::uint32_t>(event.pid));
+  put_u32(out + 20, static_cast<std::uint32_t>(event.tid));
+  put_u32(out + 24, static_cast<std::uint32_t>(event.code));
+  out[28] = static_cast<std::uint8_t>(event.kind);
+  out[29] = out[30] = out[31] = 0;
+}
+
+Event decode_event(const std::uint8_t* in, const std::string& context) {
+  DT_EXPECT(valid_event_kind(in[28]), context, ": unknown event kind ",
+            static_cast<int>(in[28]));
+  Event e;
+  e.time = static_cast<sim::TimeNs>(get_u64(in));
+  e.aux = static_cast<std::int64_t>(get_u64(in + 8));
+  e.pid = static_cast<std::int32_t>(get_u32(in + 16));
+  e.tid = static_cast<std::int32_t>(get_u32(in + 20));
+  e.code = static_cast<std::int32_t>(get_u32(in + 24));
+  e.kind = static_cast<EventKind>(in[28]);
+  return e;
+}
+
+}  // namespace dyntrace::vt

@@ -1,0 +1,56 @@
+// The compact binary trace encoding (v1).
+//
+// Layout, all little-endian and fixed width so a record can be located by
+// index without parsing its predecessors:
+//
+//   header (16 bytes):
+//     [0..4)   magic "DTRC"
+//     [4..6)   format version (u16, currently 1)
+//     [6..8)   record size in bytes (u16, currently 32)
+//     [8..16)  record count (u64)
+//   records (32 bytes each):
+//     [0..8)   time (i64 ns)
+//     [8..16)  aux (i64)
+//     [16..20) pid (i32)
+//     [20..24) tid (i32)
+//     [24..28) code (i32)
+//     [28]     kind (u8)
+//     [29..32) reserved, zero
+//
+// The same record encoding is used for shard spill runs (headerless: a run
+// is located by byte offset + count kept in the shard's run index) and for
+// whole-trace files written by TraceStore::write_binary (header + records).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "vt/event.hpp"
+
+namespace dyntrace::vt {
+
+inline constexpr std::uint8_t kTraceMagic[4] = {'D', 'T', 'R', 'C'};
+inline constexpr std::uint16_t kTraceFormatVersion = 1;
+inline constexpr std::size_t kTraceHeaderBytes = 16;
+inline constexpr std::size_t kTraceRecordBytes = 32;
+
+/// True if `kind` is a defined EventKind discriminant.
+bool valid_event_kind(std::uint8_t kind);
+
+/// Serialize the file header into `out` (kTraceHeaderBytes bytes).
+void encode_trace_header(std::uint64_t record_count, std::uint8_t* out);
+
+/// Validate magic/version/record size of a header and return the record
+/// count; throws dyntrace::Error (mentioning `context`, typically the file
+/// path) on mismatch or if fewer than kTraceHeaderBytes bytes are present.
+std::uint64_t decode_trace_header(const std::uint8_t* data, std::size_t size,
+                                  const std::string& context);
+
+/// Serialize one event into `out` (kTraceRecordBytes bytes).
+void encode_event(const Event& event, std::uint8_t* out);
+
+/// Parse one record; throws dyntrace::Error on an unknown event kind.
+Event decode_event(const std::uint8_t* in, const std::string& context);
+
+}  // namespace dyntrace::vt

@@ -1,0 +1,92 @@
+#include "vt/trace_reader.hpp"
+
+#include <algorithm>
+
+#include "support/common.hpp"
+#include "vt/trace_format.hpp"
+
+namespace dyntrace::vt {
+
+namespace {
+
+/// Records decoded per chunk refill (128 KiB of file per read).
+constexpr std::size_t kChunkRecords = 4096;
+
+}  // namespace
+
+bool VectorCursor::next(Event& out) {
+  if (pos_ >= events_.size()) return false;
+  out = events_[pos_++];
+  return true;
+}
+
+FileRunCursor::FileRunCursor(const std::string& path, std::uint64_t offset,
+                             std::uint64_t count)
+    : path_(path), in_(path, std::ios::binary), remaining_(count) {
+  DT_EXPECT(in_.good(), "cannot open trace file '", path_, "'");
+  in_.seekg(static_cast<std::streamoff>(offset));
+  DT_EXPECT(in_.good(), path_, ": cannot seek to run offset ", offset);
+}
+
+void FileRunCursor::refill() {
+  const std::size_t want =
+      static_cast<std::size_t>(std::min<std::uint64_t>(remaining_, kChunkRecords));
+  chunk_.resize(want * kTraceRecordBytes);
+  in_.read(reinterpret_cast<char*>(chunk_.data()),
+           static_cast<std::streamsize>(chunk_.size()));
+  const auto got = static_cast<std::size_t>(in_.gcount());
+  DT_EXPECT(got == chunk_.size(), path_, ": truncated trace data (expected ", remaining_,
+            " more record(s))");
+  chunk_pos_ = 0;
+  chunk_records_ = want;
+}
+
+bool FileRunCursor::next(Event& out) {
+  if (remaining_ == 0) return false;
+  if (chunk_pos_ >= chunk_records_) refill();
+  out = decode_event(chunk_.data() + chunk_pos_ * kTraceRecordBytes, path_);
+  ++chunk_pos_;
+  --remaining_;
+  return true;
+}
+
+bool MergeCursor::HeadAfter::operator()(const Head& a, const Head& b) const {
+  const EventOrder order;
+  if (order(a.event, b.event)) return false;
+  if (order(b.event, a.event)) return true;
+  return a.index > b.index;
+}
+
+MergeCursor::MergeCursor(std::vector<std::unique_ptr<EventCursor>> inputs)
+    : inputs_(std::move(inputs)) {
+  heap_.reserve(inputs_.size());
+  for (std::size_t i = 0; i < inputs_.size(); ++i) {
+    Head head{Event{}, i};
+    if (inputs_[i]->next(head.event)) heap_.push_back(head);
+  }
+  // std::*_heap with a "comes later" comparator keeps the earliest event at
+  // the front.  Invert by using it as a max-heap of "later" elements.
+  std::make_heap(heap_.begin(), heap_.end(), HeadAfter{});
+}
+
+bool MergeCursor::next(Event& out) {
+  if (heap_.empty()) return false;
+  std::pop_heap(heap_.begin(), heap_.end(), HeadAfter{});
+  Head head = heap_.back();
+  heap_.pop_back();
+  out = head.event;
+  if (inputs_[head.index]->next(head.event)) {
+    heap_.push_back(head);
+    std::push_heap(heap_.begin(), heap_.end(), HeadAfter{});
+  }
+  return true;
+}
+
+std::vector<Event> collect(EventCursor& cursor) {
+  std::vector<Event> out;
+  Event e;
+  while (cursor.next(e)) out.push_back(e);
+  return out;
+}
+
+}  // namespace dyntrace::vt

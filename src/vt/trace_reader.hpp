@@ -1,0 +1,85 @@
+// Streaming event cursors: pull-based readers over sorted event runs and
+// the k-way merge that combines them.
+//
+// Analysis never materializes a job's full merged event vector; it pulls
+// events one at a time from a MergeCursor whose memory footprint is
+// O(number of runs), independent of trace size (spilled runs stream from
+// disk through a fixed-size chunk buffer).
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "vt/event.hpp"
+
+namespace dyntrace::vt {
+
+/// Pull-based stream of events.  next() fills `out` and returns true, or
+/// returns false once the stream is exhausted.
+class EventCursor {
+ public:
+  virtual ~EventCursor() = default;
+  virtual bool next(Event& out) = 0;
+};
+
+/// Cursor over an owned vector (callers pass it already sorted when the
+/// cursor feeds a merge).
+class VectorCursor final : public EventCursor {
+ public:
+  explicit VectorCursor(std::vector<Event> events) : events_(std::move(events)) {}
+  bool next(Event& out) override;
+
+ private:
+  std::vector<Event> events_;
+  std::size_t pos_ = 0;
+};
+
+/// Cursor over `count` consecutive binary records starting at byte `offset`
+/// of a file, decoded through a fixed-size chunk buffer -- the run is never
+/// resident in memory as a whole.  Throws dyntrace::Error if the file ends
+/// before `count` records were read or a record fails to decode.
+class FileRunCursor final : public EventCursor {
+ public:
+  FileRunCursor(const std::string& path, std::uint64_t offset, std::uint64_t count);
+  bool next(Event& out) override;
+
+ private:
+  void refill();
+
+  std::string path_;
+  std::ifstream in_;
+  std::uint64_t remaining_;
+  std::vector<std::uint8_t> chunk_;
+  std::size_t chunk_pos_ = 0;
+  std::size_t chunk_records_ = 0;
+};
+
+/// K-way merge over sorted child cursors via a min-heap keyed by EventOrder.
+/// Ties resolve to the lower child index, so runs split from one append
+/// stream (earlier run = lower index) merge append-stably, and the merged
+/// order is deterministic for a given set of inputs.
+class MergeCursor final : public EventCursor {
+ public:
+  explicit MergeCursor(std::vector<std::unique_ptr<EventCursor>> inputs);
+  bool next(Event& out) override;
+
+ private:
+  struct Head {
+    Event event;
+    std::size_t index;
+  };
+  struct HeadAfter {  // "comes later": std::*_heap less-than for a min-heap
+    bool operator()(const Head& a, const Head& b) const;
+  };
+
+  std::vector<std::unique_ptr<EventCursor>> inputs_;
+  std::vector<Head> heap_;
+};
+
+/// Drain a cursor into a vector (tests and small traces only).
+std::vector<Event> collect(EventCursor& cursor);
+
+}  // namespace dyntrace::vt

@@ -1,0 +1,95 @@
+#include "vt/trace_shard.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include <unistd.h>
+
+#include "support/common.hpp"
+#include "support/strings.hpp"
+#include "vt/trace_format.hpp"
+
+namespace dyntrace::vt {
+
+namespace {
+
+/// Process-unique spill-file sequence (several stores can live at once, and
+/// parallel ctest runs share /tmp -- the OS pid disambiguates those).
+std::atomic<std::uint64_t> g_spill_seq{0};
+
+std::string make_spill_path(const ShardOptions& options, std::int32_t pid) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      options.spill_dir.empty() ? fs::temp_directory_path() : fs::path(options.spill_dir);
+  const auto seq = g_spill_seq.fetch_add(1, std::memory_order_relaxed);
+  return (dir / str::format("dyntrace-%d-%llu-shard%d.spill", ::getpid(),
+                            static_cast<unsigned long long>(seq), pid))
+      .string();
+}
+
+}  // namespace
+
+TraceShard::TraceShard(std::int32_t pid, ShardOptions options)
+    : pid_(pid), options_(std::move(options)), spill_path_(make_spill_path(options_, pid)) {}
+
+TraceShard::~TraceShard() {
+  if (!runs_.empty()) std::remove(spill_path_.c_str());
+}
+
+void TraceShard::append(const Event& event) {
+  if (empty()) {
+    min_time_ = max_time_ = event.time;
+  } else {
+    min_time_ = std::min(min_time_, event.time);
+    max_time_ = std::max(max_time_, event.time);
+  }
+  tail_.push_back(event);
+  if (options_.spill_budget_bytes > 0 &&
+      tail_.size() * sizeof(Event) >= options_.spill_budget_bytes) {
+    spill();
+  }
+}
+
+void TraceShard::spill() {
+  if (tail_.empty()) return;
+  // Each run must be internally sorted for the k-way merge; per-process
+  // streams are time-ordered already, so this is nearly a no-op, but it
+  // also makes the merge robust against out-of-order appends (clock
+  // adjustments, adversarial input).
+  std::stable_sort(tail_.begin(), tail_.end(), EventOrder{});
+  std::ofstream out(spill_path_, std::ios::binary | std::ios::app);
+  DT_EXPECT(out.good(), "cannot open shard spill file '", spill_path_, "'");
+  std::vector<std::uint8_t> bytes(tail_.size() * kTraceRecordBytes);
+  for (std::size_t i = 0; i < tail_.size(); ++i) {
+    encode_event(tail_[i], bytes.data() + i * kTraceRecordBytes);
+  }
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  DT_EXPECT(out.good(), "I/O error spilling shard to '", spill_path_, "'");
+  runs_.push_back(Run{spilled_records_ * kTraceRecordBytes, tail_.size()});
+  spilled_records_ += tail_.size();
+  tail_.clear();
+}
+
+std::vector<std::unique_ptr<EventCursor>> TraceShard::run_cursors() const {
+  std::vector<std::unique_ptr<EventCursor>> cursors;
+  cursors.reserve(runs_.size() + 1);
+  for (const Run& run : runs_) {
+    cursors.push_back(std::make_unique<FileRunCursor>(spill_path_, run.offset, run.count));
+  }
+  if (!tail_.empty()) {
+    std::vector<Event> sorted_tail = tail_;
+    std::stable_sort(sorted_tail.begin(), sorted_tail.end(), EventOrder{});
+    cursors.push_back(std::make_unique<VectorCursor>(std::move(sorted_tail)));
+  }
+  return cursors;
+}
+
+std::unique_ptr<EventCursor> TraceShard::cursor() const {
+  return std::make_unique<MergeCursor>(run_cursors());
+}
+
+}  // namespace dyntrace::vt

@@ -1,0 +1,76 @@
+// One process's slice of the job trace.
+//
+// Per the paper's scaling argument, trace data must stay process-local at
+// collection time: each VtLib appends to its own shard (no shared vector,
+// no lock on the append path -- exactly one writer per shard), and a shard
+// past its byte budget sorts its open tail and spills it to disk as one
+// compact binary run (trace_format.hpp).  Readers see the shard as a set of
+// sorted runs merged on the fly (trace_reader.hpp).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "vt/event.hpp"
+#include "vt/trace_format.hpp"
+#include "vt/trace_reader.hpp"
+
+namespace dyntrace::vt {
+
+struct ShardOptions {
+  /// In-memory byte budget per shard; once the open tail exceeds it, the
+  /// tail is sorted and spilled to disk as one run.  0 = never spill.
+  std::size_t spill_budget_bytes = 0;
+  /// Directory for spill files; empty = the system temp directory.
+  std::string spill_dir;
+};
+
+class TraceShard {
+ public:
+  TraceShard(std::int32_t pid, ShardOptions options);
+  ~TraceShard();
+  TraceShard(const TraceShard&) = delete;
+  TraceShard& operator=(const TraceShard&) = delete;
+
+  void append(const Event& event);
+
+  std::int32_t pid() const { return pid_; }
+  std::size_t size() const { return static_cast<std::size_t>(spilled_records_) + tail_.size(); }
+  bool empty() const { return size() == 0; }
+  std::size_t spill_runs() const { return runs_.size(); }
+  std::uint64_t spilled_bytes() const { return spilled_records_ * kTraceRecordBytes; }
+
+  /// Timestamp bounds over every appended event; meaningless when empty().
+  sim::TimeNs min_time() const { return min_time_; }
+  sim::TimeNs max_time() const { return max_time_; }
+
+  /// Sorted-run cursors covering the whole shard: spilled runs in spill
+  /// order, then the open tail (sorted into a copy -- the tail is bounded
+  /// by the spill budget).  Feed these to a MergeCursor.
+  std::vector<std::unique_ptr<EventCursor>> run_cursors() const;
+
+  /// Merged time-ordered view of this shard alone.
+  std::unique_ptr<EventCursor> cursor() const;
+
+ private:
+  struct Run {
+    std::uint64_t offset = 0;  ///< byte offset into the spill file
+    std::uint64_t count = 0;   ///< records in the run
+  };
+
+  void spill();
+
+  std::int32_t pid_;
+  ShardOptions options_;
+  std::string spill_path_;
+  std::vector<Event> tail_;
+  std::vector<Run> runs_;
+  std::uint64_t spilled_records_ = 0;
+  sim::TimeNs min_time_ = 0;
+  sim::TimeNs max_time_ = 0;
+};
+
+}  // namespace dyntrace::vt

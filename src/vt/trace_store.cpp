@@ -1,11 +1,12 @@
 #include "vt/trace_store.hpp"
 
 #include <algorithm>
-#include <cstdio>
+#include <filesystem>
 #include <fstream>
 
 #include "support/common.hpp"
 #include "support/strings.hpp"
+#include "vt/trace_format.hpp"
 
 namespace dyntrace::vt {
 
@@ -37,16 +38,84 @@ EventKind kind_from_string(std::string_view s) {
 
 }  // namespace
 
-std::vector<Event> TraceStore::merged() const {
-  std::vector<Event> out = events_;
-  std::stable_sort(out.begin(), out.end(), EventOrder{});
+TraceShard& TraceStore::shard(std::int32_t pid) {
+  std::lock_guard<std::mutex> lock(*mutex_);
+  auto& slot = shards_[pid];
+  if (!slot) slot = std::make_unique<TraceShard>(pid, options_);
+  return *slot;
+}
+
+std::size_t TraceStore::size() const {
+  std::lock_guard<std::mutex> lock(*mutex_);
+  std::size_t total = 0;
+  for (const auto& [pid, shard] : shards_) total += shard->size();
+  return total;
+}
+
+std::vector<std::int32_t> TraceStore::pids() const {
+  std::lock_guard<std::mutex> lock(*mutex_);
+  std::vector<std::int32_t> out;
+  out.reserve(shards_.size());
+  for (const auto& [pid, shard] : shards_) {
+    if (!shard->empty()) out.push_back(pid);
+  }
   return out;
 }
 
+bool TraceStore::time_bounds(sim::TimeNs* lo, sim::TimeNs* hi) const {
+  std::lock_guard<std::mutex> lock(*mutex_);
+  bool any = false;
+  sim::TimeNs min_t = 0, max_t = 0;
+  for (const auto& [pid, shard] : shards_) {
+    if (shard->empty()) continue;
+    if (!any || shard->min_time() < min_t) min_t = shard->min_time();
+    if (!any || shard->max_time() > max_t) max_t = shard->max_time();
+    any = true;
+  }
+  if (!any) return false;
+  if (lo != nullptr) *lo = min_t;
+  if (hi != nullptr) *hi = max_t;
+  return true;
+}
+
+std::unique_ptr<EventCursor> TraceStore::merge_cursor() const {
+  std::lock_guard<std::mutex> lock(*mutex_);
+  std::vector<std::unique_ptr<EventCursor>> runs;
+  // Shards in pid order, runs in spill order: equal-key ties in the merge
+  // then resolve to the earlier-appended run (append-stable, like the
+  // stable_sort the monolithic store used).
+  for (const auto& [pid, shard] : shards_) {
+    for (auto& cursor : shard->run_cursors()) runs.push_back(std::move(cursor));
+  }
+  return std::make_unique<MergeCursor>(std::move(runs));
+}
+
+std::unique_ptr<EventCursor> TraceStore::process_cursor(std::int32_t pid) const {
+  std::lock_guard<std::mutex> lock(*mutex_);
+  const auto it = shards_.find(pid);
+  if (it == shards_.end()) {
+    return std::make_unique<VectorCursor>(std::vector<Event>{});
+  }
+  return it->second->cursor();
+}
+
+std::vector<Event> TraceStore::merged() const {
+  auto cursor = merge_cursor();
+  return collect(*cursor);
+}
+
 std::vector<Event> TraceStore::for_process(std::int32_t pid) const {
+  auto cursor = process_cursor(pid);
+  return collect(*cursor);
+}
+
+std::vector<Event> TraceStore::events() const {
   std::vector<Event> out;
-  for (const auto& e : events_) {
-    if (e.pid == pid) out.push_back(e);
+  out.reserve(size());
+  for (const std::int32_t pid : pids()) {
+    auto cursor = process_cursor(pid);
+    Event e;
+    while (cursor->next(e)) out.push_back(e);
   }
   return out;
 }
@@ -55,14 +124,73 @@ void TraceStore::write(const std::string& path) const {
   std::ofstream out(path);
   DT_EXPECT(out.good(), "cannot open trace file '", path, "' for writing");
   out << "# dyntrace trace v1: time_ns pid tid kind code aux\n";
-  for (const auto& e : merged()) {
+  auto cursor = merge_cursor();
+  Event e;
+  while (cursor->next(e)) {
     out << e.time << '\t' << e.pid << '\t' << e.tid << '\t' << to_string(e.kind) << '\t'
         << e.code << '\t' << e.aux << '\n';
   }
   DT_EXPECT(out.good(), "I/O error writing trace file '", path, "'");
 }
 
+void TraceStore::write_binary(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  DT_EXPECT(out.good(), "cannot open trace file '", path, "' for writing");
+  std::uint8_t header[kTraceHeaderBytes];
+  encode_trace_header(size(), header);
+  out.write(reinterpret_cast<const char*>(header), sizeof(header));
+
+  auto cursor = merge_cursor();
+  std::vector<std::uint8_t> chunk;
+  chunk.reserve(4096 * kTraceRecordBytes);
+  std::uint8_t record[kTraceRecordBytes];
+  Event e;
+  while (cursor->next(e)) {
+    encode_event(e, record);
+    chunk.insert(chunk.end(), record, record + kTraceRecordBytes);
+    if (chunk.size() >= 4096 * kTraceRecordBytes) {
+      out.write(reinterpret_cast<const char*>(chunk.data()),
+                static_cast<std::streamsize>(chunk.size()));
+      chunk.clear();
+    }
+  }
+  if (!chunk.empty()) {
+    out.write(reinterpret_cast<const char*>(chunk.data()),
+              static_cast<std::streamsize>(chunk.size()));
+  }
+  DT_EXPECT(out.good(), "I/O error writing trace file '", path, "'");
+}
+
+std::unique_ptr<EventCursor> TraceStore::open_binary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  DT_EXPECT(in.good(), "cannot open trace file '", path, "'");
+  std::uint8_t header[kTraceHeaderBytes];
+  in.read(reinterpret_cast<char*>(header), sizeof(header));
+  const std::uint64_t count =
+      decode_trace_header(header, static_cast<std::size_t>(in.gcount()), path);
+  std::error_code ec;
+  const auto file_size = std::filesystem::file_size(path, ec);
+  DT_EXPECT(!ec && file_size == kTraceHeaderBytes + count * kTraceRecordBytes, path,
+            ": trace payload size does not match header (", count, " record(s) declared)");
+  return std::make_unique<FileRunCursor>(path, kTraceHeaderBytes, count);
+}
+
 TraceStore TraceStore::read(const std::string& path) {
+  {
+    std::ifstream probe(path, std::ios::binary);
+    DT_EXPECT(probe.good(), "cannot open trace file '", path, "'");
+    std::uint8_t magic[4] = {0, 0, 0, 0};
+    probe.read(reinterpret_cast<char*>(magic), sizeof(magic));
+    if (probe.gcount() == 4 && magic[0] == kTraceMagic[0] && magic[1] == kTraceMagic[1] &&
+        magic[2] == kTraceMagic[2] && magic[3] == kTraceMagic[3]) {
+      TraceStore store;
+      auto cursor = open_binary(path);
+      Event e;
+      while (cursor->next(e)) store.append(e);
+      return store;
+    }
+  }
+
   std::ifstream in(path);
   DT_EXPECT(in.good(), "cannot open trace file '", path, "'");
   TraceStore store;
@@ -85,7 +213,11 @@ TraceStore TraceStore::read(const std::string& path) {
     e.time = *time;
     e.pid = static_cast<std::int32_t>(*pid);
     e.tid = static_cast<std::int32_t>(*tid);
-    e.kind = kind_from_string(fields[3]);
+    try {
+      e.kind = kind_from_string(fields[3]);
+    } catch (const Error&) {
+      fail(path, ":", line_no, ": unknown event kind '", fields[3], "'");
+    }
     e.code = static_cast<std::int32_t>(*code);
     e.aux = *aux;
     store.append(e);

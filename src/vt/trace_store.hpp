@@ -1,43 +1,98 @@
 // The trace "file": collected event streams of one job.
 //
 // Per the paper's model, data is buffered per process at run time and
-// dumped at program termination for postmortem inspection.  TraceStore is
-// the dump target shared by all VtLib instances of a job; analysis tools
-// read it back (src/analysis).
+// dumped for postmortem inspection.  TraceStore is the dump target shared
+// by all VtLib instances of a job, but it is *sharded*: each process
+// appends to its own TraceShard (no shared vector, no lock on the append
+// path), shards spill sorted binary runs to disk past a configurable byte
+// budget, and every reader -- including src/analysis -- streams events
+// through a k-way merge over the sorted runs instead of materializing the
+// job's full event vector.
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "vt/event.hpp"
+#include "vt/trace_reader.hpp"
+#include "vt/trace_shard.hpp"
 
 namespace dyntrace::vt {
 
 class TraceStore {
  public:
-  /// Append a flushed event (in per-process buffer order).
-  void append(const Event& event) { events_.push_back(event); }
+  /// Per-shard spill policy (spill_budget_bytes = 0 keeps shards fully in
+  /// memory, the right default for the small simulated jobs in tests).
+  using Options = ShardOptions;
 
-  std::size_t size() const { return events_.size(); }
-  const std::vector<Event>& events() const { return events_; }
+  TraceStore() = default;
+  explicit TraceStore(Options options) : options_(std::move(options)) {}
+  TraceStore(TraceStore&&) = default;
+  TraceStore& operator=(TraceStore&&) = default;
 
-  /// Events sorted by (time, pid, tid).
+  /// The per-process shard, created on first use.  Writers (VtLib) cache
+  /// the returned reference so their flush path never takes the registry
+  /// lock; shard references stay valid for the store's lifetime.
+  TraceShard& shard(std::int32_t pid);
+
+  /// Append a flushed event (routed to its process's shard).
+  void append(const Event& event) { shard(event.pid).append(event); }
+
+  std::size_t size() const;
+  bool empty() const { return size() == 0; }
+
+  /// Process ids with a shard, ascending.
+  std::vector<std::int32_t> pids() const;
+
+  /// Earliest and latest event timestamp across all shards (O(shards),
+  /// no event scan); returns false when the store is empty.
+  bool time_bounds(sim::TimeNs* lo, sim::TimeNs* hi) const;
+
+  /// Stream of all events in (time, pid, tid) order; memory is O(runs),
+  /// independent of trace size.
+  std::unique_ptr<EventCursor> merge_cursor() const;
+
+  /// Stream of one process's events in time order (empty cursor for an
+  /// unknown pid).
+  std::unique_ptr<EventCursor> process_cursor(std::int32_t pid) const;
+
+  /// Events sorted by (time, pid, tid), materialized -- tests and small
+  /// traces only; analysis streams through merge_cursor() instead.
   std::vector<Event> merged() const;
 
-  /// Events of one process, in record order.
+  /// Events of one process in time order, materialized.
   std::vector<Event> for_process(std::int32_t pid) const;
 
-  /// Serialize to a tab-separated text file; throws dyntrace::Error on I/O
-  /// failure.
+  /// All events, shard by shard in pid order, materialized (compatibility
+  /// helper for tests that scan the trace without caring about global
+  /// order).
+  std::vector<Event> events() const;
+
+  /// Serialize to a tab-separated text file (streamed; human-readable,
+  /// kept for compatibility); throws dyntrace::Error on I/O failure.
   void write(const std::string& path) const;
 
-  /// Parse a file written by write().
+  /// Serialize to the compact binary format (trace_format.hpp), streamed
+  /// through the merge so the trace is never fully resident.
+  void write_binary(const std::string& path) const;
+
+  /// Parse a file written by write() or write_binary(); the format is
+  /// auto-detected from the magic bytes.
   static TraceStore read(const std::string& path);
 
+  /// Stream the records of a binary trace file without loading it; header
+  /// and size are validated up front, record contents lazily.
+  static std::unique_ptr<EventCursor> open_binary(const std::string& path);
+
  private:
-  std::vector<Event> events_;
+  Options options_;
+  /// Guards the shard registry only -- never the append path.
+  mutable std::unique_ptr<std::mutex> mutex_ = std::make_unique<std::mutex>();
+  std::map<std::int32_t, std::unique_ptr<TraceShard>> shards_;
 };
 
 }  // namespace dyntrace::vt

@@ -24,6 +24,7 @@ VtLib::VtLib(proc::SimProcess& process, std::shared_ptr<TraceStore> store, Optio
       options_(std::move(options)),
       confsync_noise_(0xc0f5u ^ (static_cast<std::uint64_t>(process.pid()) * 0x9e3779b9u)) {
   DT_ASSERT(store_ != nullptr);
+  shard_ = &store_->shard(process.pid());
   const std::size_t nfuncs = process_.image().symbols().size();
   registered_.assign(nfuncs, 0);
   stats_.assign(nfuncs, FuncStats{});
@@ -99,7 +100,7 @@ sim::Coro<void> VtLib::flush(proc::SimThread& thread) {
   ++flushes_;
   co_await thread.compute(costs().vt_flush_per_record *
                           static_cast<sim::TimeNs>(buffer_.size()));
-  for (const auto& e : buffer_) store_->append(e);
+  for (const auto& e : buffer_) shard_->append(e);
   buffer_.clear();
 }
 
@@ -164,15 +165,31 @@ sim::Coro<void> VtLib::vt_end(proc::SimThread& thread, image::FunctionId fn) {
       co_return;
     }
   }
+  if (!registered_[fn]) {
+    // Lazy VT_funcdef can be triggered by an *exit* probe: when dynprof
+    // patches probes into a running application, the first probe to fire
+    // for a function may be its exit.
+    charge += c.vt_funcdef;
+    registered_[fn] = 1;
+  }
   charge += c.vt_timestamp + c.vt_record;
   co_await thread.compute(charge);
   push_event(EventKind::kLeave, thread, static_cast<std::int32_t>(fn), 0);
   if (options_.collect_statistics) {
     const auto tid = static_cast<std::size_t>(thread.tid());
-    if (tid < enter_stacks_.size() && !enter_stacks_[tid].empty() &&
-        enter_stacks_[tid].back().first == fn) {
-      stats_[fn].inclusive += process_.engine().now() - enter_stacks_[tid].back().second;
-      enter_stacks_[tid].pop_back();
+    if (tid < enter_stacks_.size()) {
+      // Unwind to the matching frame: mismatched nesting (a probe removed
+      // mid-run between enter and exit, or an exit whose enter was
+      // filtered) must not leave stale frames pinned on the stack, or
+      // inclusive time for this thread is corrupted forever after.
+      auto& stack = enter_stacks_[tid];
+      for (std::size_t i = stack.size(); i-- > 0;) {
+        if (stack[i].first == fn) {
+          stats_[fn].inclusive += process_.engine().now() - stack[i].second;
+          stack.resize(i);  // drop the frame and any stale frames above it
+          break;
+        }
+      }
     }
   }
   if (buffer_.size() >= options_.buffer_records) co_await flush(thread);
@@ -219,7 +236,18 @@ bool VtLib::records(image::FunctionId fn) const {
 
 void VtLib::note_synthetic_pairs(image::FunctionId fn, std::uint64_t pairs,
                                  sim::TimeNs inclusive_each) {
-  if (!records(fn)) {
+  // Mirror vt_begin's three suppression counters: pre-init and trace-off
+  // drops are not filter-table hits, and conflating them skews the
+  // Full-Off vs None accounting.
+  if (!initialized_) {
+    events_dropped_preinit_ += 2 * pairs;
+    return;
+  }
+  if (!tracing_) {
+    events_dropped_traceoff_ += 2 * pairs;
+    return;
+  }
+  if (filter_.enabled() && filter_.deactivated(fn)) {
     events_filtered_ += 2 * pairs;
     return;
   }

@@ -157,6 +157,9 @@ class VtLib {
 
   proc::SimProcess& process_;
   std::shared_ptr<TraceStore> store_;
+  /// This process's shard of the store; flushes append here so the hot
+  /// path never touches shared store state (one writer per shard).
+  TraceShard* shard_ = nullptr;
   Options options_;
 
   bool initialized_ = false;

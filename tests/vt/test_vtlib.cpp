@@ -209,6 +209,81 @@ TEST(VtLib, RecordChargesAndStoresNonSubroutineEvents) {
   EXPECT_EQ(events[0].aux, 4096);
 }
 
+TEST(VtLib, MismatchedEndUnwindsStatisticsStack) {
+  // dynprof can patch an exit probe without the matching entry probe ever
+  // having fired, so VT_end may see a function that is not on top of the
+  // statistics stack.  The stack must unwind to the matching frame instead
+  // of leaking it (and every stale frame above it) forever.
+  Fixture f;
+  f.run([&f](proc::SimThread& t) -> sim::Coro<void> {
+    co_await f.vt.vt_init(t);
+    co_await f.vt.vt_begin(t, 1);  // hot_fn
+    co_await t.compute(sim::milliseconds(4));
+    co_await f.vt.vt_begin(t, 2);  // cold_fn -- its end probe never fires
+    co_await t.compute(sim::milliseconds(1));
+    co_await f.vt.vt_end(t, 1);  // unwinds past the stale cold_fn frame
+    // The stack is clean again: a later well-nested pair must still work.
+    co_await f.vt.vt_begin(t, 1);
+    co_await t.compute(sim::milliseconds(2));
+    co_await f.vt.vt_end(t, 1);
+  });
+  const auto& stats = f.vt.statistics();
+  EXPECT_EQ(stats[1].calls, 2u);
+  EXPECT_GE(stats[1].inclusive, sim::milliseconds(7));  // 4+1 then 2
+  // A second end for the unwound frame must not resurrect stale time.
+  Fixture g;
+  g.run([&g](proc::SimThread& t) -> sim::Coro<void> {
+    co_await g.vt.vt_init(t);
+    co_await g.vt.vt_begin(t, 1);
+    co_await g.vt.vt_begin(t, 2);
+    co_await g.vt.vt_end(t, 1);
+    co_await t.compute(sim::milliseconds(9));
+    co_await g.vt.vt_end(t, 2);  // frame was dropped by the unwind
+  });
+  EXPECT_LT(g.vt.statistics()[2].inclusive, sim::milliseconds(9));
+}
+
+TEST(VtLib, EndFirstCallChargesFuncdef) {
+  // When dynprof patches probes into a running application the first probe
+  // to fire for a function can be its *exit*; the lazy VT_funcdef charge
+  // must apply there too, exactly once.
+  Fixture f;
+  sim::TimeNs first = 0, second = 0, begin_cost = 0;
+  f.run([&](proc::SimThread& t) -> sim::Coro<void> {
+    co_await f.vt.vt_init(t);
+    sim::TimeNs t0 = f.engine.now();
+    co_await f.vt.vt_end(t, 1);  // fn 1 never seen before
+    first = f.engine.now() - t0;
+    t0 = f.engine.now();
+    co_await f.vt.vt_end(t, 1);
+    second = f.engine.now() - t0;
+    // And a later vt_begin must not charge it again.
+    t0 = f.engine.now();
+    co_await f.vt.vt_begin(t, 1);
+    begin_cost = f.engine.now() - t0;
+  });
+  EXPECT_EQ(first - second, f.cluster.spec().costs.vt_funcdef);
+  EXPECT_EQ(begin_cost, second);
+}
+
+TEST(VtLib, SyntheticPairsBeforeInitCountAsPreinitDrops) {
+  Fixture f;
+  f.vt.note_synthetic_pairs(1, 250, 0);
+  EXPECT_EQ(f.vt.events_dropped_preinit(), 500u);
+  EXPECT_EQ(f.vt.events_filtered(), 0u);
+  EXPECT_EQ(f.vt.virtual_events(), 0u);
+}
+
+TEST(VtLib, SyntheticPairsWhileTraceOffCountAsTraceoffDrops) {
+  Fixture f;
+  f.run([&f](proc::SimThread& t) -> sim::Coro<void> { co_await f.vt.vt_init(t); });
+  f.vt.trace_off();
+  f.vt.note_synthetic_pairs(1, 125, 0);
+  EXPECT_EQ(f.vt.events_dropped_traceoff(), 250u);
+  EXPECT_EQ(f.vt.events_filtered(), 0u);
+  EXPECT_EQ(f.vt.virtual_events(), 0u);
+}
+
 TEST(VtLib, InitIsIdempotent) {
   Fixture f;
   f.run([&f](proc::SimThread& t) -> sim::Coro<void> {
