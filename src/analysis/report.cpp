@@ -186,4 +186,36 @@ std::string summary_report(const vt::TraceStore& store, const image::SymbolTable
   return os.str();
 }
 
+std::string render_decision_log(const control::DecisionLog& log) {
+  std::ostringstream os;
+  os << str::format("budget %.1f%% (reactivate below %.1f%%), actuator %s\n",
+                    log.options.budget_fraction * 100.0,
+                    log.options.budget_fraction * log.options.reactivate_fraction * 100.0,
+                    control::to_string(log.options.actuator));
+  TextTable table({"sync", "t (s)", "measured", "projected", "action"});
+  std::size_t quiet = 0;
+  for (const auto& d : log.decisions) {
+    if (d.deactivated.empty() && d.reactivated.empty()) {
+      ++quiet;
+      continue;
+    }
+    std::string action;
+    if (!d.deactivated.empty()) {
+      action += "-[" + str::join(d.deactivated, ", ") + "]";
+    }
+    if (!d.reactivated.empty()) {
+      if (!action.empty()) action += " ";
+      action += "+[" + str::join(d.reactivated, ", ") + "]";
+    }
+    table.add_row({std::to_string(d.sync), TextTable::num(sim::to_seconds(d.time), 3),
+                   str::format("%.2f%%", d.estimated_overhead * 100.0),
+                   str::format("%.2f%%", d.projected_overhead * 100.0), action});
+  }
+  os << table.render();
+  os << str::format("%zu decision(s) over %zu safe point(s); %zu left the "
+                    "configuration unchanged\n",
+                    log.decisions.size() - quiet, log.decisions.size(), quiet);
+  return os.str();
+}
+
 }  // namespace dyntrace::analysis

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "control/controller.hpp"
 #include "image/symbols.hpp"
 #include "vt/trace_store.hpp"
 
@@ -58,5 +59,11 @@ std::string render_omp_regions(const std::vector<OmpRegionProfile>& profiles);
 /// Combined human-readable report (profile top-N + matrix + balance).
 std::string summary_report(const vt::TraceStore& store, const image::SymbolTable* symbols,
                            std::size_t top_n = 10);
+
+/// Render a budget controller's decision trail: one row per safe point that
+/// changed the configuration (measured vs projected overhead against the
+/// budget, and which groups were switched), plus a one-line summary of safe
+/// points where the controller left the configuration alone.
+std::string render_decision_log(const control::DecisionLog& log);
 
 }  // namespace dyntrace::analysis

@@ -43,38 +43,30 @@ sim::Coro<void> AppContext::leaf(proc::SimThread& thread, std::string_view name,
   });
 }
 
-sim::TimeNs AppContext::snippet_cost_estimate(const image::Snippet& snippet) const {
-  const auto& node = snippet.node();
-  if (const auto* seq = std::get_if<image::SequenceOp>(&node)) {
-    sim::TimeNs total = 0;
-    for (const auto& item : seq->items) total += snippet_cost_estimate(*item);
-    return total;
-  }
-  if (const auto* c = std::get_if<image::CallLibOp>(&node)) {
-    if ((c->function == "VT_begin" || c->function == "VT_end") && vt_ != nullptr &&
-        !c->args.empty()) {
-      return vt_->steady_call_cost(static_cast<image::FunctionId>(c->args[0]));
-    }
-  }
-  // Other primitives (flags, callbacks, barriers) are not valid inside
-  // batched leaves; they only appear in one-shot snippets like Figure 6's.
-  return 0;
-}
-
 sim::TimeNs AppContext::steady_pair_overhead(image::FunctionId fn) const {
+  // The VT library prices its own calls (vt::VtLib::steady_pair_overhead);
+  // without a library linked, only the structural trampoline cost remains
+  // (snippet bodies call into a registry that has nothing to do).
+  if (vt_ != nullptr) return vt_->steady_pair_overhead(fn);
   const image::ProgramImage& img = process_.image();
   const machine::CostModel& costs = process_.cluster().spec().costs;
-  sim::TimeNs total = img.trampoline_overhead(fn, image::ProbeWhere::kEntry, costs) +
-                      img.trampoline_overhead(fn, image::ProbeWhere::kExit, costs);
-  for (const auto where : {image::ProbeWhere::kEntry, image::ProbeWhere::kExit}) {
-    for (const auto& sn : img.active_snippets(fn, where)) {
-      total += snippet_cost_estimate(*sn);
-    }
+  return img.trampoline_overhead(fn, image::ProbeWhere::kEntry, costs) +
+         img.trampoline_overhead(fn, image::ProbeWhere::kExit, costs);
+}
+
+sim::Coro<void> AppContext::safe_point(proc::SimThread& thread) {
+  if (params_.confsync_interval <= 0 || vt_ == nullptr || !vt_->initialized()) co_return;
+  const std::int64_t offer = ++safe_point_offers_;
+  // Power-of-two ramp before the first full interval, then the steady
+  // cadence.  Deterministic in the offer index alone, so every rank fires
+  // at the same offers and VT_confsync stays collective.
+  bool fire;
+  if (offer < params_.confsync_interval) {
+    fire = (offer & (offer - 1)) == 0;
+  } else {
+    fire = offer % params_.confsync_interval == 0;
   }
-  if (img.static_instrumented(fn) && vt_ != nullptr) {
-    total += 2 * vt_->steady_call_cost(fn);
-  }
-  return total;
+  if (fire) co_await vt_->confsync(thread, params_.confsync_statistics);
 }
 
 sim::Coro<void> AppContext::leaf_repeat(proc::SimThread& thread, std::string_view name,
@@ -96,7 +88,8 @@ sim::Coro<void> AppContext::leaf_repeat(proc::SimThread& thread, std::string_vie
       img.probe_point(fn, image::ProbeWhere::kEntry).has_base_trampoline() ||
       img.probe_point(fn, image::ProbeWhere::kExit).has_base_trampoline();
   if (instrumented && vt_ != nullptr) {
-    vt_->note_synthetic_pairs(fn, static_cast<std::uint64_t>(rest), work_each + per_pair);
+    vt_->note_synthetic_pairs(fn, static_cast<std::uint64_t>(rest), work_each + per_pair,
+                              thread.tid());
   }
 }
 

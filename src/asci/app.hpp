@@ -69,6 +69,15 @@ struct AppParams {
   int threads_per_rank = 1;   ///< OpenMP team size per rank (kMixed apps)
   double problem_scale = 1.0; ///< scales iteration counts (tests use < 1)
   std::uint64_t seed = 42;
+  /// Safe-point cadence: the bodies *offer* safe points at natural
+  /// boundaries (AppContext::safe_point); every confsync_interval-th offer
+  /// becomes a VT_confsync, with a power-of-two warm-up ramp (offers 1, 2,
+  /// 4, ...) so a control plane gets early windows before settling into
+  /// the steady cadence.  0 disables safe points entirely.
+  int confsync_interval = 0;
+  /// Run the statistics path on every fired confsync (Figure 8b / the
+  /// control plane's feedback input).
+  bool confsync_statistics = false;
 };
 
 /// Per-process runtime context handed to application bodies.
@@ -106,13 +115,20 @@ class AppContext {
   /// Iteration count scaled by problem_scale (>= 1).
   std::int64_t iters(double base) const;
 
+  /// Offer a safe point (call from single-threaded regions at natural
+  /// boundaries, identically on every rank).  Fires VT_confsync on the
+  /// cadence described at AppParams::confsync_interval; a no-op when safe
+  /// points are disabled or VT is not initialized.
+  sim::Coro<void> safe_point(proc::SimThread& thread);
+
+  /// Safe points offered so far (fired or not).
+  std::int64_t safe_point_offers() const { return safe_point_offers_; }
+
   /// Steady-state instrumentation overhead of one enter/exit pair of `fn`
   /// in the current image/library state (public for tests and benches).
   sim::TimeNs steady_pair_overhead(image::FunctionId fn) const;
 
  private:
-  sim::TimeNs snippet_cost_estimate(const image::Snippet& snippet) const;
-
   const AppSpec& spec_;
   AppParams params_;
   proc::SimProcess& process_;
@@ -120,6 +136,7 @@ class AppContext {
   omp::OmpRuntime* omp_;
   vt::VtLib* vt_;
   Rng rng_;
+  std::int64_t safe_point_offers_ = 0;
 };
 
 // --- the four kernels (built once, cached) -----------------------------------

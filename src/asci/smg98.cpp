@@ -100,6 +100,9 @@ sim::Coro<void> body(AppContext& ctx, proc::SimThread& thread) {
             sim::nanoseconds(rng.normal_at_least(kUtilWorkNs, kUtilWorkNs * 0.15, 80));
         co_await ctx.leaf_repeat(thread, str::format("hypre_BoxLoop_%03d", util), count,
                                  work);
+        // Natural safe point: between box-loop batches, outside any
+        // communication (offered on every rank at the same spot).
+        co_await ctx.safe_point(thread);
       }
       // Coarse-grained solver routines (the instrumented subset).
       for (int k = 0; k < kSolverCallsPerLevel; ++k) {

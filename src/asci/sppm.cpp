@@ -91,6 +91,9 @@ sim::Coro<void> body(AppContext& ctx, proc::SimThread& thread) {
     co_await ctx.leaf(thread, "sppm_courant",
                       sim::nanoseconds(rng.normal_at_least(25e6, 3e6, 1e6)));
     if (mpi != nullptr) co_await mpi->allreduce(thread, 8);
+    // Natural safe point: the step boundary, after the global reduction
+    // (every rank arrives here in lockstep).
+    co_await ctx.safe_point(thread);
   }
 }
 

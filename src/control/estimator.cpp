@@ -1,0 +1,102 @@
+#include "control/estimator.hpp"
+
+#include <variant>
+
+#include "image/image.hpp"
+#include "support/common.hpp"
+
+namespace dyntrace::control {
+
+namespace {
+
+/// VT_begin/VT_end call sites inside a snippet body.
+int vt_call_count(const image::Snippet& snippet) {
+  struct Visitor {
+    int operator()(const image::NoOp&) const { return 0; }
+    int operator()(const image::CallLibOp& op) const {
+      return op.function == "VT_begin" || op.function == "VT_end" ? 1 : 0;
+    }
+    int operator()(const image::SequenceOp& op) const {
+      int n = 0;
+      for (const auto& item : op.items) n += vt_call_count(*item);
+      return n;
+    }
+    int operator()(const image::SetFlagOp&) const { return 0; }
+    int operator()(const image::SpinUntilOp&) const { return 0; }
+    int operator()(const image::CallbackOp&) const { return 0; }
+  };
+  return std::visit(Visitor{}, snippet.node());
+}
+
+/// Price one enter/exit pair of `fn` in two hypothetical library states:
+/// fully active, and deactivated through the filter table (early-out after
+/// the lookup).  The trampoline share is common to both -- the filter can
+/// not remove trampolines, only the probe actuator can.
+struct PairPrice {
+  sim::TimeNs active = 0;
+  sim::TimeNs residual = 0;
+};
+
+PairPrice pair_price(vt::VtLib& vt, image::FunctionId fn) {
+  const machine::CostModel& c = vt.process().cluster().spec().costs;
+  const image::ProgramImage& img = vt.process().image();
+  sim::TimeNs structural = 0;
+  int vt_calls = 0;
+  for (auto where : {image::ProbeWhere::kEntry, image::ProbeWhere::kExit}) {
+    structural += img.trampoline_overhead(fn, where, c);
+    for (const auto& snippet : img.active_snippets(fn, where)) {
+      vt_calls += vt_call_count(*snippet);
+    }
+  }
+  if (img.static_instrumented(fn)) vt_calls += 2;
+  PairPrice price;
+  price.active = structural + vt_calls * vt.active_call_cost();
+  price.residual = structural + vt_calls * (c.vt_call_overhead + c.vt_filter_lookup);
+  return price;
+}
+
+}  // namespace
+
+Estimate OverheadEstimator::update(vt::VtLib& vt, sim::TimeNs now) {
+  const std::vector<vt::FuncStats>& stats = vt.statistics();
+  Estimate est;
+  if (!primed_ || last_.size() != stats.size()) {
+    last_ = stats;
+    last_now_ = now;
+    primed_ = true;
+    return est;
+  }
+  est.window = now - last_now_;
+  for (image::FunctionId fn = 0; fn < stats.size(); ++fn) {
+    const vt::FuncStats& cur = stats[fn];
+    const vt::FuncStats& prev = last_[fn];
+    const std::uint64_t pairs = cur.calls - prev.calls;
+    const std::uint64_t suppressed = (cur.filtered - prev.filtered) / 2;
+    if (pairs == 0 && suppressed == 0) continue;
+
+    FunctionEstimate f;
+    f.fn = fn;
+    f.pairs = pairs;
+    f.suppressed = suppressed;
+    const std::uint64_t total_pairs = pairs + suppressed;
+    const PairPrice price = pair_price(vt, fn);
+    f.active_cost = price.active * static_cast<sim::TimeNs>(total_pairs);
+    f.residual_cost = price.residual * static_cast<sim::TimeNs>(total_pairs);
+    // What this window actually cost: active pairs at the steady pair
+    // price, suppressed pairs at the residual early-out price.
+    f.current_cost =
+        vt.steady_pair_overhead(fn) * static_cast<sim::TimeNs>(pairs) +
+        price.residual * static_cast<sim::TimeNs>(suppressed);
+    if (pairs > 0) {
+      f.mean_exclusive =
+          (cur.exclusive - prev.exclusive) / static_cast<sim::TimeNs>(pairs);
+    }
+    est.total_cost += f.current_cost;
+    est.functions.push_back(f);
+  }
+  last_ = stats;
+  last_now_ = now;
+  return est;
+}
+
+}  // namespace dyntrace::control

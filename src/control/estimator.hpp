@@ -1,0 +1,60 @@
+// Online per-function instrumentation-overhead estimator.
+//
+// At every safe point the controller diffs the VT library's statistics
+// against the previous snapshot: the call-count delta over the elapsed
+// window gives each function's call rate, and the library's steady-state
+// cost queries price one enter/exit pair in the current image state.  The
+// product -- probe cost x call rate -- is the overhead the function
+// contributed this window, and the same arithmetic projects what it *would*
+// cost fully active (for reactivation) or filter-deactivated (for the
+// residual-lookup actuator).
+//
+// The estimator reads one rank's library (rank 0, where the configuration
+// break runs).  The workloads are SPMD, so rank 0's rates are
+// representative of the job; the budget is enforced per process anyway.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "vt/vtlib.hpp"
+
+namespace dyntrace::control {
+
+/// One function's activity and overhead over the last window.
+struct FunctionEstimate {
+  image::FunctionId fn = 0;
+  std::uint64_t pairs = 0;       ///< completed (recorded) pairs this window
+  std::uint64_t suppressed = 0;  ///< filter-suppressed pairs this window
+  sim::TimeNs current_cost = 0;  ///< overhead actually paid this window
+  sim::TimeNs active_cost = 0;   ///< what the window would cost fully active
+  sim::TimeNs residual_cost = 0; ///< what it would cost filter-deactivated
+  sim::TimeNs mean_exclusive = 0;///< per completed pair; information proxy
+};
+
+/// A window's worth of estimates (only functions with activity appear).
+struct Estimate {
+  sim::TimeNs window = 0;      ///< elapsed simulated time since last update
+  sim::TimeNs total_cost = 0;  ///< sum of current_cost
+  std::vector<FunctionEstimate> functions;
+
+  double overhead_fraction() const {
+    return window > 0 ? static_cast<double>(total_cost) / static_cast<double>(window) : 0.0;
+  }
+};
+
+class OverheadEstimator {
+ public:
+  /// Diff against the previous snapshot and advance it.  The first call
+  /// only primes the snapshot and returns a zero-window estimate (the
+  /// elapsed time before the first safe point includes startup and would
+  /// dilute the rates).
+  Estimate update(vt::VtLib& vt, sim::TimeNs now);
+
+ private:
+  std::vector<vt::FuncStats> last_;
+  sim::TimeNs last_now_ = 0;
+  bool primed_ = false;
+};
+
+}  // namespace dyntrace::control

@@ -1,0 +1,90 @@
+#include "control/overlay.hpp"
+
+#include <utility>
+
+#include "mpi/world.hpp"
+#include "support/common.hpp"
+
+namespace dyntrace::control {
+
+namespace {
+
+/// Overlay traffic lives in its own positive tag band, far above anything
+/// the workloads use (their tags are < 1000) and disjoint from the negative
+/// collective space.  The per-rank round counter salts the tag so a slow
+/// sync can never match the next one's messages.
+constexpr int kOverlayTagBase = 1'000'000'000;
+
+constexpr int overlay_tag(std::uint32_t round) {
+  return kOverlayTagBase + static_cast<int>(round % 1'000'000u);
+}
+
+/// Serialized payload: a 16-byte header (round, record count) plus only the
+/// records with activity -- idle functions travel for free.
+std::int64_t payload_bytes(const std::vector<vt::FuncStats>& stats,
+                           const machine::CostModel& costs) {
+  return 16 + vt::nonzero_stat_count(stats) * costs.vt_stats_bytes_per_func;
+}
+
+}  // namespace
+
+std::vector<int> ReductionPlan::children(int rank) const {
+  std::vector<int> result;
+  for (int i = 1; i <= arity; ++i) {
+    const std::int64_t child = static_cast<std::int64_t>(rank) * arity + i;
+    if (child >= size) break;
+    result.push_back(static_cast<int>(child));
+  }
+  return result;
+}
+
+int ReductionPlan::depth() const {
+  int levels = 0;
+  // Rank size-1 is on the deepest level; walk its parent chain.
+  for (int r = size - 1; r > 0; r = (r - 1) / arity) ++levels;
+  return levels;
+}
+
+StatsOverlay::StatsOverlay(int arity) : arity_(arity) {
+  DT_EXPECT(arity >= 2, "overlay arity must be >= 2, got ", arity);
+}
+
+sim::Coro<void> StatsOverlay::reduce(proc::SimThread& thread, vt::VtLib& vt) {
+  const machine::CostModel& costs = vt.process().cluster().spec().costs;
+  mpi::Rank* rank = vt.mpi_rank();
+  const int p = rank != nullptr ? rank->size() : 1;
+  const int r = rank != nullptr ? rank->rank() : 0;
+  if (slots_.size() < static_cast<std::size_t>(p)) {
+    slots_.resize(static_cast<std::size_t>(p));
+    round_.resize(static_cast<std::size_t>(p), 0);
+  }
+  const std::uint32_t round = round_[static_cast<std::size_t>(r)]++;
+  const ReductionPlan plan{p, arity_};
+
+  std::vector<vt::FuncStats> acc = vt.statistics();
+  for (const int child : plan.children(r)) {
+    co_await rank->recv(thread, child, overlay_tag(round));
+    const auto& from = slots_[static_cast<std::size_t>(child)];
+    // Combine cost scales with the records that actually arrived, not with
+    // the table size -- the interior rank's share of the reduction work.
+    co_await thread.compute(costs.vt_stats_merge_per_record *
+                            vt::nonzero_stat_count(from));
+    vt::merge_stats(acc, from);
+  }
+
+  if (r == 0) {
+    // The root formats + writes only the merged records: O(active funcs)
+    // instead of the legacy path's O(P * nfuncs).
+    co_await thread.compute(costs.vt_stats_write_per_record *
+                            vt::nonzero_stat_count(acc));
+    root_result_ = std::move(acc);
+    ++rounds_;
+  } else {
+    auto& slot = slots_[static_cast<std::size_t>(r)];
+    slot = std::move(acc);
+    co_await rank->send(thread, plan.parent(r), overlay_tag(round),
+                        payload_bytes(slot, costs));
+  }
+}
+
+}  // namespace dyntrace::control

@@ -1,5 +1,6 @@
 #include "dynprof/confsync_experiment.hpp"
 
+#include "control/overlay.hpp"
 #include "mpi/world.hpp"
 #include "proc/job.hpp"
 #include "sim/stats.hpp"
@@ -26,6 +27,11 @@ ConfsyncExperimentResult run_confsync_experiment(const ConfsyncExperimentConfig&
     symbols->add(str::format("experiment_fn_%03d", i));
   }
 
+  std::shared_ptr<control::StatsOverlay> overlay;
+  if (config.tree_arity > 0) {
+    overlay = std::make_shared<control::StatsOverlay>(config.tree_arity);
+  }
+
   std::vector<std::unique_ptr<vt::VtLib>> vts;
   const auto placement = cluster.place_block(config.nprocs, 1);
   for (int pid = 0; pid < config.nprocs; ++pid) {
@@ -36,6 +42,7 @@ ConfsyncExperimentResult run_confsync_experiment(const ConfsyncExperimentConfig&
     vt->link();
     vt->set_rank(&rank);
     vt->set_staged_update(staged);
+    if (overlay) vt->set_stats_aggregator(overlay);
     vts.push_back(std::move(vt));
   }
 
@@ -57,6 +64,16 @@ ConfsyncExperimentResult run_confsync_experiment(const ConfsyncExperimentConfig&
       vt::VtLib& vt = *vts[pid];
       co_await rank.init(thread);
       co_await vt.vt_init(thread);
+      if (config.write_statistics) {
+        // Touch every symbol once so the per-function tables are fully
+        // populated: the legacy path always ships the whole table; the
+        // overlay ships records with activity.  Same record count for both
+        // keeps the comparison honest.
+        for (image::FunctionId fn = 0; fn < symbols->size(); ++fn) {
+          co_await vt.vt_begin(thread, fn);
+          co_await vt.vt_end(thread, fn);
+        }
+      }
       for (int rep = 0; rep < config.repetitions; ++rep) {
         co_await rank.barrier(thread);  // align ranks before timing
         const sim::TimeNs begin = engine.now();

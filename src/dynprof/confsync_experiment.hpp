@@ -17,6 +17,9 @@ struct ConfsyncExperimentConfig {
   bool with_changes = false;     ///< experiment 2: stage a filter update each sync
   bool write_statistics = false; ///< experiment 3: gather + dump per-function stats
   int symbol_count = 203;        ///< registered functions (affects statistics size)
+  /// Statistics reduction shape: 0 = the paper's linear gather-to-rank-0;
+  /// k >= 2 = the control plane's k-ary aggregation overlay.
+  int tree_arity = 0;
   std::uint64_t seed = 42;
 };
 

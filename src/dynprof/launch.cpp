@@ -13,6 +13,7 @@ const char* to_string(Policy policy) {
     case Policy::kSubset: return "Subset";
     case Policy::kNone: return "None";
     case Policy::kDynamic: return "Dynamic";
+    case Policy::kAdaptive: return "Adaptive";
   }
   return "?";
 }
@@ -21,7 +22,7 @@ Policy policy_from_string(const std::string& name) {
   for (const auto& info : policy_table()) {
     if (str::iequals(name, info.name)) return info.policy;
   }
-  fail("unknown policy '", name, "' (Full, Full-Off, Subset, None, Dynamic)");
+  fail("unknown policy '", name, "' (Full, Full-Off, Subset, None, Dynamic, Adaptive)");
 }
 
 const std::vector<PolicyInfo>& policy_table() {
@@ -37,6 +38,9 @@ const std::vector<PolicyInfo>& policy_table() {
       {Policy::kDynamic, "Dynamic",
        "The dynprof tool is used to dynamically instrument the same functions used by "
        "Subset."},
+      {Policy::kAdaptive, "Adaptive",
+       "All functions are dynamically instrumented and an overhead-budget controller "
+       "prunes the set at runtime safe points."},
   };
   return table;
 }

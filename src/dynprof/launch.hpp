@@ -11,6 +11,9 @@
 //   Subset   -- statically instrumented, config leaves the subset active
 //   None     -- no subroutine instrumentation at all
 //   Dynamic  -- no static instrumentation; dynprof patches probes in
+//   Adaptive -- dynprof patches in full coverage; the control plane's
+//               budget controller prunes it at VT_confsync safe points
+//               (an extension beyond the paper's Table 3; see src/control)
 //
 // MPI tracing through the wrapper interface is on in every policy (the VT
 // library is always linked in VGV).
@@ -33,7 +36,7 @@
 
 namespace dyntrace::dynprof {
 
-enum class Policy : int { kFull, kFullOff, kSubset, kNone, kDynamic };
+enum class Policy : int { kFull, kFullOff, kSubset, kNone, kDynamic, kAdaptive };
 
 const char* to_string(Policy policy);
 Policy policy_from_string(const std::string& name);

@@ -1,5 +1,7 @@
 #include "dynprof/policy.hpp"
 
+#include "control/overlay.hpp"
+#include "guide/compiler.hpp"
 #include "support/common.hpp"
 
 namespace dyntrace::dynprof {
@@ -20,6 +22,10 @@ PolicyResult run_policy(const RunConfig& config) {
   options.params.nprocs = config.nprocs;
   options.params.problem_scale = config.problem_scale;
   options.params.seed = config.seed;
+  if (config.policy == Policy::kAdaptive) {
+    options.params.confsync_interval = config.confsync_interval;
+    options.params.confsync_statistics = true;
+  }
   options.policy = config.policy;
   options.machine = config.machine;
   Launch launch(std::move(options));
@@ -28,7 +34,41 @@ PolicyResult run_policy(const RunConfig& config) {
   result.policy = config.policy;
   result.nprocs = config.nprocs;
 
-  if (config.policy == Policy::kDynamic) {
+  if (config.policy == Policy::kAdaptive) {
+    // Full dynamic coverage first (every user function gets probes), then
+    // the controller earns the budget back at safe points.
+    std::vector<std::string> all_user;
+    for (const auto& fn : config.app->symbols->all()) {
+      if (!guide::is_runtime_module(fn.module)) all_user.push_back(fn.name);
+    }
+    DynprofTool::Options tool_options;
+    tool_options.command_files = {{"all.txt", all_user}};
+    DynprofTool tool(launch, std::move(tool_options));
+
+    std::shared_ptr<control::StatsOverlay> overlay;
+    if (config.tree_arity > 0) {
+      overlay = std::make_shared<control::StatsOverlay>(config.tree_arity);
+    }
+    for (int pid = 0; pid < launch.process_count(); ++pid) {
+      if (overlay) launch.vt(pid).set_stats_aggregator(overlay);
+      control::install_probe_edit_applier(launch.vt(pid));
+    }
+    control::BudgetController controller(config.controller);
+    controller.attach(launch.vt(0), launch.staged());
+
+    tool.run_script(parse_script("insert-file all.txt\nstart\nquit\n"));
+    launch.engine().run();
+    DT_ASSERT(tool.finished(), "dynprof tool did not finish");
+
+    const Launch::Result r = launch.collect_result();
+    result.app_seconds = r.app_seconds;
+    result.total_seconds = r.total_seconds;
+    result.trace_events = r.trace_events;
+    result.filtered_events = r.filtered_events;
+    result.create_instrument_seconds = sim::to_seconds(tool.create_and_instrument_time());
+    result.confsyncs = launch.vt(0).confsyncs();
+    result.decisions = controller.log();
+  } else if (config.policy == Policy::kDynamic) {
     // "The programs were suspended after completing MPI_Init, and then a
     // list of functions was dynamically instrumented using an insert-file
     // command" (§4.2).

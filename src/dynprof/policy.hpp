@@ -5,6 +5,7 @@
 #include <optional>
 #include <vector>
 
+#include "control/controller.hpp"
 #include "dynprof/launch.hpp"
 #include "dynprof/tool.hpp"
 
@@ -17,6 +18,14 @@ struct RunConfig {
   double problem_scale = 1.0;
   std::uint64_t seed = 42;
   std::optional<machine::MachineSpec> machine;  ///< default IBM Power3 SP
+
+  // --- Policy::kAdaptive only ----------------------------------------------
+  /// Budget controller configuration (see control::ControllerOptions).
+  control::ControllerOptions controller;
+  /// Safe-point cadence fed to AppParams::confsync_interval.
+  int confsync_interval = 36;
+  /// Statistics-reduction overlay arity; 0 = legacy linear gather.
+  int tree_arity = 4;
 };
 
 struct PolicyResult {
@@ -31,6 +40,10 @@ struct PolicyResult {
   double create_instrument_seconds = 0;
   std::uint64_t trace_events = 0;
   std::uint64_t filtered_events = 0;
+  /// Safe points the job executed (Adaptive only; 0 otherwise).
+  std::uint64_t confsyncs = 0;
+  /// The controller's decision trail (Adaptive only; empty otherwise).
+  control::DecisionLog decisions;
 };
 
 /// Run one (app, policy, nprocs) cell of Figure 7.

@@ -61,6 +61,8 @@ MachineSpec ia32_linux_cluster() {
   s.costs.vt_call_overhead = scale(s.costs.vt_call_overhead);
   s.costs.vt_funcdef = scale(s.costs.vt_funcdef);
   s.costs.vt_flush_per_record = scale(s.costs.vt_flush_per_record);
+  s.costs.vt_stats_write_per_record = scale(s.costs.vt_stats_write_per_record);
+  s.costs.vt_stats_merge_per_record = scale(s.costs.vt_stats_merge_per_record);
   // Lighter-weight OS and a faster clock: both confsync terms shrink more
   // than the raw clock ratio (calibrated to Fig. 8c's < 6 ms ceiling).
   s.costs.vt_confsync_entry = sim::microseconds(800);
@@ -114,6 +116,12 @@ MachineSpec spec_from_config(const ConfigFile& config) {
   c.vt_flush_per_record = cost_ns("vt_flush_per_record_ns", c.vt_flush_per_record);
   c.vt_confsync_entry = cost_ns("vt_confsync_entry_ns", c.vt_confsync_entry);
   c.vt_confsync_noise_mean = cost_ns("vt_confsync_noise_mean_ns", c.vt_confsync_noise_mean);
+  c.vt_stats_write_per_record =
+      cost_ns("vt_stats_write_per_record_ns", c.vt_stats_write_per_record);
+  c.vt_stats_merge_per_record =
+      cost_ns("vt_stats_merge_per_record_ns", c.vt_stats_merge_per_record);
+  c.vt_stats_bytes_per_func =
+      config.get_int("costs", "vt_stats_bytes_per_func", c.vt_stats_bytes_per_func);
   c.tramp_jump = cost_ns("tramp_jump_ns", c.tramp_jump);
   c.tramp_save_regs = cost_ns("tramp_save_regs_ns", c.tramp_save_regs);
   c.tramp_restore_regs = cost_ns("tramp_restore_regs_ns", c.tramp_restore_regs);

@@ -40,6 +40,11 @@ struct CostModel {
   // is what gives Figure 8(a) its gentle climb on the real machine).
   sim::TimeNs vt_confsync_entry = 3'000'000;      ///< fixed software cost
   sim::TimeNs vt_confsync_noise_mean = 3'500'000; ///< per-process noise mean
+  // Runtime-statistics path of VT_confsync (experiment 3 / Figure 8b) and
+  // the control-plane reduction overlay built on top of it.
+  sim::TimeNs vt_stats_write_per_record = 2'200;  ///< format+write one stat record at rank 0
+  sim::TimeNs vt_stats_merge_per_record = 150;    ///< combine one record at an interior rank
+  std::int64_t vt_stats_bytes_per_func = 48;      ///< serialized stat record size
   // --- dynamic instrumentation trampolines ---------------------------------
   sim::TimeNs tramp_jump = 8;          ///< patched jump + jump back
   sim::TimeNs tramp_save_regs = 60;    ///< save volatile registers

@@ -1,5 +1,6 @@
 #include "mpi/world.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <vector>
 
@@ -384,26 +385,52 @@ sim::Coro<void> Rank::allreduce(proc::SimThread& thread, std::int64_t bytes) {
   co_await end_call(thread, call);
 }
 
-// Linear gather (children send directly to root); fine at these scales and
-// matches what early MPI implementations did for short payloads.
+// Gather to `root`.  kBinomial mirrors reduce_raw's tree, but the payload
+// grows on the way up: after round k, virtual rank v holds the blocks of
+// ranks [v, v + 2^k) (clipped to P), so the root receives ceil(log2 P)
+// messages instead of P - 1.  kLinear is the everyone-sends-to-root shape
+// early MPI implementations used for short payloads; the VT statistics
+// path requests it explicitly to stay faithful to the paper's Figure 8(b).
 sim::Coro<void> Rank::gather_raw(proc::SimThread& thread, int root,
-                                 std::int64_t bytes_per_rank, std::uint32_t op_index) {
+                                 std::int64_t bytes_per_rank, std::uint32_t op_index,
+                                 GatherAlgo algo) {
   const int p = size();
   if (p <= 1) co_return;
   const int tag = collective_tag(op_index, 2);
-  if (rank_ == root) {
-    for (int i = 0; i < p - 1; ++i) {
+  if (algo == GatherAlgo::kLinear) {
+    if (rank_ == root) {
+      for (int i = 0; i < p - 1; ++i) {
+        co_await recv_raw(thread, kAnySource, tag, nullptr);
+      }
+    } else {
+      co_await send_raw(thread, root, tag, bytes_per_rank);
+    }
+    co_return;
+  }
+  const int vrank = (rank_ - root + p) % p;
+  const int rounds = ceil_log2(p);
+  for (int k = 0; k < rounds; ++k) {
+    const int bit = 1 << k;
+    if ((vrank & (bit - 1)) != 0) continue;  // already sent in an earlier round
+    if ((vrank & bit) != 0) {
+      // Ship every block accumulated so far to the parent and leave.
+      const int parent = ((vrank & ~bit) + root) % p;
+      const std::int64_t blocks = std::min<std::int64_t>(bit, p - vrank);
+      co_await send_raw(thread, parent, tag, blocks * bytes_per_rank);
+      co_return;
+    }
+    const int vchild = vrank | bit;
+    if (vchild < p) {
       co_await recv_raw(thread, kAnySource, tag, nullptr);
     }
-  } else {
-    co_await send_raw(thread, root, tag, bytes_per_rank);
   }
 }
 
-sim::Coro<void> Rank::gather(proc::SimThread& thread, int root, std::int64_t bytes_per_rank) {
+sim::Coro<void> Rank::gather(proc::SimThread& thread, int root, std::int64_t bytes_per_rank,
+                             GatherAlgo algo) {
   const CallInfo call{Op::kGather, root, kAnyTag, bytes_per_rank};
   co_await begin_call(thread, call);
-  co_await gather_raw(thread, root, bytes_per_rank, collective_seq_++);
+  co_await gather_raw(thread, root, bytes_per_rank, collective_seq_++, algo);
   co_await end_call(thread, call);
 }
 

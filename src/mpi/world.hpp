@@ -41,6 +41,12 @@ class MpiInterpose {
   virtual sim::Coro<void> on_end(proc::SimThread& thread, const CallInfo& call) = 0;
 };
 
+/// Gather algorithm selector.  kBinomial is the default (root-side message
+/// count scales with log2 P, like the other collectives); kLinear keeps the
+/// everyone-sends-to-root shape early MPI implementations used for short
+/// payloads -- and which the VT statistics path of the paper is built on.
+enum class GatherAlgo : std::uint8_t { kBinomial = 0, kLinear = 1 };
+
 class World {
  public:
   explicit World(machine::Cluster& cluster);
@@ -145,7 +151,8 @@ class Rank {
   sim::Coro<void> bcast(proc::SimThread& thread, int root, std::int64_t bytes);
   sim::Coro<void> reduce(proc::SimThread& thread, int root, std::int64_t bytes);
   sim::Coro<void> allreduce(proc::SimThread& thread, std::int64_t bytes);
-  sim::Coro<void> gather(proc::SimThread& thread, int root, std::int64_t bytes_per_rank);
+  sim::Coro<void> gather(proc::SimThread& thread, int root, std::int64_t bytes_per_rank,
+                         GatherAlgo algo = GatherAlgo::kBinomial);
   /// Root sends a distinct block to every rank (linear, like gather).
   sim::Coro<void> scatter(proc::SimThread& thread, int root, std::int64_t bytes_per_rank);
   sim::Coro<void> alltoall(proc::SimThread& thread, std::int64_t bytes_per_pair);
@@ -179,7 +186,7 @@ class Rank {
   sim::Coro<void> reduce_raw(proc::SimThread& thread, int root, std::int64_t bytes,
                              std::uint32_t op_index);
   sim::Coro<void> gather_raw(proc::SimThread& thread, int root, std::int64_t bytes_per_rank,
-                             std::uint32_t op_index);
+                             std::uint32_t op_index, GatherAlgo algo);
 
   sim::Coro<void> begin_call(proc::SimThread& thread, const CallInfo& call);
   sim::Coro<void> end_call(proc::SimThread& thread, const CallInfo& call);

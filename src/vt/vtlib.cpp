@@ -1,5 +1,8 @@
 #include "vt/vtlib.hpp"
 
+#include <algorithm>
+#include <variant>
+
 #include "support/common.hpp"
 #include "support/log.hpp"
 
@@ -11,12 +14,37 @@ namespace {
 constexpr sim::TimeNs kVtInitCost = sim::milliseconds(4);
 /// Applying one filter directive against the symbol table.
 constexpr sim::TimeNs kApplyDirectiveCost = sim::microseconds(3);
-/// Writing one per-function statistics record at rank 0 (formatted I/O).
-constexpr sim::TimeNs kStatsWriteCost = sim::microseconds(2.2);
-/// Serialized statistics payload per function (gathered to rank 0).
-constexpr std::int64_t kStatsBytesPerFunc = 16;
 
 }  // namespace
+
+void merge_stats(FuncStats& into, const FuncStats& from) {
+  into.calls += from.calls;
+  into.filtered += from.filtered;
+  into.inclusive += from.inclusive;
+  into.exclusive += from.exclusive;
+  // 0 is the "no completed pair" identity for min; the combine stays
+  // associative and commutative, so any reduction shape gives one answer.
+  if (into.min_inclusive == 0) {
+    into.min_inclusive = from.min_inclusive;
+  } else if (from.min_inclusive != 0 && from.min_inclusive < into.min_inclusive) {
+    into.min_inclusive = from.min_inclusive;
+  }
+  if (from.max_inclusive > into.max_inclusive) into.max_inclusive = from.max_inclusive;
+}
+
+void merge_stats(std::vector<FuncStats>& into, const std::vector<FuncStats>& from) {
+  DT_ASSERT(into.size() == from.size(), "stat vector size mismatch: ", into.size(), " vs ",
+            from.size());
+  for (std::size_t i = 0; i < into.size(); ++i) merge_stats(into[i], from[i]);
+}
+
+std::int64_t nonzero_stat_count(const std::vector<FuncStats>& stats) {
+  std::int64_t n = 0;
+  for (const auto& s : stats) {
+    if (s.calls != 0 || s.filtered != 0) ++n;
+  }
+  return n;
+}
 
 VtLib::VtLib(proc::SimProcess& process, std::shared_ptr<TraceStore> store, Options options)
     : process_(process),
@@ -124,6 +152,7 @@ sim::Coro<void> VtLib::vt_begin(proc::SimThread& thread, image::FunctionId fn) {
     if (filter_.deactivated(fn)) {
       // Early-out: no timestamp, no record.
       ++events_filtered_;
+      if (options_.collect_statistics) ++stats_[fn].filtered;
       co_await thread.compute(charge);
       co_return;
     }
@@ -138,7 +167,7 @@ sim::Coro<void> VtLib::vt_begin(proc::SimThread& thread, image::FunctionId fn) {
   if (options_.collect_statistics) {
     const auto tid = static_cast<std::size_t>(thread.tid());
     if (enter_stacks_.size() <= tid) enter_stacks_.resize(tid + 1);
-    enter_stacks_[tid].emplace_back(fn, process_.engine().now());
+    enter_stacks_[tid].push_back(Frame{fn, process_.engine().now(), 0});
     ++stats_[fn].calls;
   }
   if (buffer_.size() >= options_.buffer_records) co_await flush(thread);
@@ -161,6 +190,7 @@ sim::Coro<void> VtLib::vt_end(proc::SimThread& thread, image::FunctionId fn) {
     charge += c.vt_filter_lookup;
     if (filter_.deactivated(fn)) {
       ++events_filtered_;
+      if (options_.collect_statistics) ++stats_[fn].filtered;
       co_await thread.compute(charge);
       co_return;
     }
@@ -184,9 +214,17 @@ sim::Coro<void> VtLib::vt_end(proc::SimThread& thread, image::FunctionId fn) {
       // inclusive time for this thread is corrupted forever after.
       auto& stack = enter_stacks_[tid];
       for (std::size_t i = stack.size(); i-- > 0;) {
-        if (stack[i].first == fn) {
-          stats_[fn].inclusive += process_.engine().now() - stack[i].second;
+        if (stack[i].fn == fn) {
+          const sim::TimeNs inclusive = process_.engine().now() - stack[i].enter;
+          const sim::TimeNs child = stack[i].child;
+          FuncStats& s = stats_[fn];
+          s.inclusive += inclusive;
+          s.exclusive += std::max<sim::TimeNs>(0, inclusive - child);
+          if (s.min_inclusive == 0 || inclusive < s.min_inclusive) s.min_inclusive = inclusive;
+          if (inclusive > s.max_inclusive) s.max_inclusive = inclusive;
           stack.resize(i);  // drop the frame and any stale frames above it
+          // Credit the enclosing frame so its exclusive time excludes us.
+          if (!stack.empty()) stack.back().child += inclusive;
           break;
         }
       }
@@ -230,12 +268,65 @@ sim::TimeNs VtLib::steady_call_cost(image::FunctionId fn) const {
   return cost + c.vt_timestamp + c.vt_record + c.vt_flush_per_record;
 }
 
+sim::TimeNs VtLib::active_call_cost() const {
+  const machine::CostModel& c = costs();
+  sim::TimeNs cost = c.vt_call_overhead;
+  if (filter_.enabled()) cost += c.vt_filter_lookup;
+  return cost + c.vt_timestamp + c.vt_record + c.vt_flush_per_record;
+}
+
+namespace {
+
+/// Steady-state execution cost of one snippet body: VT entry points priced
+/// through the library's current state, other leaves are free in steady
+/// state (flags/callbacks only fire during the instrumentation protocol).
+sim::TimeNs snippet_steady_cost(const VtLib& vt, const image::Snippet& snippet) {
+  struct Visitor {
+    const VtLib& vt;
+    sim::TimeNs operator()(const image::NoOp&) const { return 0; }
+    sim::TimeNs operator()(const image::CallLibOp& op) const {
+      if ((op.function == "VT_begin" || op.function == "VT_end") && !op.args.empty()) {
+        return vt.steady_call_cost(static_cast<image::FunctionId>(op.args[0]));
+      }
+      return 0;
+    }
+    sim::TimeNs operator()(const image::SequenceOp& op) const {
+      sim::TimeNs total = 0;
+      for (const auto& item : op.items) total += snippet_steady_cost(vt, *item);
+      return total;
+    }
+    sim::TimeNs operator()(const image::SetFlagOp&) const { return 0; }
+    sim::TimeNs operator()(const image::SpinUntilOp&) const { return 0; }
+    sim::TimeNs operator()(const image::CallbackOp&) const { return 0; }
+  };
+  return std::visit(Visitor{vt}, snippet.node());
+}
+
+}  // namespace
+
+sim::TimeNs VtLib::steady_pair_overhead(image::FunctionId fn) const {
+  const machine::CostModel& c = costs();
+  const image::ProgramImage& img = process_.image();
+  sim::TimeNs total = 0;
+  for (auto where : {image::ProbeWhere::kEntry, image::ProbeWhere::kExit}) {
+    total += img.trampoline_overhead(fn, where, c);
+    for (const auto& snippet : img.active_snippets(fn, where)) {
+      total += snippet_steady_cost(*this, *snippet);
+    }
+  }
+  if (img.static_instrumented(fn)) {
+    // Compiled-in VT_begin + VT_end (no trampolines on this path).
+    total += 2 * steady_call_cost(fn);
+  }
+  return total;
+}
+
 bool VtLib::records(image::FunctionId fn) const {
   return initialized_ && tracing_ && !(filter_.enabled() && filter_.deactivated(fn));
 }
 
 void VtLib::note_synthetic_pairs(image::FunctionId fn, std::uint64_t pairs,
-                                 sim::TimeNs inclusive_each) {
+                                 sim::TimeNs inclusive_each, int tid) {
   // Mirror vt_begin's three suppression counters: pre-init and trace-off
   // drops are not filter-table hits, and conflating them skews the
   // Full-Off vs None accounting.
@@ -249,12 +340,28 @@ void VtLib::note_synthetic_pairs(image::FunctionId fn, std::uint64_t pairs,
   }
   if (filter_.enabled() && filter_.deactivated(fn)) {
     events_filtered_ += 2 * pairs;
+    if (options_.collect_statistics && fn < stats_.size()) stats_[fn].filtered += 2 * pairs;
     return;
   }
   synthetic_events_ += 2 * pairs;
   if (options_.collect_statistics && fn < stats_.size()) {
-    stats_[fn].calls += pairs;
-    stats_[fn].inclusive += inclusive_each * static_cast<sim::TimeNs>(pairs);
+    const sim::TimeNs total = inclusive_each * static_cast<sim::TimeNs>(pairs);
+    FuncStats& s = stats_[fn];
+    s.calls += pairs;
+    s.inclusive += total;
+    s.exclusive += total;  // aggregate pairs are leaves: no instrumented children
+    if (pairs > 0) {
+      if (s.min_inclusive == 0 || inclusive_each < s.min_inclusive)
+        s.min_inclusive = inclusive_each;
+      if (inclusive_each > s.max_inclusive) s.max_inclusive = inclusive_each;
+    }
+    // Credit the enclosing frame (if the caller told us which thread the
+    // pairs ran on) so its exclusive time excludes the aggregate children.
+    if (tid >= 0) {
+      const auto t = static_cast<std::size_t>(tid);
+      if (t < enter_stacks_.size() && !enter_stacks_[t].empty())
+        enter_stacks_[t].back().child += total;
+    }
   }
 }
 
@@ -287,27 +394,44 @@ sim::Coro<void> VtLib::confsync(proc::SimThread& thread, bool write_statistics) 
   // under-estimate of wire time when a change is in flight.
   std::int64_t payload = 8;  // version header
   if (is_root && staged_ && staged_->version > applied_version_) {
-    payload += serialized_size(staged_->program);
+    payload += serialized_size(staged_->program) +
+               8 * static_cast<std::int64_t>(staged_->probe_edits.size());
   }
   if (rank_ != nullptr) {
     co_await rank_->bcast(thread, 0, payload);
   }
   if (staged_ && staged_->version > applied_version_) {
-    const FilterProgram& to_apply = staged_->program;
-    co_await thread.compute(kApplyDirectiveCost *
-                            static_cast<sim::TimeNs>(to_apply.size()));
-    filter_.apply(process_.image().symbols(), to_apply);
+    if (!staged_->program.empty()) {
+      co_await thread.compute(kApplyDirectiveCost *
+                              static_cast<sim::TimeNs>(staged_->program.size()));
+      filter_.apply(process_.image().symbols(), staged_->program);
+    }
+    if (!staged_->probe_edits.empty() && apply_edits_handler_) {
+      // Probe insertion/removal against this process's image; the handler
+      // reports the patch time (DPCL pokes + suspend/resume) to charge.
+      const sim::TimeNs patch_time = apply_edits_handler_(*this, staged_->probe_edits);
+      if (patch_time > 0) co_await thread.compute(patch_time);
+    }
     applied_version_ = staged_->version;
   }
 
   if (write_statistics) {
-    const auto nfuncs = static_cast<std::int64_t>(stats_.size());
-    if (rank_ != nullptr) {
-      co_await rank_->gather(thread, 0, nfuncs * kStatsBytesPerFunc);
-    }
-    if (is_root) {
-      const std::int64_t ranks = rank_ != nullptr ? rank_->size() : 1;
-      co_await thread.compute(kStatsWriteCost * nfuncs * ranks);
+    if (aggregator_) {
+      // Control-plane overlay: interior ranks merge records on the way up,
+      // so the root's work is O(nonzero records), not O(P * nfuncs).
+      co_await aggregator_->reduce(thread, *this);
+    } else {
+      // Legacy VT path (the paper's Figure 8b): every rank ships its whole
+      // table straight to rank 0, which formats and writes all P of them.
+      const auto nfuncs = static_cast<std::int64_t>(stats_.size());
+      if (rank_ != nullptr) {
+        co_await rank_->gather(thread, 0, nfuncs * c.vt_stats_bytes_per_func,
+                               mpi::GatherAlgo::kLinear);
+      }
+      if (is_root) {
+        const std::int64_t ranks = rank_ != nullptr ? rank_->size() : 1;
+        co_await thread.compute(c.vt_stats_write_per_record * nfuncs * ranks);
+      }
     }
   }
 

@@ -31,13 +31,56 @@
 
 namespace dyntrace::vt {
 
-/// A filter update staged for distribution by the next VT_confsync.
+/// One dynamic-probe change staged for application at a safe point: either
+/// (re)instrument `fn` with VT_begin/VT_end probes or remove its probes
+/// entirely.  Unlike a filter directive, a removed probe costs exactly zero
+/// at runtime -- the control plane's strongest actuator.
+struct ProbeEdit {
+  image::FunctionId fn = 0;
+  bool instrument = false;
+};
+
+/// A configuration update staged for distribution by the next VT_confsync.
 /// Shared by all VtLib instances of a job (rank 0 reads it at its
 /// configuration_break; the broadcast is simulated with real messages and
-/// the payload applied from here).
+/// the payload applied from here).  Either half may be empty.
 struct StagedUpdate {
   FilterProgram program;
+  std::vector<ProbeEdit> probe_edits;
   std::uint64_t version = 0;  ///< bumped by each stage() call
+};
+
+/// Per-function statistics the VT library accumulates (and VT_confsync's
+/// statistics path reduces to rank 0).  All fields are mergeable: counts
+/// and times sum, min/max combine -- the property the control plane's
+/// tree-reduction overlay relies on.  Times are integral nanoseconds, so a
+/// tree-shaped merge is bit-identical to a linear fold, not just ULP-close.
+struct FuncStats {
+  std::uint64_t calls = 0;        ///< completed enter/leave pairs recorded
+  std::uint64_t filtered = 0;     ///< probe executions suppressed by the filter table
+  sim::TimeNs inclusive = 0;      ///< total wall time between enter and leave
+  sim::TimeNs exclusive = 0;      ///< inclusive minus instrumented children
+  sim::TimeNs min_inclusive = 0;  ///< fastest recorded pair (0 when calls == 0)
+  sim::TimeNs max_inclusive = 0;  ///< slowest recorded pair
+};
+
+/// Merge one record into another (the tree-reduction combine operation).
+void merge_stats(FuncStats& into, const FuncStats& from);
+/// Element-wise merge of two per-function vectors (sizes must match).
+void merge_stats(std::vector<FuncStats>& into, const std::vector<FuncStats>& from);
+/// Records worth serializing/writing (calls or filtered counts present).
+std::int64_t nonzero_stat_count(const std::vector<FuncStats>& stats);
+
+class VtLib;
+
+/// Strategy hook for VT_confsync's statistics path.  When installed, it
+/// replaces the default flat gather-to-rank-0: every rank calls reduce()
+/// at the same point of the protocol, and the implementation moves +
+/// combines the records (see control::StatsOverlay for the k-ary tree).
+class StatsAggregator {
+ public:
+  virtual ~StatsAggregator() = default;
+  virtual sim::Coro<void> reduce(proc::SimThread& thread, VtLib& vt) = 0;
 };
 
 class VtLib {
@@ -72,9 +115,25 @@ class VtLib {
 
   /// Wire the MPI rank used for confsync coordination (MPI apps only).
   void set_rank(mpi::Rank* rank) { rank_ = rank; }
+  mpi::Rank* mpi_rank() const { return rank_; }
 
   /// Share the confsync update channel across the job's VtLibs.
   void set_staged_update(std::shared_ptr<StagedUpdate> staged) { staged_ = std::move(staged); }
+
+  /// Replace the statistics path's flat gather with an aggregation overlay
+  /// (nullptr restores the default).  The aggregator must be shared by all
+  /// VtLibs of the job, like the staged update.
+  void set_stats_aggregator(std::shared_ptr<StatsAggregator> aggregator) {
+    aggregator_ = std::move(aggregator);
+  }
+
+  /// Handler applying staged ProbeEdits to this process's image at the
+  /// safe point (installed by the control plane's probe actuator).  Returns
+  /// the patch time to charge to the applying thread.
+  using ApplyEditsHandler = std::function<sim::TimeNs(VtLib&, const std::vector<ProbeEdit>&)>;
+  void set_apply_edits_handler(ApplyEditsHandler handler) {
+    apply_edits_handler_ = std::move(handler);
+  }
 
   /// Handler invoked at rank 0's configuration_break() inside VT_confsync
   /// (the monitoring tool's breakpoint).  Returns the wall-clock-equivalent
@@ -119,14 +178,28 @@ class VtLib {
   /// trace-flush share when a record would be appended).
   sim::TimeNs steady_call_cost(image::FunctionId fn) const;
 
+  /// Cost of one VT_begin/VT_end on the *active* path in the current
+  /// library state, regardless of whether `fn` is currently deactivated --
+  /// what a call would cost if the filter let it through.  The control
+  /// plane's estimator uses this to project reactivation cost.
+  sim::TimeNs active_call_cost() const;
+
+  /// Steady-state instrumentation overhead of one enter/exit pair of `fn`
+  /// in the current image + library state: trampolines, snippet bodies
+  /// (VT_begin/VT_end calls priced by steady_call_cost), and the static
+  /// instrumentation path.  Zero for an untouched function.
+  sim::TimeNs steady_pair_overhead(image::FunctionId fn) const;
+
   /// True if a VT_begin/VT_end for `fn` would append a record now.
   bool records(image::FunctionId fn) const;
 
   /// Account `pairs` enter/leave pairs executed in aggregate: updates call
   /// statistics and the would-have-been-traced event counter without
-  /// materialising records.
+  /// materialising records.  When `tid` names a live thread, the pairs'
+  /// inclusive time is also credited to the enclosing frame's child time
+  /// so the parent's exclusive time stays exact.
   void note_synthetic_pairs(image::FunctionId fn, std::uint64_t pairs,
-                            sim::TimeNs inclusive_each);
+                            sim::TimeNs inclusive_each, int tid = -1);
 
   /// Events that would exist in the trace including aggregated ones (the
   /// paper's trace-size motivation is reported from this).
@@ -137,11 +210,16 @@ class VtLib {
   FilterTable& filter() { return filter_; }
   const FilterTable& filter() const { return filter_; }
 
-  struct FuncStats {
-    std::uint64_t calls = 0;
-    sim::TimeNs inclusive = 0;
-  };
+  using FuncStats = vt::FuncStats;
   const std::vector<FuncStats>& statistics() const { return stats_; }
+
+  /// Open enter-frames on a thread's statistics stack (0 for unknown
+  /// threads).  A balanced instrumentation stream leaves this at 0 between
+  /// top-level calls -- what the deactivate→reactivate regression asserts.
+  std::size_t enter_stack_depth(int tid) const {
+    const auto t = static_cast<std::size_t>(tid);
+    return t < enter_stacks_.size() ? enter_stacks_[t].size() : 0;
+  }
 
   std::uint64_t events_recorded() const { return events_recorded_; }
   std::uint64_t events_filtered() const { return events_filtered_; }
@@ -169,15 +247,24 @@ class VtLib {
   std::vector<Event> buffer_;
   std::vector<std::uint8_t> registered_;  ///< per-function: VT_funcdef done
 
-  // Per-thread stacks of (function, enter time) for inclusive-time stats.
-  std::vector<std::vector<std::pair<image::FunctionId, sim::TimeNs>>> enter_stacks_;
+  // Per-thread stacks of open enter-frames for inclusive/exclusive stats.
+  // `child` accumulates the inclusive time of completed instrumented
+  // children, so the leave can compute exclusive = inclusive - child.
+  struct Frame {
+    image::FunctionId fn = 0;
+    sim::TimeNs enter = 0;
+    sim::TimeNs child = 0;
+  };
+  std::vector<std::vector<Frame>> enter_stacks_;
   std::vector<FuncStats> stats_;
 
   mpi::Rank* rank_ = nullptr;
   Rng confsync_noise_{0xc0f5u};  ///< re-seeded per process in the constructor
   std::shared_ptr<StagedUpdate> staged_;
+  std::shared_ptr<StatsAggregator> aggregator_;
   std::uint64_t applied_version_ = 0;
   BreakHandler break_handler_;
+  ApplyEditsHandler apply_edits_handler_;
 
   std::uint64_t events_recorded_ = 0;
   std::uint64_t synthetic_events_ = 0;

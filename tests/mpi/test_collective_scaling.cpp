@@ -1,0 +1,121 @@
+// Latency-scaling assertions for the gather algorithms.  With a tiny
+// payload (one 48-byte statistics record) the binomial-tree gather is
+// latency-bound and scales with log2(P) like the dissemination barrier,
+// while the paper's linear gather serialises P-1 receives at the root.
+// With a bulky payload the tree *loses*: every hop re-injects the
+// accumulated blocks, which is exactly why VT's legacy statistics path
+// keeps the linear gather and the control plane's overlay merges records
+// at interior ranks instead of concatenating them.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "mpi/world.hpp"
+#include "proc/job.hpp"
+
+namespace dyntrace::mpi {
+namespace {
+
+/// One per-function statistics record (machine::CostModel's
+/// vt_stats_bytes_per_func) -- the payload the control plane ships.
+constexpr std::int64_t kRecordBytes = 48;
+
+std::shared_ptr<const image::SymbolTable> make_symbols() {
+  auto table = std::make_shared<image::SymbolTable>();
+  table->add("main");
+  return table;
+}
+
+/// Run one collective on P ranks and return the max completion time across
+/// ranks (ranks align on a barrier first; the seeded engine makes the
+/// result reproducible).
+sim::TimeNs time_collective(
+    int nprocs, const std::function<sim::Coro<void>(Rank&, proc::SimThread&)>& body) {
+  sim::Engine engine;
+  machine::Cluster cluster(engine, machine::ibm_power3_sp());
+  World world(cluster);
+  proc::ParallelJob job(cluster, "collective-scaling");
+  const auto placement = cluster.place_block(nprocs, 1);
+  for (int pid = 0; pid < nprocs; ++pid) {
+    proc::SimProcess& p = job.add_process(image::ProgramImage(make_symbols()),
+                                          placement[pid].node, placement[pid].cpu);
+    world.add_rank(p);
+  }
+  sim::TimeNs done = 0;
+  for (int pid = 0; pid < nprocs; ++pid) {
+    job.set_main(pid, [&, pid](proc::SimThread& t) -> sim::Coro<void> {
+      Rank& rank = world.rank(pid);
+      co_await rank.init(t);
+      co_await rank.barrier(t);  // align entry
+      const sim::TimeNs begin = engine.now();
+      co_await body(rank, t);
+      done = std::max(done, engine.now() - begin);
+      co_await rank.finalize(t);
+    });
+  }
+  job.start();
+  engine.run();
+  return done;
+}
+
+sim::TimeNs time_gather(int nprocs, GatherAlgo algo, std::int64_t bytes = kRecordBytes) {
+  return time_collective(nprocs, [=](Rank& rank, proc::SimThread& t) -> sim::Coro<void> {
+    co_await rank.gather(t, 0, bytes, algo);
+  });
+}
+
+sim::TimeNs time_barrier(int nprocs) {
+  return time_collective(nprocs, [](Rank& rank, proc::SimThread& t) -> sim::Coro<void> {
+    co_await rank.barrier(t);
+  });
+}
+
+TEST(CollectiveScaling, BinomialGatherScalesLikeBarrier) {
+  // Compare growth from 64 to 512 ranks (both ends multi-node, so the
+  // ratios measure algorithmic depth, not the intra/inter-node hop-cost
+  // shift).  Barrier is the reference log-depth collective; the binomial
+  // gather adds payload forwarding, so allow it 2x the barrier's growth --
+  // still far under the linear gather's ~8x.
+  const double barrier_ratio = static_cast<double>(time_barrier(512)) /
+                               static_cast<double>(time_barrier(64));
+  const double gather_ratio = static_cast<double>(time_gather(512, GatherAlgo::kBinomial)) /
+                              static_cast<double>(time_gather(64, GatherAlgo::kBinomial));
+  const double linear_ratio = static_cast<double>(time_gather(512, GatherAlgo::kLinear)) /
+                              static_cast<double>(time_gather(64, GatherAlgo::kLinear));
+  EXPECT_GT(gather_ratio, 1.0);
+  EXPECT_LT(gather_ratio, 2.0 * barrier_ratio)
+      << "binomial gather grew " << gather_ratio << "x from 64->512 ranks vs barrier "
+      << barrier_ratio << "x";
+  EXPECT_GT(linear_ratio, 2.0 * gather_ratio)
+      << "linear gather should serialise at the root (grew " << linear_ratio << "x)";
+}
+
+TEST(CollectiveScaling, BinomialBeatsLinearAtScale) {
+  for (const int p : {256, 512}) {
+    EXPECT_LT(time_gather(p, GatherAlgo::kBinomial), time_gather(p, GatherAlgo::kLinear))
+        << "at P=" << p;
+  }
+}
+
+TEST(CollectiveScaling, LinearWinsForBulkyPayloads) {
+  // 203 functions x 48 bytes: the whole-table payload of the legacy
+  // statistics gather.  The tree re-injects the accumulated blocks on
+  // every hop, so concatenating gathers must stay linear; only the
+  // overlay's *merging* reduction makes a tree pay off for statistics.
+  const std::int64_t table_bytes = 203 * kRecordBytes;
+  EXPECT_LT(time_gather(64, GatherAlgo::kLinear, table_bytes),
+            time_gather(64, GatherAlgo::kBinomial, table_bytes));
+}
+
+TEST(CollectiveScaling, DegenerateSizesComplete) {
+  // P=1: no traffic at all; P=2: one send.  Both algorithms must terminate.
+  for (const GatherAlgo algo : {GatherAlgo::kBinomial, GatherAlgo::kLinear}) {
+    EXPECT_EQ(time_gather(1, algo), 0);
+    EXPECT_GT(time_gather(2, algo), 0);
+  }
+}
+
+}  // namespace
+}  // namespace dyntrace::mpi
