@@ -33,6 +33,7 @@ using namespace dyntrace;
 int main(int argc, char** argv) {
   std::string app_name;
   std::int64_t cpus = 2;
+  std::int64_t sim_threads = 1;
   double scale = 0.5;
   std::string machine_profile;
   std::string script_path;
@@ -46,6 +47,8 @@ int main(int argc, char** argv) {
                    "Apps: smg98, sppm, sweep3d, umt98.");
   parser.positional("app", "target application", &app_name)
       .option_int("cpus", "processors (MPI ranks / OpenMP threads)", &cpus)
+      .option_int("sim-threads", "simulation worker threads (results bit-identical)",
+                  &sim_threads)
       .option_double("scale", "problem scale factor", &scale)
       .option_string("script", "command script (default: read stdin)", &script_path)
       .option_string("timefile", "write dynprof internal timings here", &timefile_path)
@@ -92,6 +95,7 @@ int main(int argc, char** argv) {
     options.params.problem_scale = scale;
     options.policy = dynprof::Policy::kDynamic;  // dynprof drives an uninstrumented build
     options.machine = machine_spec;
+    options.sim_threads = static_cast<int>(sim_threads);
     dynprof::Launch launch(std::move(options));
 
     dynprof::DynprofTool::Options topt;
@@ -104,7 +108,7 @@ int main(int argc, char** argv) {
 
     dynprof::DynprofTool tool(launch, std::move(topt));
     tool.run_script(script);
-    launch.engine().run();
+    launch.run_engine();
 
     std::printf("application '%s' finished at t=%.3f s (main computation %.3f s)\n",
                 app->name.c_str(), sim::to_seconds(launch.job().finish_time()),

@@ -49,15 +49,19 @@ StatsOverlay::StatsOverlay(int arity) : arity_(arity) {
   DT_EXPECT(arity >= 2, "overlay arity must be >= 2, got ", arity);
 }
 
+void StatsOverlay::prepare(int size) {
+  if (slots_.size() < static_cast<std::size_t>(size)) {
+    slots_.resize(static_cast<std::size_t>(size));
+    round_.resize(static_cast<std::size_t>(size), 0);
+  }
+}
+
 sim::Coro<void> StatsOverlay::reduce(proc::SimThread& thread, vt::VtLib& vt) {
   const machine::CostModel& costs = vt.process().cluster().spec().costs;
   mpi::Rank* rank = vt.mpi_rank();
   const int p = rank != nullptr ? rank->size() : 1;
   const int r = rank != nullptr ? rank->rank() : 0;
-  if (slots_.size() < static_cast<std::size_t>(p)) {
-    slots_.resize(static_cast<std::size_t>(p));
-    round_.resize(static_cast<std::size_t>(p), 0);
-  }
+  prepare(p);  // no-op after an up-front prepare(); lazy in sequential runs
   const std::uint32_t round = round_[static_cast<std::size_t>(r)]++;
   const ReductionPlan plan{p, arity_};
 

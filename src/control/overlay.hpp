@@ -42,6 +42,12 @@ class StatsOverlay : public vt::StatsAggregator {
  public:
   explicit StatsOverlay(int arity = 4);
 
+  /// Pre-size the per-rank transport state for `size` ranks.  Required
+  /// before a multi-shard run: the lazy sizing inside reduce() would be a
+  /// data race when ranks on different shards enter their first sync
+  /// concurrently.  Idempotent; sequential runs may skip it.
+  void prepare(int size);
+
   sim::Coro<void> reduce(proc::SimThread& thread, vt::VtLib& vt) override;
 
   int arity() const { return arity_; }

@@ -21,7 +21,7 @@ DpclApplication::DpclApplication(machine::Cluster& cluster, proc::ParallelJob& j
       job_(job),
       tool_node_(tool_node),
       super_daemons_(std::move(super_daemons)),
-      callbacks_(cluster.engine()) {
+      callbacks_(cluster.engine_for_node(tool_node)) {
   // Group target processes by node.
   for (const auto& process : job_.processes()) {
     const int node = process->node();
@@ -37,18 +37,20 @@ DpclApplication::DpclApplication(machine::Cluster& cluster, proc::ParallelJob& j
 
 sim::Coro<void> DpclApplication::connect(proc::SimThread& tool) {
   DT_EXPECT(!connected_, "application already connected");
-  sim::Engine& engine = cluster_.engine();
+  // The ack trigger lives on the tool's shard, where connect() executes.
+  sim::Engine& tool_engine = tool.engine();
 
   // Phase 1: authenticate with every target node's super daemon (forks the
   // per-user communication daemons).  One message per node, acks collected.
-  auto auth_ack = std::make_shared<AckState>(engine, static_cast<int>(nodes_.size()));
+  auto auth_ack = std::make_shared<AckState>(tool_engine, static_cast<int>(nodes_.size()));
   for (const int node : nodes_) {
     DT_ASSERT(node < static_cast<int>(super_daemons_.size()));
     SuperDaemon* sd = super_daemons_[static_cast<std::size_t>(node)];
     DT_ASSERT(sd != nullptr, "no super daemon on node ", node);
     co_await tool.compute(kMarshalCost);
-    const sim::TimeNs delay = cluster_.message_delay(tool_node_, node, kConnectBytes);
-    engine.schedule_after(delay, [sd, auth_ack, this] {
+    const sim::TimeNs now = tool_engine.now();
+    const sim::TimeNs delay = cluster_.message_delay(tool_node_, node, kConnectBytes, now);
+    sd->engine().deliver_at(now + delay, [sd, auth_ack, this] {
       sd->inbox().put(ConnectRequest{"dynprof-user", auth_ack, tool_node_});
     });
   }
@@ -58,22 +60,25 @@ sim::Coro<void> DpclApplication::connect(proc::SimThread& tool) {
   // processes and parse the images.
   for (const int node : nodes_) {
     comm_daemons_.push_back(std::make_unique<CommDaemon>(cluster_, job_, node));
-    comm_daemons_.back()->start();
+    comm_daemons_.back()->start(&tool);
   }
   connected_ = true;  // daemons exist; attach is the first broadcast
   Request attach;
   attach.kind = Request::Kind::kAttach;
   co_await broadcast(tool, std::move(attach), /*blocking=*/true);
 
-  // Phase 3: wire the DPCL_callback channel of every target process.
+  // Phase 3: wire the DPCL_callback channel of every target process.  The
+  // sink runs on the *process's* shard; the callback message crosses to the
+  // tool's shard with daemon-hop + wire latency.
   for (const auto& process : job_.processes()) {
     proc::SimProcess* p = process.get();
     p->set_callback_sink([this, p](const std::string& tag, int pid) {
+      const sim::TimeNs now = p->engine().now();
       const sim::TimeNs daemon_hop = cluster_.spec().costs.dpcl_daemon_dispatch;
       const sim::TimeNs delay =
-          daemon_hop + cluster_.message_delay(p->node(), tool_node_, kCallbackBytes);
-      cluster_.engine().schedule_after(delay,
-                                       [this, tag, pid] { callbacks_.put({tag, pid}); });
+          daemon_hop + cluster_.message_delay(p->node(), tool_node_, kCallbackBytes, now);
+      cluster_.engine_for_node(tool_node_)
+          .deliver_at(now + delay, [this, tag, pid] { callbacks_.put({tag, pid}); });
     });
   }
 }
@@ -81,10 +86,10 @@ sim::Coro<void> DpclApplication::connect(proc::SimThread& tool) {
 sim::Coro<void> DpclApplication::broadcast(proc::SimThread& tool, Request prototype,
                                            bool blocking) {
   DT_EXPECT(connected_, "DPCL operation before connect()");
-  sim::Engine& engine = cluster_.engine();
+  sim::Engine& tool_engine = tool.engine();
   std::shared_ptr<AckState> ack;
   if (blocking) {
-    ack = std::make_shared<AckState>(engine, static_cast<int>(nodes_.size()));
+    ack = std::make_shared<AckState>(tool_engine, static_cast<int>(nodes_.size()));
   }
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     Request request = prototype;
@@ -92,10 +97,11 @@ sim::Coro<void> DpclApplication::broadcast(proc::SimThread& tool, Request protot
     request.ack = ack;
     request.reply_node = tool_node_;
     co_await tool.compute(kMarshalCost);
+    const sim::TimeNs now = tool_engine.now();
     const sim::TimeNs delay =
-        cluster_.message_delay(tool_node_, nodes_[i], request_bytes(request));
+        cluster_.message_delay(tool_node_, nodes_[i], request_bytes(request), now);
     CommDaemon* daemon = comm_daemons_[i].get();
-    engine.schedule_after(delay, [daemon, request = std::move(request)]() mutable {
+    daemon->engine().deliver_at(now + delay, [daemon, request = std::move(request)]() mutable {
       daemon->inbox().put(std::move(request));
     });
     ++requests_sent_;

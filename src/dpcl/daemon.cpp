@@ -28,18 +28,43 @@ std::int64_t request_bytes(const Request& request) {
 // CommDaemon
 // ---------------------------------------------------------------------------
 
-CommDaemon::CommDaemon(machine::Cluster& cluster, proc::ParallelJob& job, int node)
-    : cluster_(cluster), job_(job), node_(node), inbox_(cluster.engine()) {}
+namespace {
 
-void CommDaemon::start() {
+/// Shared start logic: spawn `body` on the daemon's home engine, routing
+/// through a zero-byte fork message when the starter sits on another node.
+template <typename SpawnFn>
+void start_daemon(machine::Cluster& cluster, sim::Engine& home, int node,
+                  proc::SimThread* origin, SpawnFn spawn) {
+  if (origin == nullptr || origin->process().node() == node) {
+    spawn();
+    return;
+  }
+  const sim::TimeNs now = origin->engine().now();
+  const sim::TimeNs delay =
+      cluster.message_delay(origin->process().node(), node, 0, now);
+  home.deliver_at(now + delay, std::move(spawn));
+}
+
+}  // namespace
+
+CommDaemon::CommDaemon(machine::Cluster& cluster, proc::ParallelJob& job, int node)
+    : cluster_(cluster),
+      job_(job),
+      node_(node),
+      engine_(cluster.engine_for_node(node)),
+      inbox_(engine_) {}
+
+void CommDaemon::start(proc::SimThread* origin) {
   DT_ASSERT(!started_, "daemon already started");
   started_ = true;
-  cluster_.engine().spawn(loop(), str::format("dpcl.commd.node%d", node_),
-                          sim::Engine::SpawnOptions{.daemon = true});
+  start_daemon(cluster_, engine_, node_, origin, [this] {
+    engine_.spawn(loop(), str::format("dpcl.commd.node%d", node_),
+                  sim::Engine::SpawnOptions{.daemon = true});
+  });
 }
 
 sim::Coro<void> CommDaemon::loop() {
-  sim::Engine& engine = cluster_.engine();
+  sim::Engine& engine = engine_;
   while (true) {
     Request request = co_await inbox_.recv();
     ++requests_handled_;
@@ -49,7 +74,7 @@ sim::Coro<void> CommDaemon::loop() {
 }
 
 sim::Coro<void> CommDaemon::execute(Request request) {
-  sim::Engine& engine = cluster_.engine();
+  sim::Engine& engine = engine_;
   const machine::CostModel& costs = cluster_.spec().costs;
 
   for (const int pid : request.pids) {
@@ -119,8 +144,10 @@ sim::Coro<void> CommDaemon::execute(Request request) {
   }
 
   if (request.ack != nullptr) {
-    const sim::TimeNs delay = cluster_.message_delay(node_, request.reply_node, kAckBytes);
-    engine.schedule_after(delay, [ack = request.ack] {
+    // The ack lands on the tool node's shard, where the waiter lives.
+    const sim::TimeNs now = engine.now();
+    const sim::TimeNs delay = cluster_.message_delay(node_, request.reply_node, kAckBytes, now);
+    cluster_.engine_for_node(request.reply_node).deliver_at(now + delay, [ack = request.ack] {
       if (--ack->remaining == 0) ack->done.fire();
     });
   }
@@ -131,17 +158,22 @@ sim::Coro<void> CommDaemon::execute(Request request) {
 // ---------------------------------------------------------------------------
 
 SuperDaemon::SuperDaemon(machine::Cluster& cluster, int node)
-    : cluster_(cluster), node_(node), inbox_(cluster.engine()) {}
+    : cluster_(cluster),
+      node_(node),
+      engine_(cluster.engine_for_node(node)),
+      inbox_(engine_) {}
 
-void SuperDaemon::start() {
+void SuperDaemon::start(proc::SimThread* origin) {
   DT_ASSERT(!started_, "super daemon already started");
   started_ = true;
-  cluster_.engine().spawn(loop(), str::format("dpcl.superd.node%d", node_),
-                          sim::Engine::SpawnOptions{.daemon = true});
+  start_daemon(cluster_, engine_, node_, origin, [this] {
+    engine_.spawn(loop(), str::format("dpcl.superd.node%d", node_),
+                  sim::Engine::SpawnOptions{.daemon = true});
+  });
 }
 
 sim::Coro<void> SuperDaemon::loop() {
-  sim::Engine& engine = cluster_.engine();
+  sim::Engine& engine = engine_;
   while (true) {
     ConnectRequest request = co_await inbox_.recv();
     ++connections_;
@@ -149,10 +181,13 @@ sim::Coro<void> SuperDaemon::loop() {
     co_await engine.sleep(kAuthCost);
     co_await engine.sleep(kForkCommDaemonCost);
     if (request.ack != nullptr) {
-      const sim::TimeNs delay = cluster_.message_delay(node_, request.reply_node, kAckBytes);
-      engine.schedule_after(delay, [ack = request.ack] {
-        if (--ack->remaining == 0) ack->done.fire();
-      });
+      const sim::TimeNs now = engine.now();
+      const sim::TimeNs delay =
+          cluster_.message_delay(node_, request.reply_node, kAckBytes, now);
+      cluster_.engine_for_node(request.reply_node)
+          .deliver_at(now + delay, [ack = request.ack] {
+            if (--ack->remaining == 0) ack->done.fire();
+          });
     }
   }
 }

@@ -70,10 +70,17 @@ class CommDaemon {
   CommDaemon& operator=(const CommDaemon&) = delete;
 
   int node() const { return node_; }
+  /// The daemon's home engine: the shard owning its node.
+  sim::Engine& engine() { return engine_; }
   sim::Mailbox<Request>& inbox() { return inbox_; }
 
-  /// Spawn the request-processing loop (an engine daemon process).
-  void start();
+  /// Spawn the request-processing loop (an engine daemon process).  Started
+  /// from a simulated thread on another node (the tool forking daemons
+  /// mid-run), pass it as `origin`: the loop then begins after one
+  /// zero-byte fork message from the origin node -- which also keeps the
+  /// cross-shard spawn beyond the conservative lookahead.  Requests
+  /// arriving before the loop is up simply wait in the inbox.
+  void start(proc::SimThread* origin = nullptr);
 
   std::uint64_t requests_handled() const { return requests_handled_; }
 
@@ -84,6 +91,7 @@ class CommDaemon {
   machine::Cluster& cluster_;
   proc::ParallelJob& job_;
   int node_;
+  sim::Engine& engine_;
   sim::Mailbox<Request> inbox_;
   std::uint64_t requests_handled_ = 0;
   bool started_ = false;
@@ -103,8 +111,10 @@ class SuperDaemon {
   SuperDaemon& operator=(const SuperDaemon&) = delete;
 
   int node() const { return node_; }
+  sim::Engine& engine() { return engine_; }
   sim::Mailbox<ConnectRequest>& inbox() { return inbox_; }
-  void start();
+  /// See CommDaemon::start for the `origin` contract.
+  void start(proc::SimThread* origin = nullptr);
 
   std::uint64_t connections_served() const { return connections_; }
 
@@ -113,6 +123,7 @@ class SuperDaemon {
 
   machine::Cluster& cluster_;
   int node_;
+  sim::Engine& engine_;
   sim::Mailbox<ConnectRequest> inbox_;
   std::uint64_t connections_ = 0;
   bool started_ = false;

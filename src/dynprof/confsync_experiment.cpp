@@ -1,6 +1,9 @@
 #include "dynprof/confsync_experiment.hpp"
 
+#include <algorithm>
+
 #include "control/overlay.hpp"
+#include "sim/parallel_engine.hpp"
 #include "mpi/world.hpp"
 #include "proc/job.hpp"
 #include "sim/stats.hpp"
@@ -14,8 +17,8 @@ ConfsyncExperimentResult run_confsync_experiment(const ConfsyncExperimentConfig&
   DT_EXPECT(config.nprocs >= 1, "need at least one process");
   DT_EXPECT(config.repetitions >= 1, "need at least one repetition");
 
-  sim::Engine engine;
-  machine::Cluster cluster(engine, config.machine, config.seed ^ 0xc0ff5ee);
+  sim::ParallelEngine psim(std::max(1, config.sim_threads));
+  machine::Cluster cluster(psim, config.machine, config.seed ^ 0xc0ff5ee);
   mpi::World world(cluster);
   proc::ParallelJob job(cluster, "confsync-experiment");
   auto store = std::make_shared<vt::TraceStore>();
@@ -30,6 +33,7 @@ ConfsyncExperimentResult run_confsync_experiment(const ConfsyncExperimentConfig&
   std::shared_ptr<control::StatsOverlay> overlay;
   if (config.tree_arity > 0) {
     overlay = std::make_shared<control::StatsOverlay>(config.tree_arity);
+    overlay->prepare(config.nprocs);
   }
 
   std::vector<std::unique_ptr<vt::VtLib>> vts;
@@ -76,16 +80,16 @@ ConfsyncExperimentResult run_confsync_experiment(const ConfsyncExperimentConfig&
       }
       for (int rep = 0; rep < config.repetitions; ++rep) {
         co_await rank.barrier(thread);  // align ranks before timing
-        const sim::TimeNs begin = engine.now();
+        const sim::TimeNs begin = thread.engine().now();
         co_await vt.confsync(thread, config.write_statistics);
-        if (pid == 0) latency.add(sim::to_seconds(engine.now() - begin));
+        if (pid == 0) latency.add(sim::to_seconds(thread.engine().now() - begin));
       }
       co_await rank.finalize(thread);
     });
   }
 
   job.start();
-  engine.run();
+  psim.run();
 
   ConfsyncExperimentResult result;
   result.mean_seconds = latency.mean();

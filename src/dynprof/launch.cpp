@@ -1,5 +1,7 @@
 #include "dynprof/launch.hpp"
 
+#include <algorithm>
+
 #include "guide/compiler.hpp"
 #include "support/common.hpp"
 #include "support/strings.hpp"
@@ -53,7 +55,10 @@ std::vector<Policy> policies_for(const asci::AppSpec& app) {
   return {Policy::kFull, Policy::kFullOff, Policy::kSubset, Policy::kNone, Policy::kDynamic};
 }
 
-Launch::Launch(Options options) : options_(std::move(options)) {
+Launch::Launch(Options options)
+    : options_(std::move(options)),
+      psim_(std::make_unique<sim::ParallelEngine>(std::max(1, options_.sim_threads))),
+      init_trigger_(psim_->shard(0)) {
   DT_EXPECT(options_.app != nullptr, "Launch needs an application");
   const asci::AppSpec& app = *options_.app;
   const asci::AppParams& params = options_.params;
@@ -64,7 +69,7 @@ Launch::Launch(Options options) : options_(std::move(options)) {
 
   machine::MachineSpec spec =
       options_.machine.has_value() ? *options_.machine : machine::ibm_power3_sp();
-  cluster_ = std::make_unique<machine::Cluster>(engine_, std::move(spec),
+  cluster_ = std::make_unique<machine::Cluster>(*psim_, std::move(spec),
                                                 /*noise_seed=*/params.seed ^ 0x9e3779b9);
   vt::TraceStore::Options store_options;
   store_options.spill_budget_bytes = options_.trace_spill_bytes;
@@ -176,9 +181,17 @@ sim::Coro<void> Launch::rank_main(int pid, proc::SimThread& thread) {
         co_await vt(pid).vt_init(t2);
       });
     }
-    if (++init_done_count_ == process_count()) {
-      init_complete_ = engine_.now();
-      init_trigger_.fire();
+    {
+      bool last = false;
+      {
+        std::lock_guard<std::mutex> lock(init_mutex_);
+        init_latest_ = std::max(init_latest_, thread.engine().now());
+        last = ++init_done_count_ == process_count();
+        if (last) init_complete_ = init_latest_;  // stays -1 until everyone is done
+      }
+      // Cross-shard fire is safe: only sequential-mode controllers await
+      // this trigger (Engine::post would assert otherwise).
+      if (last) init_trigger_.fire();
     }
 
     co_await app.body(ctx, t);
@@ -208,7 +221,7 @@ Launch::Result Launch::collect_result() const {
 
 Launch::Result Launch::run_to_completion() {
   start();
-  engine_.run();
+  run_engine();
   return collect_result();
 }
 

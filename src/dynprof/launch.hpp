@@ -20,6 +20,7 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -30,6 +31,7 @@
 #include "omp/runtime.hpp"
 #include "proc/job.hpp"
 #include "sim/engine.hpp"
+#include "sim/parallel_engine.hpp"
 #include "vt/interpose.hpp"
 #include "vt/trace_store.hpp"
 #include "vt/vtlib.hpp"
@@ -72,6 +74,10 @@ class Launch {
     /// clock).  Rank 0 is always the anchor; see analysis/clock_sync.hpp
     /// for the postmortem correction.
     sim::TimeNs clock_skew_stddev = 0;
+    /// Simulation worker threads (shards of the conservative parallel
+    /// engine).  1 = classic sequential run; results are bit-identical for
+    /// every value.  See DESIGN.md §8.
+    int sim_threads = 1;
   };
 
   explicit Launch(Options options);
@@ -79,7 +85,13 @@ class Launch {
   Launch(const Launch&) = delete;
   Launch& operator=(const Launch&) = delete;
 
-  sim::Engine& engine() { return engine_; }
+  /// The coordinator shard (shard 0).  Setup/inspection only; prefer
+  /// run_engine() to drive a run so multi-shard launches parallelise.
+  sim::Engine& engine() { return psim_->shard(0); }
+  sim::ParallelEngine& parallel_engine() { return *psim_; }
+  /// Run all shards to completion (or `deadline`) under the conservative
+  /// window protocol; with sim_threads == 1 this is exactly engine().run().
+  void run_engine(sim::TimeNs deadline = -1) { psim_->run(deadline); }
   machine::Cluster& cluster() { return *cluster_; }
   proc::ParallelJob& job() { return *job_; }
   mpi::World* world() { return world_.get(); }  ///< null for pure OpenMP apps
@@ -101,8 +113,9 @@ class Launch {
   int process_count() const { return static_cast<int>(job_->size()); }
 
   /// Start the application (static policies; dynprof drives this itself for
-  /// the Dynamic policy).
-  void start() { job_->start(); }
+  /// the Dynamic policy).  Pass the calling simulated thread when starting
+  /// mid-run (see ParallelJob::start).
+  void start(proc::SimThread* origin = nullptr) { job_->start(origin); }
 
   /// Simulation time when the last rank finished MPI_Init/VT_init (i.e.
   /// when the main computation begins, after any dynamic-instrumentation
@@ -131,7 +144,9 @@ class Launch {
   sim::Coro<void> rank_main(int pid, proc::SimThread& thread);
 
   Options options_;
-  sim::Engine engine_;
+  // The engine group must outlive (i.e. be declared before) everything the
+  // coroutine frames it owns may reference during teardown.
+  std::unique_ptr<sim::ParallelEngine> psim_;
   std::unique_ptr<machine::Cluster> cluster_;
   std::shared_ptr<vt::TraceStore> store_;
   std::shared_ptr<vt::StagedUpdate> staged_;
@@ -143,9 +158,14 @@ class Launch {
   std::vector<std::unique_ptr<vt::VtOmpListener>> omp_listeners_;
   std::vector<std::unique_ptr<asci::AppContext>> contexts_;
 
+  // Init bookkeeping is updated from each rank's home shard; the mutex
+  // covers concurrent completions, and count + max-time are
+  // order-independent so the values stay deterministic.
+  std::mutex init_mutex_;
   int init_done_count_ = 0;
+  sim::TimeNs init_latest_ = 0;   ///< max init time seen so far
   sim::TimeNs init_complete_ = -1;
-  sim::Trigger init_trigger_{engine_};
+  sim::Trigger init_trigger_;
 };
 
 }  // namespace dyntrace::dynprof

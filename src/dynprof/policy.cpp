@@ -28,6 +28,7 @@ PolicyResult run_policy(const RunConfig& config) {
   }
   options.policy = config.policy;
   options.machine = config.machine;
+  options.sim_threads = config.sim_threads;
   Launch launch(std::move(options));
 
   PolicyResult result;
@@ -48,6 +49,7 @@ PolicyResult run_policy(const RunConfig& config) {
     std::shared_ptr<control::StatsOverlay> overlay;
     if (config.tree_arity > 0) {
       overlay = std::make_shared<control::StatsOverlay>(config.tree_arity);
+      overlay->prepare(launch.process_count());
     }
     for (int pid = 0; pid < launch.process_count(); ++pid) {
       if (overlay) launch.vt(pid).set_stats_aggregator(overlay);
@@ -57,7 +59,7 @@ PolicyResult run_policy(const RunConfig& config) {
     controller.attach(launch.vt(0), launch.staged());
 
     tool.run_script(parse_script("insert-file all.txt\nstart\nquit\n"));
-    launch.engine().run();
+    launch.run_engine();
     DT_ASSERT(tool.finished(), "dynprof tool did not finish");
 
     const Launch::Result r = launch.collect_result();
@@ -76,7 +78,7 @@ PolicyResult run_policy(const RunConfig& config) {
     tool_options.command_files = {{"subset.txt", config.app->dynamic_list}};
     DynprofTool tool(launch, std::move(tool_options));
     tool.run_script(parse_script("insert-file subset.txt\nstart\nquit\n"));
-    launch.engine().run();
+    launch.run_engine();
     DT_ASSERT(tool.finished(), "dynprof tool did not finish");
 
     const Launch::Result r = launch.collect_result();
@@ -92,6 +94,8 @@ PolicyResult run_policy(const RunConfig& config) {
     result.trace_events = r.trace_events;
     result.filtered_events = r.filtered_events;
   }
+  result.trace_digest = launch.trace()->digest();
+  result.stats_digest = vt::stats_digest(launch.vt(0).statistics());
   return result;
 }
 

@@ -47,12 +47,12 @@ DynprofTool::~DynprofTool() = default;
 
 void DynprofTool::begin_phase(const std::string& name) {
   phase_name_ = name;
-  phase_start_ = launch_.engine().now();
+  phase_start_ = tool_process_->engine().now();
 }
 
 void DynprofTool::end_phase() {
   timefile_.push_back(
-      TimeRecord{phase_name_, phase_start_, launch_.engine().now() - phase_start_});
+      TimeRecord{phase_name_, phase_start_, tool_process_->engine().now() - phase_start_});
 }
 
 std::string DynprofTool::timefile_text() const {
@@ -65,7 +65,8 @@ std::string DynprofTool::timefile_text() const {
 }
 
 void DynprofTool::run_script(std::vector<Command> script) {
-  launch_.engine().spawn(tool_main(std::move(script)), "dynprof.tool");
+  // The tool coroutine lives on its own process's home shard.
+  tool_process_->engine().spawn(tool_main(std::move(script)), "dynprof.tool");
 }
 
 image::FunctionId DynprofTool::resolve(const std::string& name) const {
@@ -98,7 +99,7 @@ sim::Coro<void> DynprofTool::create_and_connect(proc::SimThread& tool) {
   std::vector<dpcl::SuperDaemon*> daemons;
   daemons.reserve(super_daemons_.size());
   for (auto& sd : super_daemons_) {
-    sd->start();
+    sd->start(&tool);
     daemons.push_back(sd.get());
   }
   app_ = std::make_unique<dpcl::DpclApplication>(cluster, launch_.job(), tool_node_,
@@ -165,7 +166,7 @@ sim::Coro<void> DynprofTool::await_init_and_release(proc::SimThread& tool) {
   end_phase();
 
   init_released_ = true;
-  create_and_instrument_ = launch_.engine().now() - tool_start_time_;
+  create_and_instrument_ = tool.engine().now() - tool_start_time_;
 }
 
 sim::Coro<void> DynprofTool::do_insert(proc::SimThread& tool,
@@ -221,7 +222,7 @@ sim::Coro<void> DynprofTool::remove_functions(const std::vector<std::string>& na
 
 sim::Coro<void> DynprofTool::tool_main(std::vector<Command> script) {
   proc::SimThread& tool = tool_process_->main_thread();
-  tool_start_time_ = launch_.engine().now();
+  tool_start_time_ = tool.engine().now();
 
   if (options_.attach_to_running) {
     // Dynamic attachment (§3.3's deferred extension): the job is already
@@ -233,7 +234,7 @@ sim::Coro<void> DynprofTool::tool_main(std::vector<Command> script) {
     std::vector<dpcl::SuperDaemon*> daemons;
     daemons.reserve(super_daemons_.size());
     for (auto& sd : super_daemons_) {
-      sd->start();
+      sd->start(&tool);
       daemons.push_back(sd.get());
     }
     app_ = std::make_unique<dpcl::DpclApplication>(launch_.cluster(), launch_.job(),
@@ -254,7 +255,7 @@ sim::Coro<void> DynprofTool::tool_main(std::vector<Command> script) {
 
     started_app_ = true;
     init_released_ = true;
-    create_and_instrument_ = launch_.engine().now() - tool_start_time_;
+    create_and_instrument_ = tool.engine().now() - tool_start_time_;
 
     for (const Command& cmd : script) {
       DT_EXPECT(cmd.kind != CommandKind::kStart,
@@ -308,11 +309,11 @@ sim::Coro<void> DynprofTool::tool_main(std::vector<Command> script) {
       case CommandKind::kStart:
         DT_EXPECT(!started_app_, "dynprof: application already started");
         started_app_ = true;
-        launch_.start();
+        launch_.start(&tool);
         co_await await_init_and_release(tool);
         break;
       case CommandKind::kWait:
-        co_await launch_.engine().sleep(sim::seconds(cmd.wait_seconds()));
+        co_await tool.engine().sleep(sim::seconds(cmd.wait_seconds()));
         break;
       case CommandKind::kQuit:
         // Detach: active instrumentation stays in place (§3.3).

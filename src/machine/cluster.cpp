@@ -1,13 +1,39 @@
 #include "machine/cluster.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "support/common.hpp"
+#include "support/rng.hpp"
 
 namespace dyntrace::machine {
 
+namespace {
+
+/// Fold one value into a hash state (SplitMix64 finaliser per step).
+constexpr std::uint64_t fold(std::uint64_t h, std::uint64_t v) {
+  return SplitMix64(h ^ v).next();
+}
+
+}  // namespace
+
 Cluster::Cluster(sim::Engine& engine, MachineSpec spec, std::uint64_t noise_seed)
-    : engine_(engine), spec_(std::move(spec)), noise_(noise_seed) {}
+    : coordinator_(&engine), spec_(std::move(spec)), noise_seed_(noise_seed) {}
+
+Cluster::Cluster(sim::ParallelEngine& group, MachineSpec spec, std::uint64_t noise_seed)
+    : coordinator_(&group.shard(0)),
+      group_(&group),
+      spec_(std::move(spec)),
+      noise_seed_(noise_seed) {
+  group.set_lookahead(min_cross_node_delay());
+}
+
+sim::Engine& Cluster::engine_for_node(int node) {
+  DT_ASSERT(node >= 0 && node < spec_.nodes, "node ", node, " out of range on ",
+            spec_.name);
+  if (group_ == nullptr) return *coordinator_;
+  return group_->shard(node % group_->shard_count());
+}
 
 std::vector<Cluster::Placement> Cluster::place_block(int units, int cpus_per_unit) const {
   DT_EXPECT(units >= 1, "placement needs at least one unit");
@@ -29,17 +55,39 @@ std::vector<Cluster::Placement> Cluster::place_block(int units, int cpus_per_uni
   return out;
 }
 
-sim::TimeNs Cluster::jittered(sim::TimeNs base) {
+sim::TimeNs Cluster::jittered(sim::TimeNs base, std::uint64_t salt) const {
   if (spec_.latency_jitter <= 0.0 || base <= 0) return base;
-  // Multiplicative noise in [1 - j, 1 + j]; deterministic stream.
-  const double factor = 1.0 + spec_.latency_jitter * (2.0 * noise_.next_double() - 1.0);
+  // Multiplicative noise in [1 - j, 1 + j); a pure function of (seed, salt)
+  // so concurrent shards never contend on (or reorder) a shared stream.
+  const std::uint64_t z = fold(noise_seed_, salt);
+  const double u = static_cast<double>(z >> 11) * 0x1.0p-53;  // [0, 1)
+  const double factor = 1.0 + spec_.latency_jitter * (2.0 * u - 1.0);
   return static_cast<sim::TimeNs>(std::llround(static_cast<double>(base) * factor));
 }
 
-sim::TimeNs Cluster::message_delay(int src_node, int dst_node, std::int64_t bytes) {
-  ++messages_sent_;
-  bytes_sent_ += static_cast<std::uint64_t>(bytes);
-  return jittered(spec_.transfer_time(src_node, dst_node, bytes));
+sim::TimeNs Cluster::message_delay(int src_node, int dst_node, std::int64_t bytes,
+                                   sim::TimeNs now) {
+  messages_sent_.fetch_add(1, std::memory_order_relaxed);
+  bytes_sent_.fetch_add(static_cast<std::uint64_t>(bytes), std::memory_order_relaxed);
+  std::uint64_t salt = 0x6d657373616765ULL;  // "message"
+  salt = fold(salt, static_cast<std::uint64_t>(src_node));
+  salt = fold(salt, static_cast<std::uint64_t>(dst_node));
+  salt = fold(salt, static_cast<std::uint64_t>(bytes));
+  salt = fold(salt, static_cast<std::uint64_t>(now));
+  return jittered(spec_.transfer_time(src_node, dst_node, bytes), salt);
+}
+
+sim::TimeNs Cluster::min_cross_node_delay() const {
+  // transfer_time() distinguishes only intra- vs inter-node, so the pair
+  // (0, 1) is representative of every cross-node path; single-node machines
+  // have no cross-node traffic at all, so any positive bound is safe.
+  const sim::TimeNs base =
+      spec_.nodes > 1 ? spec_.transfer_time(0, 1, 0) : spec_.intra_latency;
+  // Worst case jittered() can return is llround(base * (1 - j)); floor minus
+  // one ns of slack covers rounding-direction and ulp differences.
+  const double worst = static_cast<double>(base) * (1.0 - spec_.latency_jitter);
+  const auto floor_ns = static_cast<sim::TimeNs>(std::floor(worst));
+  return std::max<sim::TimeNs>(1, floor_ns - 1);
 }
 
 }  // namespace dyntrace::machine

@@ -1,16 +1,25 @@
-// The simulated cluster: engine + machine spec + deterministic noise.
+// The simulated cluster: engine(s) + machine spec + deterministic noise.
 //
 // A Cluster owns no processes itself; the proc layer places SimProcesses on
 // nodes via place_block() and charges communication time via
 // message_delay().
+//
+// Sharding: a Cluster built over a sim::ParallelEngine maps every node to a
+// home shard (node modulo shard count) via engine_for_node(), so with more
+// than one shard all cross-shard traffic is cross-*node* traffic.  The
+// minimum possible cross-node delay (after worst-case jitter) is installed
+// as the group's conservative lookahead.  Latency jitter is a stateless
+// hash of (seed, message identity) rather than a shared RNG stream, so the
+// delay of a message does not depend on the order other shards draw noise.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
 #include "machine/spec.hpp"
 #include "sim/engine.hpp"
-#include "support/rng.hpp"
+#include "sim/parallel_engine.hpp"
 
 namespace dyntrace::machine {
 
@@ -23,7 +32,22 @@ class Cluster {
 
   Cluster(sim::Engine& engine, MachineSpec spec, std::uint64_t noise_seed = 0x0dd5eed);
 
-  sim::Engine& engine() { return engine_; }
+  /// Shard-aware cluster: nodes map onto the group's shards and the
+  /// machine-derived lookahead is installed on the group.
+  Cluster(sim::ParallelEngine& group, MachineSpec spec,
+          std::uint64_t noise_seed = 0x0dd5eed);
+
+  /// The coordinator engine (shard 0 in a sharded cluster).  Setup code and
+  /// single-shard runs use this; simulated processes use engine_for_node().
+  sim::Engine& engine() { return *coordinator_; }
+
+  /// The home engine of the given node.  All processes on one node share a
+  /// shard, so intra-node communication is always shard-local.
+  sim::Engine& engine_for_node(int node);
+
+  /// The owning shard group, or null for a classic single-engine cluster.
+  sim::ParallelEngine* engine_group() { return group_; }
+
   const MachineSpec& spec() const { return spec_; }
 
   /// Block placement: consecutive units fill a node's CPUs, then spill to
@@ -35,21 +59,37 @@ class Cluster {
   /// One-way delay for a message of `bytes` between nodes, with
   /// deterministic jitter applied (models OS noise / switch contention and
   /// the "differing delays" of DPCL daemon contact the paper discusses).
-  sim::TimeNs message_delay(int src_node, int dst_node, std::int64_t bytes);
+  /// `now` is the *sender's* virtual send time; it salts the jitter so that
+  /// repeated sends over one path draw fresh noise, without any state
+  /// shared between shards.
+  sim::TimeNs message_delay(int src_node, int dst_node, std::int64_t bytes,
+                            sim::TimeNs now);
 
-  /// Apply the cluster's jitter model to any base latency.
-  sim::TimeNs jittered(sim::TimeNs base);
+  /// Apply the cluster's jitter model to any base latency.  The same
+  /// (seed, salt) always produces the same draw; vary the salt per use.
+  sim::TimeNs jittered(sim::TimeNs base, std::uint64_t salt) const;
 
-  /// Messages accounted so far (for tests and trace statistics).
-  std::uint64_t messages_sent() const { return messages_sent_; }
-  std::uint64_t bytes_sent() const { return bytes_sent_; }
+  /// A lower bound on every possible cross-node message_delay() result:
+  /// the zero-byte transfer time scaled by the worst-case downward jitter,
+  /// minus one ns of slack.  This is the shard group's lookahead.
+  sim::TimeNs min_cross_node_delay() const;
+
+  /// Messages accounted so far (for tests and trace statistics).  Counters
+  /// are atomic: shards charge messages concurrently.
+  std::uint64_t messages_sent() const {
+    return messages_sent_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t bytes_sent() const {
+    return bytes_sent_.load(std::memory_order_relaxed);
+  }
 
  private:
-  sim::Engine& engine_;
+  sim::Engine* coordinator_;
+  sim::ParallelEngine* group_ = nullptr;
   MachineSpec spec_;
-  Rng noise_;
-  std::uint64_t messages_sent_ = 0;
-  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t noise_seed_;
+  std::atomic<std::uint64_t> messages_sent_{0};
+  std::atomic<std::uint64_t> bytes_sent_{0};
 };
 
 }  // namespace dyntrace::machine

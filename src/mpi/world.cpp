@@ -64,7 +64,7 @@ int ceil_log2(int n) {
 }  // namespace
 
 Rank::Rank(World& world, proc::SimProcess& process, int rank)
-    : world_(world), process_(process), rank_(rank), incoming_(world.cluster().engine()) {
+    : world_(world), process_(process), rank_(rank), incoming_(process.engine()) {
   // Snippets dynamically inserted by instrumenters may call MPI_Barrier
   // (the Figure-6 initialization snippet does); expose it in the process's
   // library registry.
@@ -113,7 +113,8 @@ sim::Coro<void> Rank::send_raw(proc::SimThread& thread, int dst, int tag, std::i
   env.dst = dst;
   env.tag = tag;
   env.bytes = bytes;
-  env.seq = world_.send_seq_++;
+  env.seq = send_seq_++;
+  world_.total_messages_.fetch_add(1, std::memory_order_relaxed);
 
   // Sender-side cost: per-message software overhead plus injection of the
   // payload into the fabric.
@@ -126,11 +127,13 @@ sim::Coro<void> Rank::send_raw(proc::SimThread& thread, int dst, int tag, std::i
                              : spec.bandwidth_bytes_per_us));
   co_await thread.compute(inject);
 
-  // In-flight delay to the destination queue.
+  // In-flight delay to the destination's home shard (deliver_at degenerates
+  // to a local schedule when src and dst share one).
+  env.sent_at = process_.engine().now();
   const sim::TimeNs delay =
-      cluster.message_delay(process_.node(), target.process_.node(), bytes);
-  env.sent_at = cluster.engine().now();
-  cluster.engine().schedule_after(delay, [&target, env] { target.incoming_.put(env); });
+      cluster.message_delay(process_.node(), target.process_.node(), bytes, env.sent_at);
+  target.process_.engine().deliver_at(env.sent_at + delay,
+                                      [&target, env] { target.incoming_.put(env); });
   ++sends_;
 }
 
@@ -200,7 +203,7 @@ sim::Coro<void> Rank::isend(proc::SimThread& thread, int dst, int tag, std::int6
   co_await begin_call(thread, call);
 
   machine::Cluster& cluster = world_.cluster();
-  sim::Engine& engine = cluster.engine();
+  sim::Engine& engine = process_.engine();
   Rank& target = world_.rank(dst);
   const machine::MachineSpec& spec = cluster.spec();
 
@@ -212,8 +215,9 @@ sim::Coro<void> Rank::isend(proc::SimThread& thread, int dst, int tag, std::int6
   env.dst = dst;
   env.tag = tag;
   env.bytes = bytes;
-  env.seq = world_.send_seq_++;
+  env.seq = send_seq_++;
   env.sent_at = engine.now();
+  world_.total_messages_.fetch_add(1, std::memory_order_relaxed);
 
   const sim::TimeNs inject =
       spec.per_message_software +
@@ -229,8 +233,10 @@ sim::Coro<void> Rank::isend(proc::SimThread& thread, int dst, int tag, std::int6
   });
   // ...and deliver after the wire delay.
   const sim::TimeNs delay =
-      inject + cluster.message_delay(process_.node(), target.process_.node(), bytes);
-  engine.schedule_after(delay, [&target, env] { target.incoming_.put(env); });
+      inject +
+      cluster.message_delay(process_.node(), target.process_.node(), bytes, env.sent_at);
+  target.process_.engine().deliver_at(env.sent_at + delay,
+                                      [&target, env] { target.incoming_.put(env); });
   ++sends_;
 
   *request = Request(std::move(state));
@@ -249,8 +255,8 @@ sim::Coro<void> Rank::irecv_task(std::shared_ptr<Request::State> state, int src,
 
 void Rank::irecv(int src, int tag, Request* request) {
   DT_ASSERT(request != nullptr);
-  auto state = std::make_shared<Request::State>(world_.cluster().engine(), /*recv=*/true);
-  world_.cluster().engine().spawn(
+  auto state = std::make_shared<Request::State>(process_.engine(), /*recv=*/true);
+  process_.engine().spawn(
       irecv_task(state, src, tag),
       str::format("mpi.rank%d.irecv", rank_),
       sim::Engine::SpawnOptions{.daemon = true});
@@ -480,6 +486,6 @@ sim::Coro<void> Rank::alltoall(proc::SimThread& thread, std::int64_t bytes_per_p
   co_await end_call(thread, call);
 }
 
-double Rank::wtime() const { return sim::to_seconds(world_.cluster().engine().now()); }
+double Rank::wtime() const { return sim::to_seconds(process_.engine().now()); }
 
 }  // namespace dyntrace::mpi

@@ -1,5 +1,7 @@
 #include "proc/job.hpp"
 
+#include <algorithm>
+
 #include "support/common.hpp"
 #include "support/strings.hpp"
 
@@ -30,23 +32,44 @@ SimProcess& ParallelJob::process(int pid) {
 sim::Coro<void> ParallelJob::run_process(SimProcess& process, MainFn main) {
   co_await main(process.main_thread());
   process.mark_terminated();
-  if (++finished_ == processes_.size()) {
-    finish_time_ = cluster_.engine().now();
-    all_done_.fire();
+  bool last = false;
+  {
+    std::lock_guard<std::mutex> lock(finish_mutex_);
+    finish_time_ = std::max(finish_time_, process.engine().now());
+    last = ++finished_ == processes_.size();
   }
+  // Firing from a foreign shard is safe only because nothing awaits
+  // all_done() mid-run (Engine::post would assert if it did); observers
+  // poll fired() or read finish_time() after the run.
+  if (last) all_done_.fire();
 }
 
-void ParallelJob::start() {
+void ParallelJob::start(SimThread* origin) {
   DT_ASSERT(!started_, "job already started");
   DT_EXPECT(!processes_.empty(), "job '", name_, "' has no processes");
   for (std::size_t pid = 0; pid < processes_.size(); ++pid) {
     DT_EXPECT(mains_[pid] != nullptr, "job '", name_, "': process ", pid, " has no main");
   }
   started_ = true;
-  start_time_ = cluster_.engine().now();
+  sim::Engine& origin_engine = origin != nullptr ? origin->engine() : cluster_.engine();
+  const int origin_node = origin != nullptr ? origin->process().node() : -1;
+  start_time_ = origin_engine.now();
   for (std::size_t pid = 0; pid < processes_.size(); ++pid) {
-    cluster_.engine().spawn(run_process(*processes_[pid], mains_[pid]),
-                            str::format("%s.rank%zu", name_.c_str(), pid));
+    SimProcess& proc = *processes_[pid];
+    if (origin != nullptr && proc.node() != origin_node) {
+      // POE fan-out: one zero-byte control message from the submitting node
+      // starts each remote process.
+      const sim::TimeNs delay =
+          cluster_.message_delay(origin_node, proc.node(), 0, start_time_);
+      proc.engine().deliver_at(start_time_ + delay, [this, pid] {
+        SimProcess& p = *processes_[pid];
+        p.engine().spawn(run_process(p, mains_[pid]),
+                         str::format("%s.rank%zu", name_.c_str(), pid));
+      });
+    } else {
+      proc.engine().spawn(run_process(proc, mains_[pid]),
+                          str::format("%s.rank%zu", name_.c_str(), pid));
+    }
   }
 }
 

@@ -151,10 +151,11 @@ SimProcess::SimProcess(machine::Cluster& cluster, int pid, int node, int first_c
     : cluster_(cluster),
       pid_(pid),
       node_(node),
+      engine_(cluster.engine_for_node(node)),
       first_cpu_(first_cpu),
       image_(std::move(img)),
-      resumed_(cluster.engine()),
-      terminated_(cluster.engine()) {
+      resumed_(engine_),
+      terminated_(engine_) {
   DT_EXPECT(node >= 0 && node < cluster.spec().nodes, "node ", node, " out of range for ",
             cluster.spec().name);
   threads_.push_back(std::make_unique<SimThread>(*this, 0, first_cpu));

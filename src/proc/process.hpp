@@ -133,7 +133,9 @@ class SimProcess {
   SimProcess& operator=(const SimProcess&) = delete;
 
   machine::Cluster& cluster() { return cluster_; }
-  sim::Engine& engine() { return cluster_.engine(); }
+  /// The process's home engine: the shard owning its node.  Every event the
+  /// process schedules executes there.
+  sim::Engine& engine() { return engine_; }
   int pid() const { return pid_; }
   int node() const { return node_; }
 
@@ -179,6 +181,7 @@ class SimProcess {
   machine::Cluster& cluster_;
   int pid_;
   int node_;
+  sim::Engine& engine_;  ///< home shard; declared before the sync members below
   int first_cpu_;
   image::ProgramImage image_;
   LibraryRegistry registry_;

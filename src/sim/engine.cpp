@@ -1,10 +1,26 @@
 #include "sim/engine.hpp"
 
+#include <algorithm>
 #include <sstream>
 
+#include "sim/parallel_engine.hpp"
 #include "support/log.hpp"
 
 namespace dyntrace::sim {
+
+namespace {
+
+/// Scoped thread-local "which engine is executing" marker.
+struct CurrentGuard {
+  Engine* saved;
+  explicit CurrentGuard(Engine** slot, Engine* engine) : saved(*slot), slot_(slot) {
+    *slot_ = engine;
+  }
+  ~CurrentGuard() { *slot_ = saved; }
+  Engine** slot_;
+};
+
+}  // namespace
 
 // Detached driver: owns nothing after completion (final_suspend never), but
 // registers its handle with the engine so that frames still suspended when
@@ -35,16 +51,57 @@ Engine::~Engine() {
 }
 
 EventId Engine::schedule_at(TimeNs at, EventQueue::Callback cb) {
+  assert_local_context();
   DT_ASSERT(at >= now_, "cannot schedule into the past (at=", at, " now=", now_, ")");
   return queue_.schedule(at, std::move(cb));
 }
 
 EventId Engine::schedule_after(TimeNs delay, EventQueue::Callback cb) {
+  assert_local_context();
   DT_ASSERT(delay >= 0, "negative delay");
   return queue_.schedule(now_ + delay, std::move(cb));
 }
 
+void Engine::deliver_at(TimeNs at, EventQueue::Callback cb) {
+  Engine* cur = tls_current_;
+  if (cur == this || group_ == nullptr || !group_->in_parallel_phase()) {
+    // Local delivery, or no concurrent windows in flight (setup code,
+    // sequential runs): a plain schedule keeps single-shard behaviour
+    // identical to the classic engine.
+    DT_ASSERT(at >= now_, "cannot deliver into the past (at=", at, " now=", now_, ")");
+    queue_.schedule(at, std::move(cb));
+    return;
+  }
+  DT_ASSERT(cur != nullptr,
+            "cross-shard deliver_at from outside any engine during a parallel run");
+  std::lock_guard<std::mutex> lock(inbox_mutex_);
+  // cross_seq_ belongs to the *sender*: exactly one thread executes a
+  // shard's window, so the increment is single-writer.
+  inbox_.push_back(ForeignEvent{at, cur->shard_, cur->cross_seq_++, std::move(cb)});
+}
+
+void Engine::drain_inbox() {
+  std::vector<ForeignEvent> batch;
+  {
+    std::lock_guard<std::mutex> lock(inbox_mutex_);
+    batch.swap(inbox_);
+  }
+  // Deterministic merge of same-timestamp deliveries: the (time, shard,
+  // seq) key is independent of thread scheduling.
+  std::sort(batch.begin(), batch.end(), [](const ForeignEvent& a, const ForeignEvent& b) {
+    if (a.at != b.at) return a.at < b.at;
+    if (a.src_shard != b.src_shard) return a.src_shard < b.src_shard;
+    return a.src_seq < b.src_seq;
+  });
+  for (ForeignEvent& e : batch) {
+    DT_ASSERT(e.at >= now_, "conservative bound violated: shard ", shard_, " at t=", now_,
+              " received a delivery for t=", e.at, " from shard ", e.src_shard);
+    queue_.schedule(e.at, std::move(e.cb));
+  }
+}
+
 void Engine::post(std::coroutine_handle<> h) {
+  assert_local_context();
   DT_ASSERT(h && !h.done(), "posting an invalid coroutine handle");
   queue_.schedule(now_, [h] { h.resume(); });
 }
@@ -62,6 +119,7 @@ Engine::RootDriver Engine::drive_root(Coro<void> body, std::uint64_t root_id, bo
 }
 
 void Engine::spawn(Coro<void> body, std::string name, SpawnOptions options) {
+  assert_local_context();
   DT_ASSERT(body.valid(), "spawning an empty Coro");
   const std::uint64_t id = next_root_id_++;
   ++alive_;
@@ -78,6 +136,7 @@ void Engine::record_failure(const std::string& name, std::exception_ptr error) {
   if (!failure_) {
     failure_ = error;
     failure_name_ = name;
+    failure_time_ = now_;
   } else {
     log::warn("sim", "additional process failure in '", name, "' (first failure wins)");
   }
@@ -96,14 +155,32 @@ void Engine::finish_root(std::uint64_t id, bool daemon) {
   }
 }
 
+std::vector<std::string> Engine::blocked_process_names() const {
+  std::vector<std::string> names;
+  for (const auto& [id, info] : roots_) {
+    if (!info.daemon) names.push_back(info.name);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
 bool Engine::step() {
   if (queue_.empty()) return false;
   auto [time, cb] = queue_.pop();
   DT_ASSERT(time >= now_, "event queue went backwards");
   now_ = time;
   ++events_executed_;
+  CurrentGuard guard(&tls_current_, this);
   cb();
   return true;
+}
+
+void Engine::run_window(TimeNs bound) {
+  while (!failure_) {
+    const auto next = queue_.next_time();
+    if (!next || *next >= bound) break;
+    step();
+  }
 }
 
 std::size_t Engine::run_until_blocked(TimeNs deadline) {
@@ -131,9 +208,7 @@ void Engine::run(TimeNs deadline) {
   if (blocked > 0) {
     std::ostringstream os;
     os << "simulation deadlock: " << blocked << " process(es) blocked with no pending events:";
-    for (const auto& [id, info] : roots_) {
-      if (!info.daemon) os << " '" << info.name << "'";
-    }
+    for (const auto& name : blocked_process_names()) os << " '" << name << "'";
     throw DeadlockError(os.str());
   }
 }

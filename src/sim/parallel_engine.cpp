@@ -1,0 +1,254 @@
+#include "sim/parallel_engine.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+#include "support/log.hpp"
+
+namespace dyntrace::sim {
+
+namespace {
+
+constexpr TimeNs kNoEvent = std::numeric_limits<TimeNs>::max();
+
+// Bounded busy-wait before parking on a condition variable: roughly the
+// cost of one futex round-trip, so a short window never pays for a full
+// sleep/wake cycle.
+constexpr int kSpinIters = 4096;
+
+inline void cpu_pause() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield");
+#endif
+}
+
+}  // namespace
+
+ParallelEngine::ParallelEngine(Options options) : lookahead_(options.lookahead) {
+  DT_EXPECT(options.shards >= 1, "ParallelEngine needs at least one shard, got ",
+            options.shards);
+  shards_.reserve(static_cast<std::size_t>(options.shards));
+  for (int i = 0; i < options.shards; ++i) {
+    auto engine = std::make_unique<Engine>();
+    engine->group_ = this;
+    engine->shard_ = i;
+    shards_.push_back(std::move(engine));
+  }
+  spin_ = std::thread::hardware_concurrency() > 1;
+}
+
+ParallelEngine::~ParallelEngine() { stop_workers(); }
+
+Engine& ParallelEngine::shard(int index) {
+  DT_ASSERT(index >= 0 && index < shard_count(), "shard ", index, " out of range (",
+            shard_count(), " shards)");
+  return *shards_[static_cast<std::size_t>(index)];
+}
+
+const Engine& ParallelEngine::shard(int index) const {
+  DT_ASSERT(index >= 0 && index < shard_count(), "shard ", index, " out of range (",
+            shard_count(), " shards)");
+  return *shards_[static_cast<std::size_t>(index)];
+}
+
+void ParallelEngine::set_lookahead(TimeNs lookahead) {
+  DT_EXPECT(lookahead >= 0, "negative lookahead");
+  lookahead_ = lookahead;
+}
+
+std::uint64_t ParallelEngine::events_executed() const {
+  std::uint64_t total = 0;
+  for (const auto& engine : shards_) total += engine->events_executed();
+  return total;
+}
+
+std::size_t ParallelEngine::processes_alive() const {
+  std::size_t total = 0;
+  for (const auto& engine : shards_) total += engine->processes_alive();
+  return total;
+}
+
+void ParallelEngine::start_workers() {
+  if (!workers_.empty()) return;
+  slots_.clear();
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    slots_.push_back(std::make_unique<WorkerSlot>());
+  }
+  workers_.reserve(shards_.size());
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+void ParallelEngine::stop_workers() {
+  if (workers_.empty()) return;
+  for (auto& slot : slots_) {
+    std::lock_guard<std::mutex> lock(slot->mutex);
+    slot->stop.store(true, std::memory_order_release);
+  }
+  for (auto& slot : slots_) slot->cv.notify_one();
+  for (auto& worker : workers_) worker.join();
+  workers_.clear();
+  slots_.clear();
+}
+
+void ParallelEngine::worker_loop(std::size_t shard_index) {
+  WorkerSlot& slot = *slots_[shard_index];
+  std::uint64_t seen = 0;
+  while (true) {
+    if (spin_) {
+      for (int i = 0; i < kSpinIters &&
+                      slot.round.load(std::memory_order_acquire) == seen &&
+                      !slot.stop.load(std::memory_order_acquire);
+           ++i) {
+        cpu_pause();
+      }
+    }
+    if (slot.round.load(std::memory_order_acquire) == seen &&
+        !slot.stop.load(std::memory_order_acquire)) {
+      std::unique_lock<std::mutex> lock(slot.mutex);
+      slot.cv.wait(lock, [&] {
+        return slot.stop.load(std::memory_order_acquire) ||
+               slot.round.load(std::memory_order_acquire) != seen;
+      });
+    }
+    if (slot.stop.load(std::memory_order_acquire)) return;
+    seen = slot.round.load(std::memory_order_acquire);
+    shards_[shard_index]->run_window(slot.bound);
+    if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Last shard of the window: wake the coordinator if it parked.
+      std::lock_guard<std::mutex> lock(done_mutex_);
+      done_cv_.notify_one();
+    }
+  }
+}
+
+void ParallelEngine::dispatch_window(TimeNs bound, const std::vector<std::size_t>& active) {
+  start_workers();
+  pending_.store(static_cast<int>(active.size()) - 1, std::memory_order_release);
+  for (std::size_t i = 1; i < active.size(); ++i) {
+    WorkerSlot& slot = *slots_[active[i]];
+    {
+      // The mutex pairs with the worker's predicate check so the round bump
+      // cannot slip between its check and its wait (lost wakeup).
+      std::lock_guard<std::mutex> lock(slot.mutex);
+      slot.bound = bound;
+      slot.round.fetch_add(1, std::memory_order_release);
+    }
+    slot.cv.notify_one();
+  }
+  // The coordinator is a worker too: run the first active shard here
+  // instead of idling at the barrier.
+  shards_[active[0]]->run_window(bound);
+  if (spin_) {
+    for (int i = 0;
+         i < kSpinIters && pending_.load(std::memory_order_acquire) != 0; ++i) {
+      cpu_pause();
+    }
+  }
+  if (pending_.load(std::memory_order_acquire) != 0) {
+    std::unique_lock<std::mutex> lock(done_mutex_);
+    done_cv_.wait(lock,
+                  [&] { return pending_.load(std::memory_order_acquire) == 0; });
+  }
+}
+
+void ParallelEngine::rethrow_earliest_failure() {
+  // Deterministic pick: the failure earliest in virtual time, shard index
+  // breaking ties -- the one a sequential run would have hit first.
+  Engine* first = nullptr;
+  for (const auto& engine : shards_) {
+    if (!engine->failure_) continue;
+    if (first == nullptr || engine->failure_time_ < first->failure_time_) {
+      first = engine.get();
+    }
+  }
+  DT_ASSERT(first != nullptr);
+  for (const auto& engine : shards_) {
+    if (engine->failure_ && engine.get() != first) {
+      log::warn("sim", "additional process failure in '", engine->failure_name_,
+                "' on shard ", engine->shard_, " (earliest failure wins)");
+      engine->failure_ = nullptr;
+    }
+  }
+  auto error = first->failure_;
+  first->failure_ = nullptr;
+  std::rethrow_exception(error);
+}
+
+void ParallelEngine::run(TimeNs deadline) {
+  if (shard_count() == 1) {
+    shards_[0]->run(deadline);
+    return;
+  }
+  DT_EXPECT(lookahead_ > 0,
+            "ParallelEngine::run with ", shard_count(),
+            " shards requires a positive lookahead (set by machine::Cluster)");
+
+  parallel_phase_.store(true, std::memory_order_release);
+  struct PhaseReset {
+    std::atomic<bool>& flag;
+    ~PhaseReset() { flag.store(false, std::memory_order_release); }
+  } reset{parallel_phase_};
+
+  std::vector<std::size_t> active;
+  while (true) {
+    // Coordinator section: workers are quiescent, so single-threaded access
+    // to every shard is safe.
+    for (auto& engine : shards_) engine->drain_inbox();
+
+    bool failed = false;
+    TimeNs min_next = kNoEvent;
+    for (auto& engine : shards_) {
+      if (engine->failure_) failed = true;
+      const auto next = engine->queue_.next_time();
+      if (next && *next < min_next) min_next = *next;
+    }
+    if (failed) rethrow_earliest_failure();
+    if (min_next == kNoEvent) break;  // every queue drained
+    if (deadline >= 0 && min_next > deadline) {
+      for (auto& engine : shards_) engine->now_ = std::max(engine->now_, deadline);
+      return;  // stopped at deadline, fine
+    }
+
+    TimeNs bound = min_next + lookahead_;
+    // A deadline caps the window so no event past it executes.
+    if (deadline >= 0 && bound > deadline + 1) bound = deadline + 1;
+
+    active.clear();
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      const auto next = shards_[i]->queue_.next_time();
+      if (next && *next < bound) active.push_back(i);
+    }
+    ++windows_;
+    if (active.size() == 1) {
+      // One busy shard (sequential stretches, e.g. the tool connecting
+      // while the application waits): run it inline, skip the pool barrier.
+      shards_[active[0]]->run_window(bound);
+    } else {
+      dispatch_window(bound, active);
+    }
+  }
+
+  // All queues drained: deadlock if any non-daemon process is still blocked.
+  std::size_t blocked = 0;
+  std::vector<std::string> names;
+  for (const auto& engine : shards_) {
+    blocked += engine->alive_ - engine->daemons_alive_;
+    auto shard_names = engine->blocked_process_names();
+    names.insert(names.end(), shard_names.begin(), shard_names.end());
+  }
+  if (blocked > 0) {
+    std::sort(names.begin(), names.end());
+    std::ostringstream os;
+    os << "simulation deadlock: " << blocked
+       << " process(es) blocked with no pending events:";
+    for (const auto& name : names) os << " '" << name << "'";
+    throw DeadlockError(os.str());
+  }
+}
+
+}  // namespace dyntrace::sim

@@ -1,0 +1,116 @@
+// Conservative parallel discrete-event simulation (bounded-window / YAWNS).
+//
+// A ParallelEngine owns N shard Engines and a worker-thread pool.  Each
+// simulated process has a home shard (the proc layer maps node -> shard)
+// and all of its events execute there; cross-shard communication goes
+// through Engine::deliver_at, which enqueues into the receiver's foreign
+// inbox mid-window.
+//
+// The run loop repeats three steps:
+//   1. drain: merge every shard's foreign inbox into its event queue,
+//      ordered by the deterministic (time, sender shard, sender seq) key;
+//   2. bound: compute B = min over shards of next-event-time, plus the
+//      lookahead L (the minimum virtual latency of any cross-shard
+//      message, derived from the machine model);
+//   3. window: every shard executes its events with t < B concurrently.
+// Step 3 is safe because an event executing at t can only influence a
+// sibling shard at t + L >= B -- whatever it sends lands in a later window.
+// Determinism: shard-local order is the sequential (time, seq) order, and
+// cross-shard deliveries are merged by a key independent of thread timing,
+// so outputs are bit-identical run to run and thread-count to thread-count.
+//
+// One shard degenerates to Engine::run() exactly.  See DESIGN.md §8 for the
+// protocol and the determinism argument.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/time.hpp"
+
+namespace dyntrace::sim {
+
+class ParallelEngine {
+ public:
+  struct Options {
+    /// Number of shard engines (and worker threads when > 1).
+    int shards = 1;
+    /// Conservative lookahead in virtual ns: a lower bound on the latency
+    /// of any cross-shard interaction.  Must be > 0 before run() when
+    /// shards > 1 (machine::Cluster derives and installs it).
+    TimeNs lookahead = 0;
+  };
+
+  explicit ParallelEngine(Options options);
+  explicit ParallelEngine(int shards) : ParallelEngine(Options{shards, 0}) {}
+  ~ParallelEngine();
+  ParallelEngine(const ParallelEngine&) = delete;
+  ParallelEngine& operator=(const ParallelEngine&) = delete;
+
+  int shard_count() const { return static_cast<int>(shards_.size()); }
+  Engine& shard(int index);
+  const Engine& shard(int index) const;
+
+  TimeNs lookahead() const { return lookahead_; }
+  void set_lookahead(TimeNs lookahead);
+
+  /// True while worker windows may be executing concurrently; deliver_at
+  /// uses this to decide between direct scheduling and the inbox.
+  bool in_parallel_phase() const {
+    return parallel_phase_.load(std::memory_order_acquire);
+  }
+
+  /// Run all shards to completion under the conservative window protocol
+  /// (or until `deadline`, if non-negative).  Rethrows the earliest process
+  /// failure (by virtual time, then shard).  Throws DeadlockError naming
+  /// every blocked process across all shards.  With one shard this is
+  /// exactly Engine::run().
+  void run(TimeNs deadline = -1);
+
+  // --- statistics ----------------------------------------------------------
+
+  std::uint64_t events_executed() const;   ///< summed over shards
+  std::size_t processes_alive() const;     ///< summed over shards
+  std::uint64_t windows() const { return windows_; }
+
+ private:
+  void worker_loop(std::size_t shard_index);
+  void start_workers();
+  void stop_workers();
+  void dispatch_window(TimeNs bound, const std::vector<std::size_t>& active);
+  [[noreturn]] void rethrow_earliest_failure();
+
+  std::vector<std::unique_ptr<Engine>> shards_;
+  TimeNs lookahead_ = 0;
+  std::atomic<bool> parallel_phase_{false};
+  std::uint64_t windows_ = 0;
+
+  // Worker pool: one thread per shard, started lazily on the first
+  // multi-shard run.  Each worker has a private dispatch slot so a window
+  // wakes exactly the shards that have work (the coordinator runs one
+  // active shard itself instead of idling); completion is one shared
+  // countdown.  On multi-core hosts both sides spin briefly before parking
+  // -- windows are microseconds apart and a futex round-trip can cost more
+  // than the window's events.
+  struct WorkerSlot {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::atomic<std::uint64_t> round{0};  ///< bumped per dispatch to this worker
+    std::atomic<bool> stop{false};
+    TimeNs bound = 0;  ///< published before `round`, read after it
+  };
+  std::vector<std::thread> workers_;
+  std::vector<std::unique_ptr<WorkerSlot>> slots_;
+  std::mutex done_mutex_;
+  std::condition_variable done_cv_;
+  std::atomic<int> pending_{0};
+  bool spin_ = false;  ///< hardware_concurrency > 1, set in the constructor
+};
+
+}  // namespace dyntrace::sim

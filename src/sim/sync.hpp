@@ -23,7 +23,11 @@ class Trigger {
   Trigger& operator=(const Trigger&) = delete;
 
   bool fired() const { return fired_; }
+  std::size_t waiter_count() const { return waiters_.size(); }
 
+  /// Safe to call from a sibling shard only when no coroutine is waiting
+  /// (Engine::post asserts local context otherwise); see Launch's init
+  /// trigger for the pattern.
   void fire() {
     if (fired_) return;
     fired_ = true;

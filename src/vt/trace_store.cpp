@@ -104,6 +104,27 @@ std::vector<Event> TraceStore::merged() const {
   return collect(*cursor);
 }
 
+std::uint64_t TraceStore::digest() const {
+  std::uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a offset basis
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xffu;
+      h *= 0x100000001b3ull;
+    }
+  };
+  auto cursor = merge_cursor();
+  Event e;
+  while (cursor->next(e)) {
+    mix(static_cast<std::uint64_t>(e.time));
+    mix((static_cast<std::uint64_t>(static_cast<std::uint32_t>(e.pid)) << 32) |
+        static_cast<std::uint32_t>(e.tid));
+    mix((static_cast<std::uint64_t>(static_cast<std::uint8_t>(e.kind)) << 32) |
+        static_cast<std::uint32_t>(e.code));
+    mix(static_cast<std::uint64_t>(e.aux));
+  }
+  return h;
+}
+
 std::vector<Event> TraceStore::for_process(std::int32_t pid) const {
   auto cursor = process_cursor(pid);
   return collect(*cursor);

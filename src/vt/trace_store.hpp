@@ -64,6 +64,12 @@ class TraceStore {
   /// traces only; analysis streams through merge_cursor() instead.
   std::vector<Event> merged() const;
 
+  /// FNV-1a fingerprint over every field of every record in merged order,
+  /// streamed through the k-way merge.  Two stores digest equal iff their
+  /// merged traces are bit-identical -- the cheap whole-trace identity
+  /// check the parallel-engine determinism tests rest on.
+  std::uint64_t digest() const;
+
   /// Events of one process in time order, materialized.
   std::vector<Event> for_process(std::int32_t pid) const;
 

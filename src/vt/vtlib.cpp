@@ -46,6 +46,25 @@ std::int64_t nonzero_stat_count(const std::vector<FuncStats>& stats) {
   return n;
 }
 
+std::uint64_t stats_digest(const std::vector<FuncStats>& stats) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xffu;
+      h *= 0x100000001b3ull;
+    }
+  };
+  for (const auto& s : stats) {
+    mix(s.calls);
+    mix(s.filtered);
+    mix(static_cast<std::uint64_t>(s.inclusive));
+    mix(static_cast<std::uint64_t>(s.exclusive));
+    mix(static_cast<std::uint64_t>(s.min_inclusive));
+    mix(static_cast<std::uint64_t>(s.max_inclusive));
+  }
+  return h;
+}
+
 VtLib::VtLib(proc::SimProcess& process, std::shared_ptr<TraceStore> store, Options options)
     : process_(process),
       store_(std::move(store)),

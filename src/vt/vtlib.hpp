@@ -70,6 +70,9 @@ void merge_stats(FuncStats& into, const FuncStats& from);
 void merge_stats(std::vector<FuncStats>& into, const std::vector<FuncStats>& from);
 /// Records worth serializing/writing (calls or filtered counts present).
 std::int64_t nonzero_stat_count(const std::vector<FuncStats>& stats);
+/// FNV-1a fingerprint of a statistics table (field-by-field); equal iff the
+/// tables are bit-identical.  Used by the parallel determinism tests.
+std::uint64_t stats_digest(const std::vector<FuncStats>& stats);
 
 class VtLib;
 

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "sim/parallel_engine.hpp"
 #include "support/common.hpp"
 
 namespace dyntrace::machine {
@@ -50,12 +51,24 @@ TEST(Cluster, JitterIsBoundedAndDeterministic) {
   Cluster a(e1, ibm_power3_sp(), 7);
   Cluster b(e2, ibm_power3_sp(), 7);
   const sim::TimeNs base = sim::microseconds(100);
-  for (int i = 0; i < 1000; ++i) {
-    const auto ja = a.jittered(base);
-    EXPECT_EQ(ja, b.jittered(base));  // same seed, same sequence
+  for (std::uint64_t salt = 0; salt < 1000; ++salt) {
+    const auto ja = a.jittered(base, salt);
+    EXPECT_EQ(ja, b.jittered(base, salt));  // same seed + salt, same draw
     EXPECT_GE(ja, static_cast<sim::TimeNs>(base * 0.91));
     EXPECT_LE(ja, static_cast<sim::TimeNs>(base * 1.09));
   }
+}
+
+TEST(Cluster, JitterIsStateless) {
+  // Unlike a shared RNG stream, a draw does not perturb later draws: the
+  // same salt gives the same answer regardless of what happened in between.
+  sim::Engine engine;
+  Cluster cluster(engine, ibm_power3_sp(), 7);
+  const auto first = cluster.jittered(sim::microseconds(100), 42);
+  for (std::uint64_t salt = 0; salt < 100; ++salt) {
+    cluster.jittered(sim::microseconds(100), salt);
+  }
+  EXPECT_EQ(cluster.jittered(sim::microseconds(100), 42), first);
 }
 
 TEST(Cluster, DifferentSeedsGiveDifferentJitter) {
@@ -63,8 +76,11 @@ TEST(Cluster, DifferentSeedsGiveDifferentJitter) {
   Cluster a(e1, ibm_power3_sp(), 1);
   Cluster b(e2, ibm_power3_sp(), 2);
   int same = 0;
-  for (int i = 0; i < 100; ++i) {
-    if (a.jittered(sim::microseconds(100)) == b.jittered(sim::microseconds(100))) ++same;
+  for (std::uint64_t salt = 0; salt < 100; ++salt) {
+    if (a.jittered(sim::microseconds(100), salt) ==
+        b.jittered(sim::microseconds(100), salt)) {
+      ++same;
+    }
   }
   EXPECT_LT(same, 10);
 }
@@ -73,10 +89,23 @@ TEST(Cluster, MessageAccounting) {
   sim::Engine engine;
   Cluster cluster(engine, ibm_power3_sp());
   EXPECT_EQ(cluster.messages_sent(), 0u);
-  cluster.message_delay(0, 1, 1000);
-  cluster.message_delay(1, 2, 500);
+  cluster.message_delay(0, 1, 1000, /*now=*/0);
+  cluster.message_delay(1, 2, 500, /*now=*/0);
   EXPECT_EQ(cluster.messages_sent(), 2u);
   EXPECT_EQ(cluster.bytes_sent(), 1500u);
+}
+
+TEST(Cluster, MessageDelayVariesWithSendTime) {
+  sim::Engine engine;
+  Cluster cluster(engine, ibm_power3_sp());
+  // The send time salts the jitter, so resends over one path draw fresh
+  // noise -- and two clusters agree without sharing any stream state.
+  int distinct = 0;
+  const auto first = cluster.message_delay(0, 1, 1000, 0);
+  for (sim::TimeNs now = 1; now <= 100; ++now) {
+    if (cluster.message_delay(0, 1, 1000, now) != first) ++distinct;
+  }
+  EXPECT_GT(distinct, 50);
 }
 
 TEST(Cluster, ZeroJitterSpecPassesThrough) {
@@ -84,7 +113,36 @@ TEST(Cluster, ZeroJitterSpecPassesThrough) {
   MachineSpec spec = ibm_power3_sp();
   spec.latency_jitter = 0.0;
   Cluster cluster(engine, spec);
-  EXPECT_EQ(cluster.jittered(12345), 12345);
+  EXPECT_EQ(cluster.jittered(12345, 0), 12345);
+}
+
+TEST(Cluster, ShardedClusterMapsNodesToShards) {
+  sim::ParallelEngine group(4);
+  Cluster cluster(group, ibm_power3_sp());
+  EXPECT_EQ(&cluster.engine(), &group.shard(0));
+  EXPECT_EQ(cluster.engine_group(), &group);
+  for (int node = 0; node < 16; ++node) {
+    EXPECT_EQ(&cluster.engine_for_node(node), &group.shard(node % 4));
+  }
+  // Nodes on the same shard differ by a multiple of the shard count, so any
+  // cross-shard pair is cross-node: the machine lookahead is valid.
+  EXPECT_GT(group.lookahead(), 0);
+}
+
+TEST(Cluster, LookaheadBoundsEveryCrossNodeDelay) {
+  sim::ParallelEngine group(2);
+  Cluster cluster(group, ibm_power3_sp());
+  const auto lookahead = group.lookahead();
+  for (sim::TimeNs now = 0; now < 2000; ++now) {
+    EXPECT_GT(cluster.message_delay(0, 1, 0, now), lookahead);
+  }
+}
+
+TEST(Cluster, SingleEngineClusterHasNoGroup) {
+  sim::Engine engine;
+  Cluster cluster(engine, ibm_power3_sp());
+  EXPECT_EQ(cluster.engine_group(), nullptr);
+  EXPECT_EQ(&cluster.engine_for_node(5), &engine);
 }
 
 }  // namespace

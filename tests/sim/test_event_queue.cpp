@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
+#include <cstdint>
 #include <vector>
 
 #include "support/rng.hpp"
@@ -70,6 +73,82 @@ TEST(EventQueue, SizeTracksLiveEvents) {
   EXPECT_EQ(q.size(), 1u);
   q.pop();
   EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, StaleHandleNeverCancelsRecycledSlot) {
+  // A handle kept past its event's execution must not cancel a later event
+  // that recycled the same slot (the generation check).
+  EventQueue q;
+  const EventId stale = q.schedule(10, [] {});
+  q.pop().second();  // slot freed
+  bool ran = false;
+  const EventId fresh = q.schedule(20, [&] { ran = true; });
+  ASSERT_EQ(fresh.slot, stale.slot);  // slot was recycled
+  EXPECT_FALSE(q.cancel(stale));
+  ASSERT_FALSE(q.empty());
+  q.pop().second();
+  EXPECT_TRUE(ran);
+}
+
+TEST(EventQueue, LargeCallbackFallsBackToHeapAndStillRuns) {
+  // Callbacks past the 64-byte inline buffer take the heap path of
+  // InlineCallback; behaviour must be identical.
+  EventQueue q;
+  std::array<std::uint64_t, 16> payload{};
+  payload.fill(7);
+  std::uint64_t sum = 0;
+  q.schedule(1, [payload, &sum] {
+    for (const auto v : payload) sum += v;
+  });
+  q.pop().second();
+  EXPECT_EQ(sum, 7u * 16u);
+}
+
+TEST(EventQueue, MillionScheduleCancelKeepsHeapBounded) {
+  // Regression for the lazy-cancellation leak: a schedule/cancel churn with
+  // a small live set must not accumulate dead heap entries without bound.
+  // Before compaction the heap grew by one entry per schedule (~1M here);
+  // with the dead > live compaction it stays within a small multiple of the
+  // live count.
+  EventQueue q;
+  constexpr int kLive = 64;
+  std::vector<EventId> live;
+  TimeNs t = 0;
+  for (int i = 0; i < kLive; ++i) {
+    live.push_back(q.schedule(++t, [] {}));
+  }
+  std::size_t max_heap = 0;
+  for (int i = 0; i < 1'000'000; ++i) {
+    const std::size_t idx = static_cast<std::size_t>(i) % live.size();
+    ASSERT_TRUE(q.cancel(live[idx]));
+    live[idx] = q.schedule(++t, [] {});
+    max_heap = std::max(max_heap, q.heap_entries());
+  }
+  EXPECT_EQ(q.size(), static_cast<std::size_t>(kLive));
+  // dead <= live + compaction hysteresis: never more than ~4x the live set
+  // (64-entry floor included).
+  EXPECT_LE(max_heap, 4u * kLive + 64u);
+  TimeNs last = -1;
+  int fired = 0;
+  while (!q.empty()) {
+    auto [when, cb] = q.pop();
+    EXPECT_GE(when, last);
+    last = when;
+    ++fired;
+  }
+  EXPECT_EQ(fired, kLive);
+}
+
+TEST(EventQueue, SlotsAreReusedInSteadyState) {
+  // Steady-state schedule/pop cycles must not grow the slot table.
+  EventQueue q;
+  for (int i = 0; i < 10'000; ++i) {
+    q.schedule(i, [] {});
+    q.pop().second();
+  }
+  EXPECT_EQ(q.heap_entries(), 0u);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.scheduled_count(), 10'000u);
 }
 
 TEST(EventQueue, RandomizedOrderProperty) {
