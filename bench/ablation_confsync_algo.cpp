@@ -1,4 +1,4 @@
-// Ablation 4 (DESIGN.md §9): tree-structured VT_confsync distribution vs a
+// Ablation 4 (DESIGN.md §10): tree-structured VT_confsync distribution vs a
 // linear central coordinator.
 //
 // VT_confsync distributes configuration updates with a binomial broadcast

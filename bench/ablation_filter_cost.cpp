@@ -1,4 +1,4 @@
-// Ablation 1 (DESIGN.md §9): the deactivated-probe lookup cost.
+// Ablation 1 (DESIGN.md §10): the deactivated-probe lookup cost.
 //
 // The whole gap between Full-Off/Subset and Dynamic/None rests on the
 // filter-table lookup every deactivated VT_begin/VT_end still performs.

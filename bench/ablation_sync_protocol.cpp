@@ -1,4 +1,4 @@
-// Ablation 2 (DESIGN.md §9): why Figure 6 ends in a barrier.
+// Ablation 2 (DESIGN.md §10): why Figure 6 ends in a barrier.
 //
 // DPCL is asynchronous: the spin-release messages reach each node's daemon
 // with differing delays.  The paper's initialization snippet therefore

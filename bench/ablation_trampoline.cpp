@@ -1,4 +1,4 @@
-// Ablation 3 (DESIGN.md §9): base + mini-trampoline chains vs one merged
+// Ablation 3 (DESIGN.md §10): base + mini-trampoline chains vs one merged
 // trampoline.
 //
 // DPCL/Dyninst chain one mini-trampoline per instrumentation request so

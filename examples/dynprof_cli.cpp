@@ -24,6 +24,7 @@
 #include "analysis/report.hpp"
 #include "analysis/timeline.hpp"
 #include "dynprof/tool.hpp"
+#include "fault/injector.hpp"
 #include "machine/spec.hpp"
 #include "support/cli.hpp"
 #include "support/config.hpp"
@@ -39,6 +40,8 @@ int main(int argc, char** argv) {
   std::string script_path;
   std::string timefile_path;
   std::string tracefile_path;
+  std::string fault_plan_path;
+  std::int64_t fault_seed = -1;
   bool show_timeline = false;
   bool show_report = false;
 
@@ -53,6 +56,9 @@ int main(int argc, char** argv) {
       .option_string("script", "command script (default: read stdin)", &script_path)
       .option_string("timefile", "write dynprof internal timings here", &timefile_path)
       .option_string("trace", "write the VGV trace file here", &tracefile_path)
+      .option_string("fault-plan", "inject faults from this plan file (see configs/)",
+                     &fault_plan_path)
+      .option_int("fault-seed", "override the plan's seed", &fault_seed)
       .flag("timeline", "print the postmortem time-line", &show_timeline)
       .flag("report", "print the full summary report (matrix, balance)", &show_report)
       .option_string("machine", "machine profile: builtin name or .ini path", &machine_profile);
@@ -89,6 +95,13 @@ int main(int argc, char** argv) {
         machine_spec = machine::builtin_profile(machine_profile);
       }
     }
+    std::shared_ptr<fault::FaultInjector> injector;
+    if (!fault_plan_path.empty()) {
+      fault::FaultPlan plan = fault::FaultPlan::load(fault_plan_path);
+      if (fault_seed >= 0) plan.seed = static_cast<std::uint64_t>(fault_seed);
+      injector = std::make_shared<fault::FaultInjector>(std::move(plan));
+    }
+
     dynprof::Launch::Options options;
     options.app = app;
     options.params.nprocs = static_cast<int>(cpus);
@@ -96,6 +109,7 @@ int main(int argc, char** argv) {
     options.policy = dynprof::Policy::kDynamic;  // dynprof drives an uninstrumented build
     options.machine = machine_spec;
     options.sim_threads = static_cast<int>(sim_threads);
+    options.fault = injector;
     dynprof::Launch launch(std::move(options));
 
     dynprof::DynprofTool::Options topt;
@@ -116,6 +130,23 @@ int main(int argc, char** argv) {
     std::printf("create+instrument time: %.3f s; %zu function(s) instrumented\n",
                 sim::to_seconds(tool.create_and_instrument_time()),
                 tool.instrumented_function_count());
+
+    if (injector != nullptr) {
+      if (injector->report().empty()) {
+        std::printf("fault report: no faults fired\n");
+      } else {
+        std::printf("fault report (%zu event(s)):\n%s", injector->report().size(),
+                    injector->report().render().c_str());
+      }
+      const auto salvage = launch.trace()->salvage_stats();
+      if (salvage.torn_shards > 0) {
+        std::printf("trace salvage: %llu torn shard(s), %llu record(s) recovered, "
+                    "%llu lost\n",
+                    static_cast<unsigned long long>(salvage.torn_shards),
+                    static_cast<unsigned long long>(salvage.salvaged_records),
+                    static_cast<unsigned long long>(salvage.lost_records));
+      }
+    }
 
     if (!timefile_path.empty()) {
       std::ofstream out(timefile_path);

@@ -1,22 +1,25 @@
 #include "control/overlay.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <utility>
 
+#include "fault/injector.hpp"
 #include "mpi/world.hpp"
 #include "support/common.hpp"
+#include "support/strings.hpp"
 
 namespace dyntrace::control {
 
 namespace {
 
-/// Overlay traffic lives in its own positive tag band, far above anything
-/// the workloads use (their tags are < 1000) and disjoint from the negative
+/// Overlay traffic lives in its own positive tag band (fault::kOverlayTagBase,
+/// shared with the injector's channel classifier), far above anything the
+/// workloads use (their tags are < 1000) and disjoint from the negative
 /// collective space.  The per-rank round counter salts the tag so a slow
 /// sync can never match the next one's messages.
-constexpr int kOverlayTagBase = 1'000'000'000;
-
 constexpr int overlay_tag(std::uint32_t round) {
-  return kOverlayTagBase + static_cast<int>(round % 1'000'000u);
+  return fault::kOverlayTagBase + static_cast<int>(round % 1'000'000u);
 }
 
 /// Serialized payload: a 16-byte header (round, record count) plus only the
@@ -52,11 +55,16 @@ StatsOverlay::StatsOverlay(int arity) : arity_(arity) {
 void StatsOverlay::prepare(int size) {
   if (slots_.size() < static_cast<std::size_t>(size)) {
     slots_.resize(static_cast<std::size_t>(size));
+    contrib_slots_.resize(static_cast<std::size_t>(size));
     round_.resize(static_cast<std::size_t>(size), 0);
   }
 }
 
 sim::Coro<void> StatsOverlay::reduce(proc::SimThread& thread, vt::VtLib& vt) {
+  if (fault::FaultInjector* injector = vt.process().cluster().fault_injector()) {
+    co_await reduce_ft(thread, vt, *injector);
+    co_return;
+  }
   const machine::CostModel& costs = vt.process().cluster().spec().costs;
   mpi::Rank* rank = vt.mpi_rank();
   const int p = rank != nullptr ? rank->size() : 1;
@@ -88,6 +96,87 @@ sim::Coro<void> StatsOverlay::reduce(proc::SimThread& thread, vt::VtLib& vt) {
     slot = std::move(acc);
     co_await rank->send(thread, plan.parent(r), overlay_tag(round),
                         payload_bytes(slot, costs));
+  }
+}
+
+sim::Coro<void> StatsOverlay::reduce_ft(proc::SimThread& thread, vt::VtLib& vt,
+                                        fault::FaultInjector& injector) {
+  const machine::CostModel& costs = vt.process().cluster().spec().costs;
+  const machine::FaultTolerance& ft = vt.process().cluster().spec().fault;
+  mpi::Rank* rank = vt.mpi_rank();
+  const int p = rank != nullptr ? rank->size() : 1;
+  const int r = rank != nullptr ? rank->rank() : 0;
+  prepare(p);
+  const std::uint32_t round = round_[static_cast<std::size_t>(r)]++;
+  const ReductionPlan plan{p, arity_};
+
+  // A rank killed by the fault plan contributes nothing; its parent's
+  // bounded wait is what detects the silence.
+  if (!injector.rank_alive(r, thread.engine().now())) co_return;
+  const auto alive = [&](int q) { return injector.rank_alive(q, thread.engine().now()); };
+
+  // Effective children: live direct children, plus -- for every dead child
+  // -- its own children, spliced up recursively (the re-parenting rule:
+  // orphans attach to their first live ancestor, which is exactly who waits
+  // for them here).
+  std::vector<int> kids;
+  {
+    std::vector<int> frontier = plan.children(r);
+    for (std::size_t i = 0; i < frontier.size(); ++i) {
+      const int child = frontier[i];
+      if (alive(child)) {
+        kids.push_back(child);
+      } else {
+        const auto grandchildren = plan.children(child);
+        frontier.insert(frontier.end(), grandchildren.begin(), grandchildren.end());
+      }
+    }
+  }
+
+  std::vector<vt::FuncStats> acc = vt.statistics();
+  std::vector<int> contributed{r};
+  for (const int child : kids) {
+    const bool got =
+        co_await rank->recv_for(thread, child, overlay_tag(round), ft.overlay_child_timeout);
+    if (!got) continue;  // silent subtree; the root will report it missing
+    const auto& from = slots_[static_cast<std::size_t>(child)];
+    co_await thread.compute(costs.vt_stats_merge_per_record * vt::nonzero_stat_count(from));
+    vt::merge_stats(acc, from);
+    const auto& merged_ranks = contrib_slots_[static_cast<std::size_t>(child)];
+    contributed.insert(contributed.end(), merged_ranks.begin(), merged_ranks.end());
+  }
+
+  if (r == 0) {
+    co_await thread.compute(costs.vt_stats_write_per_record * vt::nonzero_stat_count(acc));
+    root_result_ = std::move(acc);
+    ++rounds_;
+    std::sort(contributed.begin(), contributed.end());
+    if (static_cast<int>(contributed.size()) < p) {
+      SyncReport report;
+      report.round = round;
+      for (int q = 0, c = 0; q < p; ++q) {
+        while (c < static_cast<int>(contributed.size()) && contributed[c] < q) ++c;
+        if (c >= static_cast<int>(contributed.size()) || contributed[c] != q) {
+          report.missing.push_back(q);
+        }
+      }
+      const int quorum_needed =
+          static_cast<int>(std::ceil(ft.sync_quorum * static_cast<double>(p)));
+      report.quorum_met = static_cast<int>(contributed.size()) >= quorum_needed;
+      injector.report().add(
+          thread.engine().now(), "partial-sync",
+          str::format("round=%u got %zu of %d%s", round, contributed.size(), p,
+                      report.quorum_met ? "" : " (below quorum)"),
+          report.missing);
+      partial_syncs_.push_back(std::move(report));
+    }
+  } else {
+    int parent = plan.parent(r);
+    while (parent != 0 && !alive(parent)) parent = plan.parent(parent);
+    auto& slot = slots_[static_cast<std::size_t>(r)];
+    slot = std::move(acc);
+    contrib_slots_[static_cast<std::size_t>(r)] = std::move(contributed);
+    co_await rank->send(thread, parent, overlay_tag(round), payload_bytes(slot, costs));
   }
 }
 

@@ -20,6 +20,10 @@
 #include "proc/process.hpp"
 #include "vt/vtlib.hpp"
 
+namespace dyntrace::fault {
+class FaultInjector;
+}  // namespace dyntrace::fault
+
 namespace dyntrace::control {
 
 /// Topology of a k-ary reduction tree over ranks 0..size-1, rooted at 0.
@@ -56,16 +60,36 @@ class StatsOverlay : public vt::StatsAggregator {
   /// Completed root reductions.
   std::uint64_t rounds() const { return rounds_; }
 
+  /// Outcome of one degraded sync in fault-tolerant mode: which ranks'
+  /// statistics never reached the root, and whether the configured quorum
+  /// (machine fault.sync_quorum) was still met.
+  struct SyncReport {
+    std::uint64_t round = 0;
+    std::vector<int> missing;  ///< ranks absent from the merged result, ascending
+    bool quorum_met = true;
+  };
+  /// One entry per sync that completed without full participation.
+  const std::vector<SyncReport>& partial_syncs() const { return partial_syncs_; }
+
  private:
+  /// Fault-tolerant reduction: dead interior nodes are spliced out (their
+  /// children re-parent to the first live ancestor), each child wait is
+  /// bounded by fault.overlay_child_timeout, and the root reports partial
+  /// participation instead of hanging.
+  sim::Coro<void> reduce_ft(proc::SimThread& thread, vt::VtLib& vt,
+                            fault::FaultInjector& injector);
+
   int arity_;
   // Host-side record transport: a sender publishes its merged table in its
   // slot *before* injecting the wire message, and the parent reads the slot
   // only after the (strictly later) delivery -- the message carries timing,
   // the slot carries the payload.
   std::vector<std::vector<vt::FuncStats>> slots_;
+  std::vector<std::vector<int>> contrib_slots_;  ///< ranks merged into each slot
   std::vector<std::uint32_t> round_;  ///< per-rank sync counter (tag salt)
   std::vector<vt::FuncStats> root_result_;
   std::uint64_t rounds_ = 0;
+  std::vector<SyncReport> partial_syncs_;
 };
 
 }  // namespace dyntrace::control

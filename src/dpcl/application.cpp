@@ -1,8 +1,11 @@
 #include "dpcl/application.hpp"
 
 #include <algorithm>
+#include <cmath>
 
+#include "fault/injector.hpp"
 #include "support/common.hpp"
+#include "support/strings.hpp"
 
 namespace dyntrace::dpcl {
 
@@ -12,6 +15,10 @@ namespace {
 constexpr sim::TimeNs kMarshalCost = sim::microseconds(25);
 constexpr std::int64_t kConnectBytes = 512;
 constexpr std::int64_t kCallbackBytes = 96;
+
+sim::TimeNs scale_delay(sim::TimeNs delay, double factor) {
+  return static_cast<sim::TimeNs>(std::llround(static_cast<double>(delay) * factor));
+}
 
 }  // namespace
 
@@ -42,19 +49,52 @@ sim::Coro<void> DpclApplication::connect(proc::SimThread& tool) {
 
   // Phase 1: authenticate with every target node's super daemon (forks the
   // per-user communication daemons).  One message per node, acks collected.
-  auto auth_ack = std::make_shared<AckState>(tool_engine, static_cast<int>(nodes_.size()));
-  for (const int node : nodes_) {
-    DT_ASSERT(node < static_cast<int>(super_daemons_.size()));
-    SuperDaemon* sd = super_daemons_[static_cast<std::size_t>(node)];
-    DT_ASSERT(sd != nullptr, "no super daemon on node ", node);
-    co_await tool.compute(kMarshalCost);
-    const sim::TimeNs now = tool_engine.now();
-    const sim::TimeNs delay = cluster_.message_delay(tool_node_, node, kConnectBytes, now);
-    sd->engine().deliver_at(now + delay, [sd, auth_ack, this] {
-      sd->inbox().put(ConnectRequest{"dynprof-user", auth_ack, tool_node_});
-    });
+  fault::FaultInjector* injector = cluster_.fault_injector();
+  if (injector == nullptr) {
+    auto auth_ack = std::make_shared<AckState>(tool_engine, static_cast<int>(nodes_.size()));
+    for (const int node : nodes_) {
+      DT_ASSERT(node < static_cast<int>(super_daemons_.size()));
+      SuperDaemon* sd = super_daemons_[static_cast<std::size_t>(node)];
+      DT_ASSERT(sd != nullptr, "no super daemon on node ", node);
+      co_await tool.compute(kMarshalCost);
+      const sim::TimeNs now = tool_engine.now();
+      const sim::TimeNs delay = cluster_.message_delay(tool_node_, node, kConnectBytes, now);
+      sd->engine().deliver_at(now + delay, [sd, auth_ack, this] {
+        sd->inbox().put(ConnectRequest{"dynprof-user", auth_ack, tool_node_});
+      });
+    }
+    co_await auth_ack->done.wait();
+  } else {
+    // Fault-tolerant phase 1: per-node deadline + retries; a node whose
+    // super daemon never answers is abandoned before attach.
+    const machine::FaultTolerance& ft = cluster_.spec().fault;
+    for (const int node : nodes_) {
+      DT_ASSERT(node < static_cast<int>(super_daemons_.size()));
+      SuperDaemon* sd = super_daemons_[static_cast<std::size_t>(node)];
+      DT_ASSERT(sd != nullptr, "no super daemon on node ", node);
+      bool acked = false;
+      for (int attempt = 0; attempt <= ft.request_max_retries && !acked; ++attempt) {
+        auto ack = std::make_shared<AckState>(tool_engine, 1);
+        co_await tool.compute(kMarshalCost);
+        const sim::TimeNs now = tool_engine.now();
+        sim::TimeNs delay = cluster_.message_delay(tool_node_, node, kConnectBytes, now);
+        const fault::MessageFate fate =
+            injector->message_fate(fault::Channel::kDaemon, tool_node_, node, now);
+        const int copies = fate.drop ? 0 : 1 + fate.duplicates;
+        delay = scale_delay(delay, fate.delay_factor);
+        for (int c = 0; c < copies; ++c) {
+          sd->engine().deliver_at(now + delay, [sd, ack, this] {
+            sd->inbox().put(ConnectRequest{"dynprof-user", ack, tool_node_});
+          });
+        }
+        acked = co_await ack->done.wait_for(ft.request_deadline);
+        if (!acked && attempt < ft.request_max_retries) {
+          co_await tool_engine.sleep(ft.retry_backoff_base << attempt);
+        }
+      }
+      if (!acked) abandon_node(node, tool_engine.now());
+    }
   }
-  co_await auth_ack->done.wait();
 
   // Phase 2: the freshly forked comm daemons attach to their local
   // processes and parse the images.
@@ -75,10 +115,22 @@ sim::Coro<void> DpclApplication::connect(proc::SimThread& tool) {
     p->set_callback_sink([this, p](const std::string& tag, int pid) {
       const sim::TimeNs now = p->engine().now();
       const sim::TimeNs daemon_hop = cluster_.spec().costs.dpcl_daemon_dispatch;
-      const sim::TimeNs delay =
+      sim::TimeNs delay =
           daemon_hop + cluster_.message_delay(p->node(), tool_node_, kCallbackBytes, now);
-      cluster_.engine_for_node(tool_node_)
-          .deliver_at(now + delay, [this, tag, pid] { callbacks_.put({tag, pid}); });
+      int copies = 1;
+      if (fault::FaultInjector* inj = cluster_.fault_injector()) {
+        // Callbacks route through the local daemon: a dead daemon forwards
+        // nothing, and the wire leg is subject to the daemon channel's fate.
+        if (!inj->daemon_alive(p->node(), now)) return;
+        const fault::MessageFate fate =
+            inj->message_fate(fault::Channel::kDaemon, p->node(), tool_node_, now);
+        copies = fate.drop ? 0 : 1 + fate.duplicates;
+        delay = scale_delay(delay, fate.delay_factor);
+      }
+      for (int c = 0; c < copies; ++c) {
+        cluster_.engine_for_node(tool_node_)
+            .deliver_at(now + delay, [this, tag, pid] { callbacks_.put({tag, pid}); });
+      }
     });
   }
 }
@@ -86,6 +138,13 @@ sim::Coro<void> DpclApplication::connect(proc::SimThread& tool) {
 sim::Coro<void> DpclApplication::broadcast(proc::SimThread& tool, Request prototype,
                                            bool blocking) {
   DT_EXPECT(connected_, "DPCL operation before connect()");
+  if (cluster_.fault_injector() != nullptr) {
+    // Fault-tolerant mode makes every broadcast reliable (per-node acks
+    // with retries); non-blocking semantics would have no way to detect a
+    // dead daemon.
+    co_await broadcast_ft(tool, std::move(prototype));
+    co_return;
+  }
   sim::Engine& tool_engine = tool.engine();
   std::shared_ptr<AckState> ack;
   if (blocking) {
@@ -107,6 +166,83 @@ sim::Coro<void> DpclApplication::broadcast(proc::SimThread& tool, Request protot
     ++requests_sent_;
   }
   if (ack != nullptr) co_await ack->done.wait();
+}
+
+sim::Coro<void> DpclApplication::broadcast_ft(proc::SimThread& tool, Request prototype) {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const int node = nodes_[i];
+    if (lost_nodes_.count(node) != 0) continue;
+    Request request = prototype;
+    request.pids = node_pids_[i];
+    request.reply_node = tool_node_;
+    request.request_id = next_request_id_++;
+    const bool acked = co_await request_node(tool, i, std::move(request));
+    if (!acked) abandon_node(node, tool.engine().now());
+  }
+}
+
+sim::Coro<bool> DpclApplication::request_node(proc::SimThread& tool, std::size_t index,
+                                              Request request) {
+  fault::FaultInjector* injector = cluster_.fault_injector();
+  DT_ASSERT(injector != nullptr);
+  const machine::FaultTolerance& ft = cluster_.spec().fault;
+  sim::Engine& tool_engine = tool.engine();
+  const int node = nodes_[index];
+  CommDaemon* daemon = comm_daemons_[index].get();
+
+  for (int attempt = 0; attempt <= ft.request_max_retries; ++attempt) {
+    // A fresh single-node AckState per attempt: a late or duplicated ack of
+    // an earlier attempt decrements an already-fired (abandoned) state and
+    // can never complete a later one early.
+    auto ack = std::make_shared<AckState>(tool_engine, 1);
+    request.ack = ack;
+    co_await tool.compute(kMarshalCost);
+    const sim::TimeNs now = tool_engine.now();
+    sim::TimeNs delay = cluster_.message_delay(tool_node_, node, request_bytes(request), now);
+    const fault::MessageFate fate =
+        injector->message_fate(fault::Channel::kDaemon, tool_node_, node, now);
+    const int copies = fate.drop ? 0 : 1 + fate.duplicates;
+    delay = scale_delay(delay, fate.delay_factor);
+    for (int c = 0; c < copies; ++c) {
+      Request copy = request;
+      daemon->engine().deliver_at(now + delay, [daemon, copy = std::move(copy)]() mutable {
+        daemon->inbox().put(std::move(copy));
+      });
+    }
+    ++requests_sent_;
+    if (co_await ack->done.wait_for(ft.request_deadline)) co_return true;
+    if (attempt < ft.request_max_retries) {
+      co_await tool_engine.sleep(ft.retry_backoff_base << attempt);
+    }
+  }
+  co_return false;
+}
+
+void DpclApplication::abandon_node(int node, sim::TimeNs now) {
+  if (!lost_nodes_.insert(node).second) return;
+  std::vector<int> ranks;
+  const auto it = std::find(nodes_.begin(), nodes_.end(), node);
+  if (it != nodes_.end()) {
+    for (const int pid : node_pids_[static_cast<std::size_t>(it - nodes_.begin())]) {
+      job_.process(pid).mark_lost();
+      ranks.push_back(pid);
+    }
+  }
+  fault::FaultInjector* injector = cluster_.fault_injector();
+  DT_ASSERT(injector != nullptr);
+  injector->report().add(now, "daemon-lost", str::format("node=%d", node), ranks);
+}
+
+std::vector<int> DpclApplication::lost_pids() const {
+  std::vector<int> out;
+  for (const int node : lost_nodes_) {
+    const auto it = std::find(nodes_.begin(), nodes_.end(), node);
+    if (it == nodes_.end()) continue;
+    const auto& pids = node_pids_[static_cast<std::size_t>(it - nodes_.begin())];
+    out.insert(out.end(), pids.begin(), pids.end());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 sim::Coro<void> DpclApplication::install_probe(proc::SimThread& tool, image::FunctionId fn,

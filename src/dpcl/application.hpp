@@ -11,6 +11,7 @@
 #pragma once
 
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -72,8 +73,24 @@ class DpclApplication {
 
   std::uint64_t requests_sent() const { return requests_sent_; }
 
+  // --- fault tolerance --------------------------------------------------------
+
+  /// Nodes abandoned after exhausting request retries (fault-tolerant mode
+  /// only); their processes are marked Lost and skipped by later requests.
+  const std::set<int>& lost_nodes() const { return lost_nodes_; }
+  /// Pids living on lost nodes, ascending.
+  std::vector<int> lost_pids() const;
+
  private:
   sim::Coro<void> broadcast(proc::SimThread& tool, Request prototype, bool blocking);
+  /// Fault-tolerant broadcast: sequential per-node delivery with deadline,
+  /// backoff retries and idempotent request ids; a node that never acks is
+  /// abandoned (not retried forever, never hung on).
+  sim::Coro<void> broadcast_ft(proc::SimThread& tool, Request prototype);
+  /// At-least-once delivery of one request to one node; false = no ack
+  /// within any deadline.
+  sim::Coro<bool> request_node(proc::SimThread& tool, std::size_t index, Request request);
+  void abandon_node(int node, sim::TimeNs now);
 
   machine::Cluster& cluster_;
   proc::ParallelJob& job_;
@@ -87,6 +104,8 @@ class DpclApplication {
   sim::Mailbox<Callback> callbacks_;
   bool connected_ = false;
   std::uint64_t requests_sent_ = 0;
+  std::set<int> lost_nodes_;
+  std::uint64_t next_request_id_ = 1;
 };
 
 }  // namespace dyntrace::dpcl

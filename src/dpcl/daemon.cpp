@@ -1,7 +1,9 @@
 #include "dpcl/daemon.hpp"
 
 #include <algorithm>
+#include <cmath>
 
+#include "fault/injector.hpp"
 #include "support/common.hpp"
 #include "support/strings.hpp"
 
@@ -13,6 +15,28 @@ namespace {
 constexpr sim::TimeNs kAuthCost = sim::milliseconds(40);
 constexpr sim::TimeNs kForkCommDaemonCost = sim::milliseconds(85);
 constexpr std::int64_t kAckBytes = 64;
+
+/// Deliver an ack to the waiter's node, subjecting it to the fault
+/// injector's daemon-channel message fate when one is installed (without
+/// one this is exactly the legacy single delivery).
+void deliver_ack(machine::Cluster& cluster, int src_node, int reply_node,
+                 const std::shared_ptr<AckState>& ack, int failures, sim::TimeNs now) {
+  sim::TimeNs delay = cluster.message_delay(src_node, reply_node, kAckBytes, now);
+  int copies = 1;
+  if (fault::FaultInjector* injector = cluster.fault_injector()) {
+    const fault::MessageFate fate =
+        injector->message_fate(fault::Channel::kDaemon, src_node, reply_node, now);
+    copies = fate.drop ? 0 : 1 + fate.duplicates;
+    delay = static_cast<sim::TimeNs>(
+        std::llround(static_cast<double>(delay) * fate.delay_factor));
+  }
+  for (int i = 0; i < copies; ++i) {
+    cluster.engine_for_node(reply_node).deliver_at(now + delay, [ack, failures] {
+      ack->failed += failures;
+      if (--ack->remaining == 0) ack->done.fire();
+    });
+  }
+}
 
 }  // namespace
 
@@ -67,20 +91,55 @@ sim::Coro<void> CommDaemon::loop() {
   sim::Engine& engine = engine_;
   while (true) {
     Request request = co_await inbox_.recv();
+    fault::FaultInjector* injector = cluster_.fault_injector();
+    if (injector != nullptr && !injector->daemon_alive(node_, engine.now())) {
+      // The daemon died: requests reach a closed socket.  No dispatch, no
+      // ack -- the sender's deadline is what detects this.
+      continue;
+    }
     ++requests_handled_;
     co_await engine.sleep(cluster_.spec().costs.dpcl_daemon_dispatch);
-    co_await execute(std::move(request));
+    if (request.request_id != 0) {
+      const auto it = completed_.find(request.request_id);
+      if (it != completed_.end()) {
+        // Retry of a request this daemon already executed (its ack was
+        // lost): re-ack without re-running the side effects.
+        send_ack(request, it->second);
+        continue;
+      }
+    }
+    const int failures = co_await execute(request);
+    if (request.request_id != 0) completed_[request.request_id] = failures;
+    send_ack(request, failures);
   }
 }
 
-sim::Coro<void> CommDaemon::execute(Request request) {
+void CommDaemon::send_ack(const Request& request, int failures) {
+  if (request.ack == nullptr) return;
+  // The ack lands on the tool node's shard, where the waiter lives.
+  deliver_ack(cluster_, node_, request.reply_node, request.ack, failures, engine_.now());
+}
+
+sim::Coro<int> CommDaemon::execute(const Request& request) {
   sim::Engine& engine = engine_;
   const machine::CostModel& costs = cluster_.spec().costs;
 
+  int failures = 0;
   for (const int pid : request.pids) {
     proc::SimProcess& process = job_.process(pid);
     DT_ASSERT(process.node() == node_, "daemon on node ", node_, " asked to touch pid ", pid,
               " on node ", process.node());
+    if (process.terminated().fired() &&
+        (request.kind == Request::Kind::kExecute || cluster_.fault_injector() != nullptr)) {
+      // The target exited before dispatch (ptrace would return ESRCH).
+      // A kExecute against a dead process would block on its completion
+      // forever, leaking the whole request's ack -- always count the
+      // failure and move on.  The other kinds are harmless no-ops on the
+      // simulated corpse, so the legacy path keeps its historical timing;
+      // under fault injection every kind resolves as a per-pid failure.
+      ++failures;
+      continue;
+    }
     switch (request.kind) {
       case Request::Kind::kAttach:
         // ptrace attach + read/analyse the executable image.
@@ -142,15 +201,7 @@ sim::Coro<void> CommDaemon::execute(Request request) {
       }
     }
   }
-
-  if (request.ack != nullptr) {
-    // The ack lands on the tool node's shard, where the waiter lives.
-    const sim::TimeNs now = engine.now();
-    const sim::TimeNs delay = cluster_.message_delay(node_, request.reply_node, kAckBytes, now);
-    cluster_.engine_for_node(request.reply_node).deliver_at(now + delay, [ack = request.ack] {
-      if (--ack->remaining == 0) ack->done.fire();
-    });
-  }
+  co_return failures;
 }
 
 // ---------------------------------------------------------------------------
@@ -176,18 +227,16 @@ sim::Coro<void> SuperDaemon::loop() {
   sim::Engine& engine = engine_;
   while (true) {
     ConnectRequest request = co_await inbox_.recv();
+    fault::FaultInjector* injector = cluster_.fault_injector();
+    if (injector != nullptr && !injector->daemon_alive(node_, engine.now())) {
+      continue;  // the node's daemon infrastructure is gone
+    }
     ++connections_;
     // Authenticate the user, then fork the per-user communication daemon.
     co_await engine.sleep(kAuthCost);
     co_await engine.sleep(kForkCommDaemonCost);
     if (request.ack != nullptr) {
-      const sim::TimeNs now = engine.now();
-      const sim::TimeNs delay =
-          cluster_.message_delay(node_, request.reply_node, kAckBytes, now);
-      cluster_.engine_for_node(request.reply_node)
-          .deliver_at(now + delay, [ack = request.ack] {
-            if (--ack->remaining == 0) ack->done.fire();
-          });
+      deliver_ack(cluster_, node_, request.reply_node, request.ack, 0, engine.now());
     }
   }
 }

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -24,10 +25,13 @@
 namespace dyntrace::dpcl {
 
 /// Completion tracking for blocking requests: fires after every contacted
-/// daemon has acknowledged.
+/// daemon has acknowledged.  `failed` counts per-process failures the
+/// daemons reported (e.g. a target that exited before dispatch) -- the
+/// request completed, but not everywhere.
 struct AckState {
   AckState(sim::Engine& engine, int outstanding) : remaining(outstanding), done(engine) {}
   int remaining;
+  int failed = 0;
   sim::Trigger done;
 };
 
@@ -55,6 +59,11 @@ struct Request {
 
   std::string flag;
   std::int64_t value = 0;
+
+  /// Nonzero in fault-tolerant mode: retries of one logical request carry
+  /// the same id, and the daemon's dedup table re-acks without
+  /// re-executing (exactly-once execution under at-least-once delivery).
+  std::uint64_t request_id = 0;
 
   std::shared_ptr<AckState> ack;  ///< null for fire-and-forget requests
   int reply_node = 0;             ///< where the ack message goes
@@ -86,13 +95,19 @@ class CommDaemon {
 
  private:
   sim::Coro<void> loop();
-  sim::Coro<void> execute(Request request);
+  /// Run the request against every local pid; returns how many targets
+  /// failed (e.g. exited before dispatch).
+  sim::Coro<int> execute(const Request& request);
+  void send_ack(const Request& request, int failures);
 
   machine::Cluster& cluster_;
   proc::ParallelJob& job_;
   int node_;
   sim::Engine& engine_;
   sim::Mailbox<Request> inbox_;
+  /// Dedup table (fault-tolerant mode): request id -> failure count of the
+  /// completed execution, so a retried request is re-acked, not re-run.
+  std::map<std::uint64_t, int> completed_;
   std::uint64_t requests_handled_ = 0;
   bool started_ = false;
 };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "fault/injector.hpp"
 #include "guide/compiler.hpp"
 #include "support/common.hpp"
 #include "support/strings.hpp"
@@ -74,6 +75,16 @@ Launch::Launch(Options options)
   vt::TraceStore::Options store_options;
   store_options.spill_budget_bytes = options_.trace_spill_bytes;
   store_options.spill_dir = options_.trace_spill_dir;
+  if (options_.fault != nullptr) {
+    // Every layer gates on the cluster's injector pointer; setting it is
+    // what switches the stack into fault-tolerant mode.
+    cluster_->set_fault_injector(options_.fault.get());
+    fault::FaultInjector* injector = options_.fault.get();
+    store_options.spill_fault = [injector](std::int32_t pid, std::uint64_t run_index,
+                                           std::size_t bytes) {
+      return injector->spill_bytes(pid, run_index, bytes);
+    };
+  }
   store_ = std::make_shared<vt::TraceStore>(std::move(store_options));
   staged_ = std::make_shared<vt::StagedUpdate>();
   job_ = std::make_unique<proc::ParallelJob>(*cluster_, app.name);

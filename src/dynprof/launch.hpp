@@ -36,6 +36,10 @@
 #include "vt/trace_store.hpp"
 #include "vt/vtlib.hpp"
 
+namespace dyntrace::fault {
+class FaultInjector;
+}  // namespace dyntrace::fault
+
 namespace dyntrace::dynprof {
 
 enum class Policy : int { kFull, kFullOff, kSubset, kNone, kDynamic, kAdaptive };
@@ -78,6 +82,10 @@ class Launch {
     /// engine).  1 = classic sequential run; results are bit-identical for
     /// every value.  See DESIGN.md §8.
     int sim_threads = 1;
+    /// Fault injector driving this run (DESIGN.md §9).  Null (the default)
+    /// keeps every layer on its legacy code path -- runs without a plan are
+    /// bit-identical to a build without the fault harness.
+    std::shared_ptr<fault::FaultInjector> fault;
   };
 
   explicit Launch(Options options);
@@ -109,6 +117,8 @@ class Launch {
   asci::AppContext& context(int pid) { return *contexts_[static_cast<std::size_t>(pid)]; }
   std::shared_ptr<vt::TraceStore> trace() { return store_; }
   std::shared_ptr<vt::StagedUpdate> staged() { return staged_; }
+  /// The run's fault injector; null for healthy runs.
+  fault::FaultInjector* fault_injector() const { return options_.fault.get(); }
   const Options& options() const { return options_; }
   int process_count() const { return static_cast<int>(job_->size()); }
 

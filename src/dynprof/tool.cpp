@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "fault/injector.hpp"
 #include "image/snippet.hpp"
 #include "support/common.hpp"
 #include "support/log.hpp"
@@ -138,14 +139,62 @@ sim::Coro<void> DynprofTool::install_init_hook(proc::SimThread& tool) {
   end_phase();
 }
 
+void DynprofTool::note_degraded_nodes(sim::TimeNs now, bool had_probes) {
+  fault::FaultInjector* injector = launch_.fault_injector();
+  if (injector == nullptr || app_ == nullptr) return;
+  for (const int node : app_->lost_nodes()) {
+    if (!degraded_nodes_.insert(node).second) continue;
+    Degradation drop;
+    drop.time = now;
+    drop.node = node;
+    for (const auto& process : launch_.job().processes()) {
+      if (process->node() == node) drop.ranks.push_back(process->pid());
+    }
+    std::sort(drop.ranks.begin(), drop.ranks.end());
+    drop.from = Policy::kDynamic;
+    drop.to = had_probes ? Policy::kSubset : Policy::kNone;
+    injector->report().add(now, "degrade",
+                           str::format("node=%d %s->%s", node, to_string(drop.from),
+                                       to_string(drop.to)),
+                           drop.ranks);
+    degradations_.push_back(std::move(drop));
+  }
+}
+
 sim::Coro<void> DynprofTool::await_init_and_release(proc::SimThread& tool) {
   // Every process reports in once it has passed MPI_Init + VT init (the
   // first barrier of Figure 6 aligns them before the callbacks fire).
   begin_phase("await-init-callbacks");
   const int expected = launch_.process_count();
-  for (int received = 0; received < expected; ++received) {
-    const dpcl::Callback cb = co_await app_->callbacks().recv();
-    DT_EXPECT(cb.tag == kInitCallbackTag, "unexpected callback '", cb.tag, "'");
+  if (fault::FaultInjector* injector = launch_.fault_injector()) {
+    // Fault-tolerant wait: callbacks can be lost (dropped relay, dead
+    // daemon) or duplicated, so collapse by pid and bound the whole wait.
+    const machine::FaultTolerance& ft = launch_.cluster().spec().fault;
+    std::set<int> reported;
+    while (static_cast<int>(reported.size()) < expected) {
+      auto cb = co_await app_->callbacks().recv_for(ft.init_callback_timeout);
+      if (!cb.has_value()) break;  // the silent processes are not coming
+      DT_EXPECT(cb->tag == kInitCallbackTag, "unexpected callback '", cb->tag, "'");
+      reported.insert(cb->pid);
+    }
+    if (static_cast<int>(reported.size()) < expected) {
+      std::vector<int> missing;
+      for (int pid = 0; pid < expected; ++pid) {
+        if (reported.count(pid) == 0) missing.push_back(pid);
+      }
+      injector->report().add(tool.engine().now(), "init-missing",
+                             str::format("%zu of %d init callbacks never arrived",
+                                         missing.size(), expected),
+                             missing);
+    }
+    // Nodes whose daemon died during connect or the init hook run with no
+    // instrumentation at all.
+    note_degraded_nodes(tool.engine().now(), /*had_probes=*/false);
+  } else {
+    for (int received = 0; received < expected; ++received) {
+      const dpcl::Callback cb = co_await app_->callbacks().recv();
+      DT_EXPECT(cb.tag == kInitCallbackTag, "unexpected callback '", cb.tag, "'");
+    }
   }
   end_phase();
 
@@ -163,6 +212,7 @@ sim::Coro<void> DynprofTool::await_init_and_release(proc::SimThread& tool) {
   // re-synchronises the processes before the main computation.
   begin_phase("release-spin");
   co_await app_->set_flag_all(tool, kSpinFlag, 1, /*blocking=*/true);
+  note_degraded_nodes(tool.engine().now(), /*had_probes=*/!instrumented_.empty());
   end_phase();
 
   init_released_ = true;
@@ -171,11 +221,17 @@ sim::Coro<void> DynprofTool::await_init_and_release(proc::SimThread& tool) {
 
 sim::Coro<void> DynprofTool::do_insert(proc::SimThread& tool,
                                        const std::vector<std::string>& names) {
+  // Degradation ladder bookkeeping: a node abandoned while this batch goes
+  // in drops to Subset if it already carries probes (earlier batch, or an
+  // earlier name of this one), to None otherwise.
+  const bool had_probes_before = !instrumented_.empty();
   // Mid-run insertion must stop the target first (§3.4).
   const bool midrun = init_released_;
   if (midrun) {
     co_await app_->suspend_all(tool, options_.blocking_suspend);
+    note_degraded_nodes(tool.engine().now(), had_probes_before);
   }
+  std::size_t installed = 0;
   for (const auto& name : names) {
     const image::FunctionId fn = resolve(name);
     std::vector<std::int64_t> arg(1, static_cast<std::int64_t>(fn));
@@ -185,6 +241,8 @@ sim::Coro<void> DynprofTool::do_insert(proc::SimThread& tool,
     co_await app_->install_probe(tool, fn, image::ProbeWhere::kExit,
                                  image::snippet::call("VT_end", arg),
                                  /*activate=*/true, /*blocking=*/true);
+    note_degraded_nodes(tool.engine().now(), had_probes_before || installed > 0);
+    ++installed;
     if (std::find(instrumented_.begin(), instrumented_.end(), name) == instrumented_.end()) {
       instrumented_.push_back(name);
     }

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -76,6 +77,20 @@ class DynprofTool {
   std::size_t instrumented_function_count() const { return instrumented_.size(); }
   const std::vector<std::string>& instrumented_functions() const { return instrumented_; }
 
+  /// One node's drop down the instrumentation ladder (fault-tolerant runs
+  /// only): a node abandoned mid-install keeps whatever probes already went
+  /// in -- Dynamic -> Subset -- and a node lost before anything was
+  /// installed runs uninstrumented, Dynamic -> None.  Each drop is also a
+  /// "degrade" entry in the injector's run report.
+  struct Degradation {
+    sim::TimeNs time = 0;
+    int node = -1;
+    std::vector<int> ranks;  ///< pids on the node, ascending
+    Policy from = Policy::kDynamic;
+    Policy to = Policy::kNone;
+  };
+  const std::vector<Degradation>& degradations() const { return degradations_; }
+
   // --- programmatic control (used by controllers such as HybridController) --
   //
   // Valid once the application is running (after `start`, or in attach
@@ -95,6 +110,9 @@ class DynprofTool {
   sim::Coro<void> do_remove(proc::SimThread& tool, const std::vector<std::string>& names);
   std::vector<std::string> resolve_file(const std::string& filename) const;
   image::FunctionId resolve(const std::string& name) const;
+  /// Record ladder drops for nodes newly abandoned by the dpcl layer;
+  /// `had_probes` decides Subset vs None.  No-op outside fault mode.
+  void note_degraded_nodes(sim::TimeNs now, bool had_probes);
 
   void begin_phase(const std::string& name);
   void end_phase();
@@ -112,6 +130,8 @@ class DynprofTool {
   bool finished_ = false;
   std::vector<std::string> pending_inserts_;
   std::vector<std::string> instrumented_;
+  std::set<int> degraded_nodes_;
+  std::vector<Degradation> degradations_;
 
   std::vector<TimeRecord> timefile_;
   sim::TimeNs phase_start_ = 0;

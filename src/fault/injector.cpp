@@ -1,0 +1,157 @@
+#include "fault/injector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/common.hpp"
+#include "support/rng.hpp"
+#include "support/strings.hpp"
+
+namespace dyntrace::fault {
+
+namespace {
+
+constexpr std::uint64_t fold(std::uint64_t h, std::uint64_t v) {
+  return SplitMix64(h ^ v).next();
+}
+
+/// Uniform draw in [0, 1) from a pure hash of the message identity.
+double unit_draw(std::uint64_t seed, std::size_t action_index, Channel channel, int src,
+                 int dst, std::uint64_t ordinal) {
+  std::uint64_t h = fold(seed, 0x6661756c74ULL);  // "fault"
+  h = fold(h, static_cast<std::uint64_t>(action_index));
+  h = fold(h, static_cast<std::uint64_t>(channel));
+  h = fold(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(src)));
+  h = fold(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(dst)));
+  h = fold(h, ordinal);
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {
+  for (const FaultAction& action : plan_.actions) {
+    switch (action.kind) {
+      case FaultAction::Kind::kKillDaemon:
+        daemon_dead_.emplace_back(action.node, action.at);
+        break;
+      case FaultAction::Kind::kKillRank:
+        rank_dead_.emplace_back(action.rank, action.at);
+        break;
+      case FaultAction::Kind::kDrop:
+      case FaultAction::Kind::kDup:
+      case FaultAction::Kind::kDelay:
+        has_message_actions_[static_cast<std::size_t>(action.channel)] = true;
+        break;
+      case FaultAction::Kind::kStall:
+      case FaultAction::Kind::kTearShard:
+        break;
+    }
+  }
+  auto earliest_first = [](const std::pair<int, sim::TimeNs>& a,
+                           const std::pair<int, sim::TimeNs>& b) { return a < b; };
+  std::sort(daemon_dead_.begin(), daemon_dead_.end(), earliest_first);
+  std::sort(rank_dead_.begin(), rank_dead_.end(), earliest_first);
+}
+
+sim::TimeNs FaultInjector::daemon_dead_at(int node) const {
+  for (const auto& [dead_node, at] : daemon_dead_) {
+    if (dead_node == node) return at;
+  }
+  return kNever;
+}
+
+bool FaultInjector::daemon_alive(int node, sim::TimeNs now) const {
+  return now < daemon_dead_at(node);
+}
+
+bool FaultInjector::rank_alive(int rank, sim::TimeNs now) const {
+  for (const auto& [dead_rank, at] : rank_dead_) {
+    if (dead_rank == rank) return now < at;
+  }
+  return true;
+}
+
+std::vector<int> FaultInjector::dead_ranks(sim::TimeNs now) const {
+  std::vector<int> out;
+  for (const auto& [rank, at] : rank_dead_) {
+    if (now >= at) out.push_back(rank);
+  }
+  return out;
+}
+
+bool FaultInjector::action_matches_message(const FaultAction& action,
+                                           std::size_t action_index, Channel channel,
+                                           int src, int dst) {
+  if (action.channel != channel) return false;
+  if (action.src >= 0 && action.src != src) return false;
+  if (action.dst >= 0 && action.dst != dst) return false;
+  // Ordinal within this action's (src, dst) stream; advanced exactly once
+  // per eligible message by its (single, deterministic) sender.
+  std::uint64_t ordinal = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ordinal = counters_[std::make_tuple(action_index, src, dst)]++;
+  }
+  if (action.probability >= 0) {
+    if (ordinal < static_cast<std::uint64_t>(action.skip)) return false;
+    return unit_draw(plan_.seed, action_index, channel, src, dst, ordinal) <
+           action.probability;
+  }
+  if (action.nth >= 0) return ordinal == static_cast<std::uint64_t>(action.nth);
+  return ordinal >= static_cast<std::uint64_t>(action.skip) &&
+         ordinal < static_cast<std::uint64_t>(action.skip + action.count);
+}
+
+MessageFate FaultInjector::message_fate(Channel channel, int src, int dst,
+                                        sim::TimeNs now) {
+  (void)now;
+  MessageFate fate;
+  if (!has_message_actions_[static_cast<std::size_t>(channel)]) return fate;
+  for (std::size_t i = 0; i < plan_.actions.size(); ++i) {
+    const FaultAction& action = plan_.actions[i];
+    switch (action.kind) {
+      case FaultAction::Kind::kDrop:
+        if (action_matches_message(action, i, channel, src, dst)) fate.drop = true;
+        break;
+      case FaultAction::Kind::kDup:
+        if (action_matches_message(action, i, channel, src, dst)) ++fate.duplicates;
+        break;
+      case FaultAction::Kind::kDelay:
+        if (action_matches_message(action, i, channel, src, dst)) {
+          fate.delay_factor *= action.factor;
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  return fate;
+}
+
+double FaultInjector::stall_factor(int node, sim::TimeNs now) const {
+  double factor = 1.0;
+  for (const FaultAction& action : plan_.actions) {
+    if (action.kind != FaultAction::Kind::kStall || action.node != node) continue;
+    if (now >= action.at && now < action.until) factor *= action.factor;
+  }
+  return factor;
+}
+
+std::size_t FaultInjector::spill_bytes(std::int32_t pid, std::uint64_t run_index,
+                                       std::size_t bytes) {
+  for (const FaultAction& action : plan_.actions) {
+    if (action.kind != FaultAction::Kind::kTearShard) continue;
+    if (action.rank != pid || action.spill != run_index) continue;
+    const auto kept = static_cast<std::size_t>(
+        std::floor(static_cast<double>(bytes) * action.keep));
+    report_.add(0, "shard-torn",
+                str::format("pid=%d run=%llu kept %zu of %zu bytes", pid,
+                            static_cast<unsigned long long>(run_index), kept, bytes),
+                {pid});
+    return kept;
+  }
+  return bytes;
+}
+
+}  // namespace dyntrace::fault

@@ -1,0 +1,90 @@
+// FaultInjector: the runtime oracle that turns a FaultPlan into concrete
+// fault decisions during a simulated run.
+//
+// Determinism is the design constraint (the stack must stay bit-identical
+// across --sim-threads for a fixed plan + seed), so every decision is a
+// pure function of *message identity*, never of global arrival order:
+//
+//   * daemon/rank deaths are preset time thresholds, read-only after
+//     construction -- liveness is `now < dead_at`, no arming events;
+//   * a message's fate hashes (seed, action, src, dst, per-stream ordinal);
+//     the ordinal counter is keyed by (action, src, dst), and each such
+//     stream is advanced by exactly one deterministic sender, so the count
+//     a message observes does not depend on shard interleaving (the map
+//     itself is mutex-protected for cross-shard memory safety);
+//   * shard tears are keyed by (pid, run index), both deterministic.
+//
+// The injector is passive: layers consult it at their own hook points
+// (dpcl request paths, mpi::Rank::send_raw, vt::TraceShard::spill) and it
+// never schedules events itself.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <tuple>
+#include <vector>
+
+#include "fault/plan.hpp"
+#include "fault/report.hpp"
+
+namespace dyntrace::fault {
+
+/// What happens to one message in flight.
+struct MessageFate {
+  bool drop = false;         ///< vanish without a trace
+  int duplicates = 0;        ///< extra copies delivered alongside the original
+  double delay_factor = 1.0; ///< multiplies the in-flight delay
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  const FaultPlan& plan() const { return plan_; }
+  RunReport& report() { return report_; }
+  const RunReport& report() const { return report_; }
+
+  // --- liveness (pure time functions over preset thresholds) ---------------
+
+  bool daemon_alive(int node, sim::TimeNs now) const;
+  bool rank_alive(int rank, sim::TimeNs now) const;
+  /// When the node's daemon dies (kNever if it does not).
+  sim::TimeNs daemon_dead_at(int node) const;
+  /// Ranks dead at `now`, ascending.
+  std::vector<int> dead_ranks(sim::TimeNs now) const;
+
+  // --- messages -------------------------------------------------------------
+
+  /// Decide the fate of one message.  Advances the per-(action, src, dst)
+  /// ordinal streams, so call exactly once per physical send.
+  MessageFate message_fate(Channel channel, int src, int dst, sim::TimeNs now);
+
+  /// Combined slow-node multiplier for a message touching `node` at `now`
+  /// (1.0 outside every stall window).  Read-only; callable anywhere.
+  double stall_factor(int node, sim::TimeNs now) const;
+
+  // --- trace shards ---------------------------------------------------------
+
+  /// Bytes of spill run `run_index` of pid's shard that actually reach the
+  /// disk (== `bytes` when no tear action matches).  A short return tears
+  /// the run; the event is recorded in the report.
+  std::size_t spill_bytes(std::int32_t pid, std::uint64_t run_index, std::size_t bytes);
+
+ private:
+  bool action_matches_message(const FaultAction& action, std::size_t action_index,
+                              Channel channel, int src, int dst);
+
+  FaultPlan plan_;
+  RunReport report_;
+  std::vector<std::pair<int, sim::TimeNs>> daemon_dead_;  ///< (node, at), ascending node
+  std::vector<std::pair<int, sim::TimeNs>> rank_dead_;    ///< (rank, at), ascending rank
+  bool has_message_actions_[3] = {false, false, false};   ///< per Channel
+
+  std::mutex mutex_;  ///< guards counters_ (cross-shard memory safety only)
+  std::map<std::tuple<std::size_t, int, int>, std::uint64_t> counters_;
+};
+
+}  // namespace dyntrace::fault

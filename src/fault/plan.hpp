@@ -1,0 +1,98 @@
+// Deterministic fault plans (the robustness harness's input).
+//
+// A FaultPlan is a seeded list of fault actions injected into a simulated
+// run: daemon and rank deaths at chosen virtual times, message drops /
+// duplications / delays on the control-plane channels, whole-node stalls,
+// and torn trace-shard spills.  Plans are plain text so experiments can be
+// checked into configs/ and replayed bit-identically:
+//
+//     seed 42
+//     kill-daemon node=3 at=150s
+//     kill-rank rank=5 at=150s
+//     drop channel=daemon prob=0.05
+//     drop channel=overlay src=3 dst=0 nth=0
+//     dup channel=overlay prob=0.5
+//     delay channel=daemon factor=10 prob=1.0
+//     stall node=2 from=10s until=20s factor=4
+//     tear-shard rank=7 spill=0 keep=0.5
+//
+// Times accept the suffixes ns/us/ms/s (bare numbers are nanoseconds).
+// Message actions select eligible messages per (action, src, dst) stream:
+// `nth=K` matches the K-th, `skip=S count=N` matches a window, and
+// `prob=p` draws from a hash of (seed, stream, ordinal) -- never from
+// shared RNG state, so a message's fate is independent of the order other
+// shards make progress (see DESIGN.md §9).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace dyntrace::fault {
+
+/// Which traffic class a message action applies to.  kDaemon covers DPCL
+/// request/ack/callback traffic (src/dst are *node* ids); kOverlay covers
+/// the statistics-overlay tag band (src/dst are *rank* ids); kApp is the
+/// application's own MPI traffic (delays and stalls only make sense here --
+/// dropping app messages deadlocks the workload, which is the app's bug to
+/// model, not the control plane's).
+enum class Channel : std::uint8_t { kDaemon = 0, kOverlay = 1, kApp = 2 };
+
+const char* to_string(Channel channel);
+
+/// First tag of the statistics-overlay band.  Owned here (not in control/)
+/// so the MPI layer can classify traffic without depending on the overlay.
+inline constexpr int kOverlayTagBase = 1'000'000'000;
+
+/// Sentinel for "never happens" times.
+inline constexpr sim::TimeNs kNever = sim::TimeNs{0x7fffffffffffffff};
+
+struct FaultAction {
+  enum class Kind : std::uint8_t {
+    kKillDaemon,   ///< the node's comm daemon stops serving at `at`
+    kKillRank,     ///< the rank leaves the control-plane membership at `at`
+    kDrop,         ///< eligible messages vanish in flight
+    kDup,          ///< eligible messages are delivered twice
+    kDelay,        ///< eligible messages take `factor` times as long
+    kStall,        ///< messages touching `node` slow by `factor` in [at, until)
+    kTearShard,    ///< spill `spill` of rank `rank`'s trace shard is cut at `keep`
+  };
+
+  Kind kind = Kind::kDrop;
+  Channel channel = Channel::kDaemon;
+  int node = -1;                ///< kill-daemon / stall target
+  int rank = -1;                ///< kill-rank / tear-shard target
+  int src = -1;                 ///< message source filter; -1 = any
+  int dst = -1;                 ///< message destination filter; -1 = any
+  sim::TimeNs at = 0;           ///< kill time / stall window start
+  sim::TimeNs until = kNever;   ///< stall window end (exclusive)
+  double probability = -1.0;    ///< hash-drawn eligibility when >= 0
+  std::int64_t nth = -1;        ///< match only the nth eligible message
+  std::int64_t skip = 0;        ///< window matching: first `skip` pass through
+  std::int64_t count = -1;      ///< window matching: next `count` match
+  double factor = 10.0;         ///< delay / stall multiplier
+  std::uint64_t spill = 0;      ///< tear-shard: run index within the shard
+  double keep = 0.5;            ///< tear-shard: fraction of run bytes persisted
+};
+
+struct FaultPlan {
+  std::uint64_t seed = 0x5eedULL;
+  std::vector<FaultAction> actions;
+
+  bool empty() const { return actions.empty(); }
+
+  /// Parse the text format above; throws dyntrace::Error (naming `origin`
+  /// and the line) on unknown verbs, bad values, or missing selectors.
+  static FaultPlan parse(std::string_view text, const std::string& origin = "<plan>");
+
+  /// Load a plan file from disk.
+  static FaultPlan load(const std::string& path);
+
+  /// Serialize back to the text format (parse(to_text()) round-trips).
+  std::string to_text() const;
+};
+
+}  // namespace dyntrace::fault

@@ -21,6 +21,10 @@
 #include "sim/engine.hpp"
 #include "sim/parallel_engine.hpp"
 
+namespace dyntrace::fault {
+class FaultInjector;
+}  // namespace dyntrace::fault
+
 namespace dyntrace::machine {
 
 class Cluster {
@@ -49,6 +53,12 @@ class Cluster {
   sim::ParallelEngine* engine_group() { return group_; }
 
   const MachineSpec& spec() const { return spec_; }
+
+  /// Install a fault injector (optional; not owned).  When present, the
+  /// control-plane layers switch to their fault-tolerant code paths; when
+  /// absent (the default) every layer runs its legacy path bit-identically.
+  void set_fault_injector(fault::FaultInjector* injector) { fault_ = injector; }
+  fault::FaultInjector* fault_injector() const { return fault_; }
 
   /// Block placement: consecutive units fill a node's CPUs, then spill to
   /// the next node (the POE default).  Each unit occupies `cpus_per_unit`
@@ -86,6 +96,7 @@ class Cluster {
  private:
   sim::Engine* coordinator_;
   sim::ParallelEngine* group_ = nullptr;
+  fault::FaultInjector* fault_ = nullptr;
   MachineSpec spec_;
   std::uint64_t noise_seed_;
   std::atomic<std::uint64_t> messages_sent_{0};

@@ -134,6 +134,23 @@ MachineSpec spec_from_config(const ConfigFile& config) {
   c.dpcl_suspend_resume = cost_ns("dpcl_suspend_resume_ns", c.dpcl_suspend_resume);
   c.poe_spawn_base = cost_ns("poe_spawn_base_ns", c.poe_spawn_base);
   c.poe_spawn_per_proc = cost_ns("poe_spawn_per_proc_ns", c.poe_spawn_per_proc);
+
+  auto fault_ns = [&config](const char* key, sim::TimeNs fallback) {
+    return static_cast<sim::TimeNs>(config.get_int("fault", key, fallback));
+  };
+  FaultTolerance& f = s.fault;
+  f.request_deadline = fault_ns("request_deadline_ns", f.request_deadline);
+  f.request_max_retries = static_cast<int>(
+      config.get_int("fault", "request_max_retries", f.request_max_retries));
+  f.retry_backoff_base = fault_ns("retry_backoff_base_ns", f.retry_backoff_base);
+  f.overlay_child_timeout = fault_ns("overlay_child_timeout_ns", f.overlay_child_timeout);
+  f.init_callback_timeout = fault_ns("init_callback_timeout_ns", f.init_callback_timeout);
+  f.sync_quorum = config.get_double("fault", "sync_quorum", f.sync_quorum);
+  DT_EXPECT(f.request_deadline > 0, "fault.request_deadline_ns must be positive");
+  DT_EXPECT(f.request_max_retries >= 0, "fault.request_max_retries must be >= 0");
+  DT_EXPECT(f.overlay_child_timeout > 0, "fault.overlay_child_timeout_ns must be positive");
+  DT_EXPECT(f.sync_quorum > 0 && f.sync_quorum <= 1.0,
+            "fault.sync_quorum must be in (0, 1]");
   return s;
 }
 

@@ -66,6 +66,18 @@ struct CostModel {
   sim::TimeNs poe_spawn_per_proc = 1'600'000'000; ///< load one process image
 };
 
+/// Knobs of the fault-tolerant control plane (only consulted when a fault
+/// injector is installed; without one the legacy code paths run and these
+/// values are inert).
+struct FaultTolerance {
+  sim::TimeNs request_deadline = sim::seconds(20);   ///< per-node DPCL request ack deadline
+  int request_max_retries = 3;                       ///< resends before a node is abandoned
+  sim::TimeNs retry_backoff_base = sim::milliseconds(250);  ///< doubled per attempt
+  sim::TimeNs overlay_child_timeout = sim::milliseconds(500);///< per-child reduce wait
+  sim::TimeNs init_callback_timeout = sim::seconds(30);      ///< VT-init callback wait
+  double sync_quorum = 1.0;  ///< fraction of ranks required for a full sync
+};
+
 /// A cluster profile: topology plus timing parameters.
 struct MachineSpec {
   std::string name = "generic";
@@ -88,6 +100,7 @@ struct MachineSpec {
   double latency_jitter = 0.08;
 
   CostModel costs;
+  FaultTolerance fault;
 
   int total_cpus() const { return nodes * cpus_per_node; }
 

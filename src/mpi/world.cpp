@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 #include <vector>
 
+#include "fault/injector.hpp"
 #include "support/common.hpp"
 #include "support/log.hpp"
 #include "support/strings.hpp"
@@ -59,6 +61,29 @@ constexpr sim::TimeNs kFinalizeSoftwareCost = sim::milliseconds(8);
 int ceil_log2(int n) {
   DT_ASSERT(n >= 1);
   return n <= 1 ? 0 : std::bit_width(static_cast<unsigned>(n - 1));
+}
+
+/// Message fate of one MPI-level send under the installed fault injector:
+/// how many copies to deliver (0 = dropped) and the scaled wire delay.
+/// Overlay traffic (tags in the overlay band) is its own channel so fault
+/// plans can target the control plane without touching app messages.
+struct WireFate {
+  int copies = 1;
+  sim::TimeNs delay;
+};
+
+WireFate apply_fate(machine::Cluster& cluster, int src_rank, int dst_rank, int src_node,
+                    int tag, sim::TimeNs delay, sim::TimeNs now) {
+  WireFate out{1, delay};
+  fault::FaultInjector* injector = cluster.fault_injector();
+  if (injector == nullptr) return out;
+  const fault::Channel channel =
+      tag >= fault::kOverlayTagBase ? fault::Channel::kOverlay : fault::Channel::kApp;
+  const fault::MessageFate fate = injector->message_fate(channel, src_rank, dst_rank, now);
+  out.copies = fate.drop ? 0 : 1 + fate.duplicates;
+  const double factor = fate.delay_factor * injector->stall_factor(src_node, now);
+  out.delay = static_cast<sim::TimeNs>(std::llround(static_cast<double>(delay) * factor));
+  return out;
 }
 
 }  // namespace
@@ -132,8 +157,12 @@ sim::Coro<void> Rank::send_raw(proc::SimThread& thread, int dst, int tag, std::i
   env.sent_at = process_.engine().now();
   const sim::TimeNs delay =
       cluster.message_delay(process_.node(), target.process_.node(), bytes, env.sent_at);
-  target.process_.engine().deliver_at(env.sent_at + delay,
-                                      [&target, env] { target.incoming_.put(env); });
+  const WireFate fate =
+      apply_fate(cluster, rank_, dst, process_.node(), tag, delay, env.sent_at);
+  for (int c = 0; c < fate.copies; ++c) {
+    target.process_.engine().deliver_at(env.sent_at + fate.delay,
+                                        [&target, env] { target.incoming_.put(env); });
+  }
   ++sends_;
 }
 
@@ -147,6 +176,20 @@ sim::Coro<void> Rank::recv_raw(proc::SimThread& thread, int src, int tag, RecvIn
   co_await thread.compute(world_.cluster().spec().per_message_software / 2);
   if (info != nullptr) *info = RecvInfo{env.src, env.tag, env.bytes};
   ++recvs_;
+}
+
+sim::Coro<bool> Rank::recv_for(proc::SimThread& thread, int src, int tag,
+                               sim::TimeNs timeout) {
+  auto env = co_await incoming_.recv_for(
+      [src, tag](const Envelope& e) {
+        return (src == kAnySource || e.src == src) && (tag == kAnyTag || e.tag == tag);
+      },
+      timeout);
+  if (!env) co_return false;
+  co_await thread.gate();
+  co_await thread.compute(world_.cluster().spec().per_message_software / 2);
+  ++recvs_;
+  co_return true;
 }
 
 sim::Coro<void> Rank::send(proc::SimThread& thread, int dst, int tag, std::int64_t bytes) {
@@ -232,11 +275,14 @@ sim::Coro<void> Rank::isend(proc::SimThread& thread, int dst, int tag, std::int6
     state->completion.fire();
   });
   // ...and deliver after the wire delay.
-  const sim::TimeNs delay =
-      inject +
+  const sim::TimeNs wire =
       cluster.message_delay(process_.node(), target.process_.node(), bytes, env.sent_at);
-  target.process_.engine().deliver_at(env.sent_at + delay,
-                                      [&target, env] { target.incoming_.put(env); });
+  const WireFate fate =
+      apply_fate(cluster, rank_, dst, process_.node(), tag, wire, env.sent_at);
+  for (int c = 0; c < fate.copies; ++c) {
+    target.process_.engine().deliver_at(env.sent_at + inject + fate.delay,
+                                        [&target, env] { target.incoming_.put(env); });
+  }
   ++sends_;
 
   *request = Request(std::move(state));

@@ -111,6 +111,12 @@ class Rank {
   sim::Coro<void> send(proc::SimThread& thread, int dst, int tag, std::int64_t bytes);
   sim::Coro<void> recv(proc::SimThread& thread, int src, int tag, RecvInfo* info = nullptr);
 
+  /// Timed receive for the fault-tolerant control plane: resolves false if
+  /// no matching message arrived within `timeout` virtual nanoseconds.
+  /// Raw (un-interposed): overlay traffic that may legitimately never
+  /// arrive must not leave half-open VT call events behind.
+  sim::Coro<bool> recv_for(proc::SimThread& thread, int src, int tag, sim::TimeNs timeout);
+
   // --- non-blocking point-to-point -----------------------------------------
   //
   // MPI_Isend / MPI_Irecv / MPI_Wait.  A Request is move-only and must be

@@ -175,6 +175,13 @@ class SimProcess {
   sim::Trigger& terminated() { return terminated_; }
   void mark_terminated() { terminated_.fire(); }
 
+  /// Lost to a fault: the control plane abandoned this process (its node's
+  /// daemon died or it was killed by a fault plan).  Orthogonal to
+  /// terminated(): a lost process may still be running app code, but no
+  /// instrumentation request will reach it again.
+  bool lost() const { return lost_; }
+  void mark_lost() { lost_ = true; }
+
  private:
   friend class SimThread;
 
@@ -196,6 +203,7 @@ class SimProcess {
 
   CallbackSink callback_sink_;
   sim::Trigger terminated_;
+  bool lost_ = false;
 };
 
 }  // namespace dyntrace::proc

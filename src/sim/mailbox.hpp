@@ -67,7 +67,55 @@ class Mailbox {
     return Awaiter{*this};
   }
 
+  /// Timed receive: like recv(), but gives up after `timeout` virtual
+  /// nanoseconds and returns std::nullopt.  put() and the deadline racing
+  /// at one timestamp resolve to whoever dequeues the waiter first.
+  auto recv_for(TimeNs timeout) {
+    struct Awaiter {
+      Mailbox& box;
+      TimeNs timeout;
+      std::coroutine_handle<> handle{};
+      EventId timer{};
+      bool timed_out = false;
+      bool suspended = false;
+
+      bool await_ready() const noexcept {
+        return !box.items_.empty() && box.waiters_.empty();
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        suspended = true;
+        handle = h;
+        box.waiters_.push_back(h);
+        timer = box.engine_.schedule_after(timeout, [this] {
+          if (box.remove_waiter(handle)) {
+            timed_out = true;
+            handle.resume();
+          }
+        });
+      }
+      std::optional<T> await_resume() {
+        if (timed_out) return std::nullopt;
+        if (suspended) box.engine_.cancel(timer);
+        DT_ASSERT(!box.items_.empty(), "mailbox waiter woke with no item");
+        T item = std::move(box.items_.front());
+        box.items_.pop_front();
+        return item;
+      }
+    };
+    return Awaiter{*this, timeout};
+  }
+
  private:
+  bool remove_waiter(std::coroutine_handle<> h) {
+    for (auto it = waiters_.begin(); it != waiters_.end(); ++it) {
+      if (*it == h) {
+        waiters_.erase(it);
+        return true;
+      }
+    }
+    return false;
+  }
+
   Engine& engine_;
   std::deque<T> items_;
   std::deque<std::coroutine_handle<>> waiters_;
@@ -119,6 +167,54 @@ class MatchQueue {
     return false;
   }
 
+  /// Timed matched receive: like recv(pred), but gives up after `timeout`
+  /// virtual nanoseconds and returns std::nullopt.  put() and the deadline
+  /// racing at one timestamp resolve to whoever dequeues the waiter first.
+  auto recv_for(Predicate predicate, TimeNs timeout) {
+    struct Awaiter {
+      MatchQueue& queue;
+      TimeNs timeout;
+      Waiter waiter;
+      EventId timer{};
+      bool timed_out = false;
+      bool suspended = false;
+
+      Awaiter(MatchQueue& q, Predicate p, TimeNs t)
+          : queue(q), timeout(t), waiter{std::move(p), std::nullopt, {}} {}
+      Awaiter(const Awaiter&) = delete;
+      Awaiter& operator=(const Awaiter&) = delete;
+
+      bool await_ready() {
+        auto item = queue.try_recv(waiter.predicate);
+        if (item) {
+          waiter.slot = std::move(item);
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) {
+        suspended = true;
+        waiter.handle = h;
+        queue.waiters_.push_back(&waiter);
+        timer = queue.engine_.schedule_after(timeout, [this] {
+          // put() may have already claimed (and posted) this waiter at the
+          // same timestamp; only a successful removal may resume it here.
+          if (queue.remove_waiter(&waiter)) {
+            timed_out = true;
+            waiter.handle.resume();
+          }
+        });
+      }
+      std::optional<T> await_resume() {
+        if (timed_out) return std::nullopt;
+        if (suspended) queue.engine_.cancel(timer);
+        DT_ASSERT(waiter.slot.has_value(), "match-queue waiter woke without an item");
+        return std::move(waiter.slot);
+      }
+    };
+    return Awaiter{*this, std::move(predicate), timeout};
+  }
+
   /// Blocking matched receive: co_await queue.recv(pred).
   auto recv(Predicate predicate) {
     struct Awaiter {
@@ -157,6 +253,16 @@ class MatchQueue {
     std::optional<T> slot;
     std::coroutine_handle<> handle;
   };
+
+  bool remove_waiter(Waiter* w) {
+    for (auto it = waiters_.begin(); it != waiters_.end(); ++it) {
+      if (*it == w) {
+        waiters_.erase(it);
+        return true;
+      }
+    }
+    return false;
+  }
 
   Engine& engine_;
   std::deque<T> items_;

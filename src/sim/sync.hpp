@@ -45,7 +45,53 @@ class Trigger {
     return Awaiter{*this};
   }
 
+  /// Timed wait: co_await trigger.wait_for(t) resumes when the trigger
+  /// fires OR after `timeout` virtual nanoseconds, whichever comes first,
+  /// and returns whether it fired.  The deadline path removes the waiter,
+  /// so an abandoned wait never leaks; fire() and the timer racing at one
+  /// timestamp resolve to whoever dequeues the waiter first.
+  auto wait_for(TimeNs timeout) {
+    struct Awaiter {
+      Trigger& trigger;
+      TimeNs timeout;
+      std::coroutine_handle<> handle{};
+      EventId timer{};
+      bool timed_out = false;
+      bool suspended = false;
+
+      bool await_ready() const noexcept { return trigger.fired_; }
+      void await_suspend(std::coroutine_handle<> h) {
+        suspended = true;
+        handle = h;
+        trigger.waiters_.push_back(h);
+        timer = trigger.engine_.schedule_after(timeout, [this] {
+          // fire() may have already claimed (and posted) this waiter at the
+          // same timestamp; only a successful removal may resume it here.
+          if (trigger.remove_waiter(handle)) {
+            timed_out = true;
+            handle.resume();
+          }
+        });
+      }
+      bool await_resume() {
+        if (suspended && !timed_out) trigger.engine_.cancel(timer);
+        return !timed_out;
+      }
+    };
+    return Awaiter{*this, timeout};
+  }
+
  private:
+  bool remove_waiter(std::coroutine_handle<> h) {
+    for (auto it = waiters_.begin(); it != waiters_.end(); ++it) {
+      if (*it == h) {
+        waiters_.erase(it);
+        return true;
+      }
+    }
+    return false;
+  }
+
   Engine& engine_;
   bool fired_ = false;
   std::deque<std::coroutine_handle<>> waiters_;

@@ -90,4 +90,48 @@ Event decode_event(const std::uint8_t* in, const std::string& context) {
   return e;
 }
 
+namespace {
+
+struct Crc32Table {
+  std::uint32_t entries[256];
+  constexpr Crc32Table() : entries{} {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : (c >> 1);
+      }
+      entries[i] = c;
+    }
+  }
+};
+
+constexpr Crc32Table kCrc32Table{};
+
+}  // namespace
+
+std::uint32_t crc32(const std::uint8_t* data, std::size_t size) {
+  std::uint32_t c = 0xffffffffu;
+  for (std::size_t i = 0; i < size; ++i) {
+    c = kCrc32Table.entries[(c ^ data[i]) & 0xffu] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+void encode_spill_frame(const Event& event, std::uint8_t* out) {
+  encode_event(event, out);
+  put_u32(out + kTraceRecordBytes, crc32(out, kTraceRecordBytes));
+}
+
+bool decode_spill_frame(const std::uint8_t* in, Event& out) {
+  if (get_u32(in + kTraceRecordBytes) != crc32(in, kTraceRecordBytes)) return false;
+  if (!valid_event_kind(in[28])) return false;
+  out.time = static_cast<sim::TimeNs>(get_u64(in));
+  out.aux = static_cast<std::int64_t>(get_u64(in + 8));
+  out.pid = static_cast<std::int32_t>(get_u32(in + 16));
+  out.tid = static_cast<std::int32_t>(get_u32(in + 20));
+  out.code = static_cast<std::int32_t>(get_u32(in + 24));
+  out.kind = static_cast<EventKind>(in[28]);
+  return true;
+}
+
 }  // namespace dyntrace::vt

@@ -17,9 +17,12 @@
 //     [28]     kind (u8)
 //     [29..32) reserved, zero
 //
-// The same record encoding is used for shard spill runs (headerless: a run
-// is located by byte offset + count kept in the shard's run index) and for
-// whole-trace files written by TraceStore::write_binary (header + records).
+// The same record encoding is used by whole-trace files written by
+// TraceStore::write_binary (header + records).  Shard spill runs wrap each
+// record in a *frame* -- the 32 record bytes followed by their CRC32
+// (little-endian u32, 36 bytes total) -- so a run torn mid-write is
+// recoverable: every complete, checksummed frame before the tear is salvaged
+// and the corrupt tail is skipped and counted (see TraceShard).
 #pragma once
 
 #include <cstddef>
@@ -52,5 +55,21 @@ void encode_event(const Event& event, std::uint8_t* out);
 
 /// Parse one record; throws dyntrace::Error on an unknown event kind.
 Event decode_event(const std::uint8_t* in, const std::string& context);
+
+// --- CRC-framed spill records ----------------------------------------------
+
+inline constexpr std::size_t kSpillFrameBytes = kTraceRecordBytes + 4;
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) of `size` bytes.
+std::uint32_t crc32(const std::uint8_t* data, std::size_t size);
+
+/// Serialize one event as a spill frame: record bytes + CRC32 of them
+/// (kSpillFrameBytes bytes).
+void encode_spill_frame(const Event& event, std::uint8_t* out);
+
+/// Validate and parse one spill frame.  Returns false (without throwing)
+/// on CRC mismatch or an unknown event kind -- the salvage path treats
+/// either as the torn tail of a run.
+bool decode_spill_frame(const std::uint8_t* in, Event& out);
 
 }  // namespace dyntrace::vt

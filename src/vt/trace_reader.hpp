@@ -57,6 +57,31 @@ class FileRunCursor final : public EventCursor {
   std::size_t chunk_records_ = 0;
 };
 
+/// Cursor over `count` consecutive CRC-framed spill records (kSpillFrameBytes
+/// each) starting at byte `offset` of a file, streamed through a fixed-size
+/// chunk buffer.  Strict: throws dyntrace::Error if the file ends early or a
+/// frame fails its CRC -- callers bound `count` by salvage_frame_count() when
+/// the run may be torn.
+class FramedRunCursor final : public EventCursor {
+ public:
+  FramedRunCursor(const std::string& path, std::uint64_t offset, std::uint64_t count);
+  bool next(Event& out) override;
+
+ private:
+  void refill();
+
+  std::string path_;
+  std::ifstream in_;
+  std::uint64_t remaining_;
+  std::vector<std::uint8_t> chunk_;
+  std::size_t chunk_pos_ = 0;
+  std::size_t chunk_records_ = 0;
+};
+
+/// Salvage scan: the number of leading intact frames in the file, stopping
+/// at the first short, CRC-corrupt, or unknown-kind frame (the torn tail).
+std::uint64_t salvage_frame_count(const std::string& path);
+
 /// K-way merge over sorted child cursors via a min-heap keyed by EventOrder.
 /// Ties resolve to the lower child index, so runs split from one append
 /// stream (earlier run = lower index) merge append-stably, and the merged

@@ -4,8 +4,8 @@
 #include <atomic>
 #include <cstdio>
 #include <filesystem>
-#include <fstream>
 
+#include <fcntl.h>
 #include <unistd.h>
 
 #include "support/common.hpp"
@@ -20,26 +20,51 @@ namespace {
 /// parallel ctest runs share /tmp -- the OS pid disambiguates those).
 std::atomic<std::uint64_t> g_spill_seq{0};
 
-std::string make_spill_path(const ShardOptions& options, std::int32_t pid) {
+std::string make_run_base(const ShardOptions& options, std::int32_t pid) {
   namespace fs = std::filesystem;
   const fs::path dir =
       options.spill_dir.empty() ? fs::temp_directory_path() : fs::path(options.spill_dir);
   const auto seq = g_spill_seq.fetch_add(1, std::memory_order_relaxed);
-  return (dir / str::format("dyntrace-%d-%llu-shard%d.spill", ::getpid(),
+  return (dir / str::format("dyntrace-%d-%llu-shard%d", ::getpid(),
                             static_cast<unsigned long long>(seq), pid))
       .string();
+}
+
+/// Write `size` bytes to `path` and fsync before closing, so a subsequent
+/// rename publishes a fully durable file (the crash-safety contract).
+void write_file_durably(const std::string& path, const std::uint8_t* data,
+                        std::size_t size) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  DT_EXPECT(fd >= 0, "cannot open shard spill file '", path, "'");
+  std::size_t done = 0;
+  while (done < size) {
+    const ::ssize_t n = ::write(fd, data + done, size - done);
+    if (n < 0) {
+      ::close(fd);
+      fail("I/O error spilling shard to '", path, "'");
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  const int synced = ::fsync(fd);
+  const int closed = ::close(fd);
+  DT_EXPECT(synced == 0 && closed == 0, "I/O error syncing shard spill file '", path, "'");
 }
 
 }  // namespace
 
 TraceShard::TraceShard(std::int32_t pid, ShardOptions options)
-    : pid_(pid), options_(std::move(options)), spill_path_(make_spill_path(options_, pid)) {}
+    : pid_(pid), options_(std::move(options)), run_base_(make_run_base(options_, pid)) {}
 
 TraceShard::~TraceShard() {
-  if (!runs_.empty()) std::remove(spill_path_.c_str());
+  for (const Run& run : runs_) std::remove(run.path.c_str());
 }
 
 void TraceShard::append(const Event& event) {
+  if (torn_) {
+    // The writer died mid-spill; whatever it would have logged next is gone.
+    ++dropped_records_;
+    return;
+  }
   if (empty()) {
     min_time_ = max_time_ = event.time;
   } else {
@@ -60,17 +85,36 @@ void TraceShard::spill() {
   // also makes the merge robust against out-of-order appends (clock
   // adjustments, adversarial input).
   std::stable_sort(tail_.begin(), tail_.end(), EventOrder{});
-  std::ofstream out(spill_path_, std::ios::binary | std::ios::app);
-  DT_EXPECT(out.good(), "cannot open shard spill file '", spill_path_, "'");
-  std::vector<std::uint8_t> bytes(tail_.size() * kTraceRecordBytes);
+  std::vector<std::uint8_t> bytes(tail_.size() * kSpillFrameBytes);
   for (std::size_t i = 0; i < tail_.size(); ++i) {
-    encode_event(tail_[i], bytes.data() + i * kTraceRecordBytes);
+    encode_spill_frame(tail_[i], bytes.data() + i * kSpillFrameBytes);
   }
-  out.write(reinterpret_cast<const char*>(bytes.data()),
-            static_cast<std::streamsize>(bytes.size()));
-  DT_EXPECT(out.good(), "I/O error spilling shard to '", spill_path_, "'");
-  runs_.push_back(Run{spilled_records_ * kTraceRecordBytes, tail_.size()});
-  spilled_records_ += tail_.size();
+  const std::uint64_t run_index = runs_.size();
+  std::size_t written = bytes.size();
+  if (options_.spill_fault) {
+    written = std::min(written, options_.spill_fault(pid_, run_index, bytes.size()));
+  }
+  const std::string final_path =
+      run_base_ + str::format(".run%llu", static_cast<unsigned long long>(run_index));
+  const std::string tmp_path = final_path + ".tmp";
+  write_file_durably(tmp_path, bytes.data(), written);
+
+  if (written == bytes.size()) {
+    // Atomic publish: the run exists completely or not at all.
+    DT_EXPECT(std::rename(tmp_path.c_str(), final_path.c_str()) == 0,
+              "cannot publish shard spill run '", final_path, "'");
+    runs_.push_back(Run{final_path, tail_.size(), false});
+    spilled_records_ += tail_.size();
+  } else {
+    // Torn mid-write: the rename never happened, so the run is still a
+    // `.tmp`.  Salvage every complete, CRC-valid frame before the tear.
+    const std::uint64_t salvaged = salvage_frame_count(tmp_path);
+    runs_.push_back(Run{tmp_path, salvaged, true});
+    spilled_records_ += salvaged;
+    salvaged_records_ += salvaged;
+    lost_records_ += tail_.size() - salvaged;
+    torn_ = true;
+  }
   tail_.clear();
 }
 
@@ -78,7 +122,8 @@ std::vector<std::unique_ptr<EventCursor>> TraceShard::run_cursors() const {
   std::vector<std::unique_ptr<EventCursor>> cursors;
   cursors.reserve(runs_.size() + 1);
   for (const Run& run : runs_) {
-    cursors.push_back(std::make_unique<FileRunCursor>(spill_path_, run.offset, run.count));
+    if (run.count == 0) continue;
+    cursors.push_back(std::make_unique<FramedRunCursor>(run.path, 0, run.count));
   }
   if (!tail_.empty()) {
     std::vector<Event> sorted_tail = tail_;

@@ -4,11 +4,18 @@
 // collection time: each VtLib appends to its own shard (no shared vector,
 // no lock on the append path -- exactly one writer per shard), and a shard
 // past its byte budget sorts its open tail and spills it to disk as one
-// compact binary run (trace_format.hpp).  Readers see the shard as a set of
-// sorted runs merged on the fly (trace_reader.hpp).
+// CRC-framed binary run (trace_format.hpp).  Readers see the shard as a set
+// of sorted runs merged on the fly (trace_reader.hpp).
+//
+// Crash safety: every run is its own file, written to `<run>.tmp`, fsynced,
+// and renamed into place -- a run either exists completely or (if the
+// writer died mid-spill) is left as a torn `.tmp`.  A torn run is salvaged
+// frame by frame: every complete, CRC-valid record before the tear is
+// recovered; the corrupt tail is skipped and counted (lost_records()).
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -26,6 +33,11 @@ struct ShardOptions {
   std::size_t spill_budget_bytes = 0;
   /// Directory for spill files; empty = the system temp directory.
   std::string spill_dir;
+  /// Fault hook: called with (pid, run_index, intended_bytes) before a run
+  /// is written and returns how many bytes actually reach the disk.  A
+  /// short return models the writer dying mid-spill: the run stays a torn
+  /// `.tmp` and the shard stops collecting.  Null (the default) = healthy.
+  std::function<std::size_t(std::int32_t, std::uint64_t, std::size_t)> spill_fault;
 };
 
 class TraceShard {
@@ -43,6 +55,14 @@ class TraceShard {
   std::size_t spill_runs() const { return runs_.size(); }
   std::uint64_t spilled_bytes() const { return spilled_records_ * kTraceRecordBytes; }
 
+  /// True once a spill was torn mid-write; the shard then drops further
+  /// appends (the writer is gone) and exposes what was recovered.
+  bool torn() const { return torn_; }
+  /// Records recovered from torn runs (complete, CRC-valid frames).
+  std::uint64_t salvaged_records() const { return salvaged_records_; }
+  /// Records lost to tears: torn away mid-write plus dropped afterwards.
+  std::uint64_t lost_records() const { return lost_records_ + dropped_records_; }
+
   /// Timestamp bounds over every appended event; meaningless when empty().
   sim::TimeNs min_time() const { return min_time_; }
   sim::TimeNs max_time() const { return max_time_; }
@@ -57,18 +77,23 @@ class TraceShard {
 
  private:
   struct Run {
-    std::uint64_t offset = 0;  ///< byte offset into the spill file
-    std::uint64_t count = 0;   ///< records in the run
+    std::string path;          ///< run file (a torn run keeps its .tmp path)
+    std::uint64_t count = 0;   ///< readable records (salvaged count if torn)
+    bool torn = false;
   };
 
   void spill();
 
   std::int32_t pid_;
   ShardOptions options_;
-  std::string spill_path_;
+  std::string run_base_;
   std::vector<Event> tail_;
   std::vector<Run> runs_;
   std::uint64_t spilled_records_ = 0;
+  std::uint64_t salvaged_records_ = 0;
+  std::uint64_t lost_records_ = 0;
+  std::uint64_t dropped_records_ = 0;
+  bool torn_ = false;
   sim::TimeNs min_time_ = 0;
   sim::TimeNs max_time_ = 0;
 };

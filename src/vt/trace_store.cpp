@@ -125,6 +125,17 @@ std::uint64_t TraceStore::digest() const {
   return h;
 }
 
+TraceStore::SalvageStats TraceStore::salvage_stats() const {
+  std::lock_guard<std::mutex> lock(*mutex_);
+  SalvageStats stats;
+  for (const auto& [pid, shard] : shards_) {
+    if (shard->torn()) ++stats.torn_shards;
+    stats.salvaged_records += shard->salvaged_records();
+    stats.lost_records += shard->lost_records();
+  }
+  return stats;
+}
+
 std::vector<Event> TraceStore::for_process(std::int32_t pid) const {
   auto cursor = process_cursor(pid);
   return collect(*cursor);

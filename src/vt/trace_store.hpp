@@ -70,6 +70,15 @@ class TraceStore {
   /// check the parallel-engine determinism tests rest on.
   std::uint64_t digest() const;
 
+  /// Aggregate crash-recovery outcome across shards (all zero for a
+  /// healthy run; see TraceShard for the torn-run salvage model).
+  struct SalvageStats {
+    std::uint64_t torn_shards = 0;      ///< shards whose writer died mid-spill
+    std::uint64_t salvaged_records = 0; ///< records recovered from torn runs
+    std::uint64_t lost_records = 0;     ///< records torn away or dropped after
+  };
+  SalvageStats salvage_stats() const;
+
   /// Events of one process in time order, materialized.
   std::vector<Event> for_process(std::int32_t pid) const;
 

@@ -1,0 +1,163 @@
+// FaultPlan parsing and the injector's deterministic decision functions.
+//
+// The whole harness rests on two properties checked here: (1) plans are
+// plain text that round-trips through parse/to_text, and (2) every fault
+// decision is a pure function of (seed, action, message identity) -- two
+// injectors built from the same plan agree decision for decision, no
+// matter what else happened in between.
+#include "fault/plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fault/injector.hpp"
+#include "support/common.hpp"
+
+namespace dyntrace::fault {
+namespace {
+
+constexpr const char* kFullPlan =
+    "# exercise every verb\n"
+    "seed 42\n"
+    "kill-daemon node=3 at=150s\n"
+    "kill-rank rank=5 at=2500ms\n"
+    "drop channel=daemon prob=0.05\n"
+    "drop channel=overlay src=3 dst=0 nth=0\n"
+    "dup channel=overlay prob=0.5\n"
+    "delay channel=daemon skip=2 count=4 factor=10\n"
+    "stall node=2 from=10s until=20s factor=4\n"
+    "tear-shard rank=7 spill=0 keep=0.5\n";
+
+TEST(FaultPlan, ParsesEveryVerb) {
+  const FaultPlan plan = FaultPlan::parse(kFullPlan);
+  EXPECT_EQ(plan.seed, 42u);
+  ASSERT_EQ(plan.actions.size(), 8u);
+  EXPECT_EQ(plan.actions[0].kind, FaultAction::Kind::kKillDaemon);
+  EXPECT_EQ(plan.actions[0].node, 3);
+  EXPECT_EQ(plan.actions[0].at, sim::seconds(150));
+  EXPECT_EQ(plan.actions[1].kind, FaultAction::Kind::kKillRank);
+  EXPECT_EQ(plan.actions[1].rank, 5);
+  EXPECT_EQ(plan.actions[1].at, sim::milliseconds(2500));
+  EXPECT_EQ(plan.actions[3].channel, Channel::kOverlay);
+  EXPECT_EQ(plan.actions[3].src, 3);
+  EXPECT_EQ(plan.actions[3].dst, 0);
+  EXPECT_EQ(plan.actions[3].nth, 0);
+  EXPECT_EQ(plan.actions[6].kind, FaultAction::Kind::kStall);
+  EXPECT_EQ(plan.actions[6].until, sim::seconds(20));
+  EXPECT_EQ(plan.actions[7].kind, FaultAction::Kind::kTearShard);
+  EXPECT_DOUBLE_EQ(plan.actions[7].keep, 0.5);
+}
+
+TEST(FaultPlan, TextRoundTrips) {
+  const FaultPlan plan = FaultPlan::parse(kFullPlan);
+  const std::string text = plan.to_text();
+  const FaultPlan again = FaultPlan::parse(text);
+  EXPECT_EQ(again.to_text(), text);
+  EXPECT_EQ(again.seed, plan.seed);
+  EXPECT_EQ(again.actions.size(), plan.actions.size());
+}
+
+TEST(FaultPlan, RejectsMalformedInput) {
+  EXPECT_THROW(FaultPlan::parse("explode node=1 at=5s\n"), Error);
+  EXPECT_THROW(FaultPlan::parse("kill-daemon at=5s\n"), Error);            // missing node=
+  EXPECT_THROW(FaultPlan::parse("kill-daemon node=1 when=5s\n"), Error);   // unknown key
+  EXPECT_THROW(FaultPlan::parse("kill-daemon node=1 at=5parsecs\n"), Error);
+  EXPECT_THROW(FaultPlan::parse("drop channel=daemon\n"), Error);          // no selector
+  EXPECT_THROW(FaultPlan::parse("drop channel=smoke prob=1\n"), Error);
+  EXPECT_THROW(FaultPlan::parse("drop channel=daemon prob=1.5\n"), Error);
+  EXPECT_THROW(FaultPlan::parse("delay channel=daemon prob=1 factor=0.5\n"), Error);
+  EXPECT_THROW(FaultPlan::parse("stall node=1 from=5s until=5s factor=2\n"), Error);
+  EXPECT_THROW(FaultPlan::parse("tear-shard rank=1 keep=1.0\n"), Error);
+  EXPECT_THROW(FaultPlan::parse("seed banana\n"), Error);
+}
+
+TEST(FaultInjector, LivenessIsAPureTimeThreshold) {
+  FaultInjector injector(FaultPlan::parse(kFullPlan));
+  EXPECT_TRUE(injector.daemon_alive(3, sim::seconds(150) - 1));
+  EXPECT_FALSE(injector.daemon_alive(3, sim::seconds(150)));
+  EXPECT_TRUE(injector.daemon_alive(0, sim::seconds(1000)));
+  EXPECT_EQ(injector.daemon_dead_at(3), sim::seconds(150));
+  EXPECT_EQ(injector.daemon_dead_at(0), kNever);
+
+  EXPECT_TRUE(injector.rank_alive(5, sim::milliseconds(2499)));
+  EXPECT_FALSE(injector.rank_alive(5, sim::milliseconds(2500)));
+  EXPECT_EQ(injector.dead_ranks(sim::seconds(1)), std::vector<int>{});
+  EXPECT_EQ(injector.dead_ranks(sim::seconds(3)), std::vector<int>{5});
+}
+
+TEST(FaultInjector, StallWindowIsHalfOpen) {
+  FaultInjector injector(FaultPlan::parse(kFullPlan));
+  EXPECT_DOUBLE_EQ(injector.stall_factor(2, sim::seconds(10) - 1), 1.0);
+  EXPECT_DOUBLE_EQ(injector.stall_factor(2, sim::seconds(10)), 4.0);
+  EXPECT_DOUBLE_EQ(injector.stall_factor(2, sim::seconds(20) - 1), 4.0);
+  EXPECT_DOUBLE_EQ(injector.stall_factor(2, sim::seconds(20)), 1.0);
+  EXPECT_DOUBLE_EQ(injector.stall_factor(1, sim::seconds(15)), 1.0);
+}
+
+TEST(FaultInjector, MessageFatesReplayIdentically) {
+  // Two injectors from the same plan must make the same drop/dup/delay
+  // decisions for the same message streams -- the determinism guarantee.
+  const FaultPlan plan = FaultPlan::parse(kFullPlan);
+  FaultInjector a{FaultPlan(plan)};
+  FaultInjector b{FaultPlan(plan)};
+  for (int i = 0; i < 200; ++i) {
+    const int src = i % 4;
+    const int dst = (i + 1) % 4;
+    const MessageFate fa = a.message_fate(Channel::kDaemon, src, dst, sim::seconds(i));
+    const MessageFate fb = b.message_fate(Channel::kDaemon, src, dst, sim::seconds(i));
+    EXPECT_EQ(fa.drop, fb.drop) << i;
+    EXPECT_EQ(fa.duplicates, fb.duplicates) << i;
+    EXPECT_DOUBLE_EQ(fa.delay_factor, fb.delay_factor) << i;
+  }
+}
+
+TEST(FaultInjector, NthMatchesExactlyOneMessage) {
+  FaultInjector injector(
+      FaultPlan::parse("drop channel=overlay src=3 dst=0 nth=1\n"));
+  int drops = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (injector.message_fate(Channel::kOverlay, 3, 0, 0).drop) ++drops;
+  }
+  EXPECT_EQ(drops, 1);
+  // Other (src, dst) streams are untouched.
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(injector.message_fate(Channel::kOverlay, 2, 0, 0).drop);
+  }
+}
+
+TEST(FaultInjector, ProbabilityEdgesAreExact) {
+  FaultInjector always(FaultPlan::parse("drop channel=daemon prob=1.0\n"));
+  FaultInjector never(FaultPlan::parse("drop channel=daemon prob=0.0\n"));
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(always.message_fate(Channel::kDaemon, 0, 1, 0).drop);
+    EXPECT_FALSE(never.message_fate(Channel::kDaemon, 0, 1, 0).drop);
+  }
+  // A channel with no actions never even hashes.
+  EXPECT_FALSE(always.message_fate(Channel::kApp, 0, 1, 0).drop);
+}
+
+TEST(FaultInjector, SpillBytesTearOnlyTheTargetRun) {
+  FaultInjector injector(FaultPlan::parse("tear-shard rank=7 spill=1 keep=0.25\n"));
+  EXPECT_EQ(injector.spill_bytes(7, 0, 1000), 1000u);
+  EXPECT_EQ(injector.spill_bytes(7, 1, 1000), 250u);
+  EXPECT_EQ(injector.spill_bytes(6, 1, 1000), 1000u);
+  const auto torn = injector.report().entries_of("shard-torn");
+  ASSERT_EQ(torn.size(), 1u);
+  EXPECT_EQ(torn[0].ranks, std::vector<int>{7});
+}
+
+TEST(RunReport, EntriesSortDeterministically) {
+  RunReport report;
+  report.add(sim::seconds(2), "daemon-lost", "node=1", {2, 3});
+  report.add(sim::seconds(1), "partial-sync", "round=0", {5});
+  report.add(sim::seconds(2), "degrade", "node=1 Dynamic->None", {2, 3});
+  const auto entries = report.entries();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].kind, "partial-sync");
+  EXPECT_EQ(entries[1].kind, "daemon-lost");  // time ties break on kind
+  EXPECT_EQ(entries[2].kind, "degrade");
+  EXPECT_EQ(report.lost_ranks(), (std::vector<int>{2, 3}));
+  EXPECT_FALSE(report.render().empty());
+}
+
+}  // namespace
+}  // namespace dyntrace::fault
