@@ -27,9 +27,72 @@
 #include "fault/injector.hpp"
 #include "machine/spec.hpp"
 #include "support/cli.hpp"
+#include "support/common.hpp"
 #include "support/config.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+#include "telemetry/json.hpp"
+#include "telemetry/metrics.hpp"
 
 using namespace dyntrace;
+
+namespace {
+
+std::string slurp_file(const std::string& path) {
+  std::ifstream in(path);
+  DT_EXPECT(in.good(), "cannot open '", path, "'");
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// `dynprof_cli report <stats.json>`: render the flat stats JSON exported by
+/// --telemetry-stats back as aligned tables.
+int run_report(const std::string& path) {
+  const telemetry::JsonValue stats = telemetry::parse_json(slurp_file(path));
+  std::printf("telemetry stats from %s (level: %s)\n\n", path.c_str(),
+              stats.at("level").as_string().c_str());
+
+  TextTable counters({"counter", "value"});
+  for (const auto& [name, value] : stats.at("counters").as_object()) {
+    counters.add_row({name, str::format("%lld", static_cast<long long>(value.as_int()))});
+  }
+  for (const auto& [name, value] : stats.at("gauges").as_object()) {
+    counters.add_row({name, str::format("%lld", static_cast<long long>(value.as_int()))});
+  }
+  std::printf("%s\n", counters.render().c_str());
+
+  const auto& histograms = stats.at("histograms").as_object();
+  if (!histograms.empty()) {
+    TextTable table({"histogram", "count", "sum", "mean", "p-buckets (lower-bound: count)"});
+    for (const auto& [name, hist] : histograms) {
+      const double count = hist.at("count").as_number();
+      const double sum = hist.at("sum").as_number();
+      std::string buckets;
+      for (const auto& pair : hist.at("buckets").as_array()) {
+        const auto& kv = pair.as_array();
+        if (!buckets.empty()) buckets += "  ";
+        buckets += str::format("%lld: %lld", static_cast<long long>(kv[0].as_int()),
+                               static_cast<long long>(kv[1].as_int()));
+      }
+      table.add_row({name, TextTable::num(count, 0), TextTable::num(sum, 0),
+                     count > 0 ? TextTable::num(sum / count, 1) : "-", buckets});
+    }
+    std::printf("%s\n", table.render().c_str());
+  }
+
+  const auto& keyed = stats.at("keyed").as_object();
+  for (const auto& [name, counts] : keyed) {
+    TextTable table({name + " (key)", "count"});
+    for (const auto& [key, value] : counts.as_object()) {
+      table.add_row({key, str::format("%lld", static_cast<long long>(value.as_int()))});
+    }
+    std::printf("%s\n", table.render().c_str());
+  }
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   std::string app_name;
@@ -44,11 +107,18 @@ int main(int argc, char** argv) {
   std::int64_t fault_seed = -1;
   bool show_timeline = false;
   bool show_report = false;
+  std::string subcommand_arg;
+  std::string telemetry_level = "off";
+  std::string telemetry_stats_path;
+  std::string telemetry_trace_path;
 
   CliParser parser("dynprof_cli",
                    "Dynamically instrument an ASCI kernel application (paper §3.3). "
-                   "Apps: smg98, sppm, sweep3d, umt98.");
-  parser.positional("app", "target application", &app_name)
+                   "Apps: smg98, sppm, sweep3d, umt98. "
+                   "Subcommand: 'report <stats.json>' renders exported telemetry stats.");
+  parser.positional("app", "target application (or the 'report' subcommand)", &app_name)
+      .positional("arg", "subcommand argument (report: stats JSON path)", &subcommand_arg,
+                  /*optional=*/true)
       .option_int("cpus", "processors (MPI ranks / OpenMP threads)", &cpus)
       .option_int("sim-threads", "simulation worker threads (results bit-identical)",
                   &sim_threads)
@@ -59,12 +129,25 @@ int main(int argc, char** argv) {
       .option_string("fault-plan", "inject faults from this plan file (see configs/)",
                      &fault_plan_path)
       .option_int("fault-seed", "override the plan's seed", &fault_seed)
+      .option_string("telemetry", "self-telemetry level: off | counters | spans",
+                     &telemetry_level)
+      .option_string("telemetry-stats", "write the run's telemetry stats JSON here",
+                     &telemetry_stats_path)
+      .option_string("telemetry-trace",
+                     "write Chrome trace-event JSON here (Perfetto loadable; needs "
+                     "--telemetry=spans)",
+                     &telemetry_trace_path)
       .flag("timeline", "print the postmortem time-line", &show_timeline)
       .flag("report", "print the full summary report (matrix, balance)", &show_report)
       .option_string("machine", "machine profile: builtin name or .ini path", &machine_profile);
 
   try {
     if (!parser.parse(argc, argv)) return 0;
+
+    if (app_name == "report") {
+      DT_EXPECT(!subcommand_arg.empty(), "usage: dynprof_cli report <stats.json>");
+      return run_report(subcommand_arg);
+    }
 
     const asci::AppSpec* app = asci::find_app(app_name);
     DT_EXPECT(app != nullptr, "unknown application '", app_name,
@@ -110,6 +193,7 @@ int main(int argc, char** argv) {
     options.machine = machine_spec;
     options.sim_threads = static_cast<int>(sim_threads);
     options.fault = injector;
+    options.telemetry_level = telemetry::level_from_string(telemetry_level);
     dynprof::Launch launch(std::move(options));
 
     dynprof::DynprofTool::Options topt;
@@ -160,6 +244,22 @@ int main(int argc, char** argv) {
       launch.trace()->write(tracefile_path);
       std::printf("trace (%zu events) written to %s\n", launch.trace()->size(),
                   tracefile_path.c_str());
+    }
+
+    if (!telemetry_stats_path.empty()) {
+      std::ofstream out(telemetry_stats_path);
+      out << launch.telemetry_registry().stats_json();
+      std::printf("telemetry stats written to %s (render: dynprof_cli report %s)\n",
+                  telemetry_stats_path.c_str(), telemetry_stats_path.c_str());
+    }
+    if (!telemetry_trace_path.empty()) {
+      DT_EXPECT(launch.telemetry_registry().spans_enabled(),
+                "--telemetry-trace needs --telemetry=spans");
+      std::ofstream out(telemetry_trace_path);
+      out << launch.telemetry_registry().chrome_trace_json();
+      std::printf("span trace (%zu event(s)) written to %s -- load it at "
+                  "https://ui.perfetto.dev\n",
+                  launch.telemetry_registry().span_event_count(), telemetry_trace_path.c_str());
     }
 
     if (show_report) {

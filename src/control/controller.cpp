@@ -7,6 +7,7 @@
 
 #include "image/image.hpp"
 #include "support/common.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace dyntrace::control {
 
@@ -219,6 +220,17 @@ sim::TimeNs BudgetController::on_break(vt::VtLib& vt) {
   decision.projected_overhead = projected;
   if (!deactivate.empty() || !reactivate.empty()) {
     stage(deactivate, reactivate, vt);
+  }
+  telemetry::Registry& reg = telemetry::current();
+  const telemetry::Metrics& tm = reg.metrics();
+  reg.add(tm.control_decisions);
+  reg.add(tm.control_deactivations, decision.deactivated.size());
+  reg.add(tm.control_reactivations, decision.reactivated.size());
+  if (reg.spans_enabled() && (!decision.deactivated.empty() || !decision.reactivated.empty())) {
+    // Mark staging decisions on the tool track so they line up against the
+    // confsync spans of the ranks that will apply them next round.
+    reg.name_track(telemetry::Metrics::kToolTrack, "controller");
+    reg.span_instant(tm.span_decision, telemetry::Metrics::kToolTrack, now);
   }
   log_.decisions.push_back(decision);
   return kScanCostPerRecord * static_cast<sim::TimeNs>(est.functions.size());

@@ -8,6 +8,8 @@
 #include "mpi/world.hpp"
 #include "support/common.hpp"
 #include "support/strings.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/span.hpp"
 
 namespace dyntrace::control {
 
@@ -73,6 +75,14 @@ sim::Coro<void> StatsOverlay::reduce(proc::SimThread& thread, vt::VtLib& vt) {
   const std::uint32_t round = round_[static_cast<std::size_t>(r)]++;
   const ReductionPlan plan{p, arity_};
 
+  telemetry::Registry& reg = telemetry::current();
+  const telemetry::Metrics& tm = reg.metrics();
+  const sim::TimeNs entered = thread.engine().now();
+  telemetry::ScopedSpan span(
+      reg, tm.span_reduce, static_cast<std::uint32_t>(r),
+      [](const void* ctx) { return static_cast<const sim::Engine*>(ctx)->now(); },
+      &thread.engine());
+
   std::vector<vt::FuncStats> acc = vt.statistics();
   for (const int child : plan.children(r)) {
     co_await rank->recv(thread, child, overlay_tag(round));
@@ -91,6 +101,11 @@ sim::Coro<void> StatsOverlay::reduce(proc::SimThread& thread, vt::VtLib& vt) {
                             vt::nonzero_stat_count(acc));
     root_result_ = std::move(acc);
     ++rounds_;
+    reg.add(tm.control_overlay_rounds);
+    // Root fan-in latency: from the root entering the reduction to holding
+    // the fully merged table (the wait for the slowest subtree dominates).
+    reg.observe(tm.control_overlay_fanin_ns,
+                static_cast<std::uint64_t>(thread.engine().now() - entered));
   } else {
     auto& slot = slots_[static_cast<std::size_t>(r)];
     slot = std::move(acc);
@@ -114,6 +129,14 @@ sim::Coro<void> StatsOverlay::reduce_ft(proc::SimThread& thread, vt::VtLib& vt,
   // bounded wait is what detects the silence.
   if (!injector.rank_alive(r, thread.engine().now())) co_return;
   const auto alive = [&](int q) { return injector.rank_alive(q, thread.engine().now()); };
+
+  telemetry::Registry& reg = telemetry::current();
+  const telemetry::Metrics& tm = reg.metrics();
+  const sim::TimeNs entered = thread.engine().now();
+  telemetry::ScopedSpan span(
+      reg, tm.span_reduce, static_cast<std::uint32_t>(r),
+      [](const void* ctx) { return static_cast<const sim::Engine*>(ctx)->now(); },
+      &thread.engine());
 
   // Effective children: live direct children, plus -- for every dead child
   // -- its own children, spliced up recursively (the re-parenting rule:
@@ -150,6 +173,9 @@ sim::Coro<void> StatsOverlay::reduce_ft(proc::SimThread& thread, vt::VtLib& vt,
     co_await thread.compute(costs.vt_stats_write_per_record * vt::nonzero_stat_count(acc));
     root_result_ = std::move(acc);
     ++rounds_;
+    reg.add(tm.control_overlay_rounds);
+    reg.observe(tm.control_overlay_fanin_ns,
+                static_cast<std::uint64_t>(thread.engine().now() - entered));
     std::sort(contributed.begin(), contributed.end());
     if (static_cast<int>(contributed.size()) < p) {
       SyncReport report;

@@ -6,6 +6,7 @@
 #include "fault/injector.hpp"
 #include "support/common.hpp"
 #include "support/strings.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace dyntrace::dpcl {
 
@@ -74,6 +75,10 @@ sim::Coro<void> DpclApplication::connect(proc::SimThread& tool) {
       DT_ASSERT(sd != nullptr, "no super daemon on node ", node);
       bool acked = false;
       for (int attempt = 0; attempt <= ft.request_max_retries && !acked; ++attempt) {
+        if (attempt > 0) {
+          telemetry::Registry& reg = telemetry::current();
+          reg.add(reg.metrics().dpcl_retries);
+        }
         auto ack = std::make_shared<AckState>(tool_engine, 1);
         co_await tool.compute(kMarshalCost);
         const sim::TimeNs now = tool_engine.now();
@@ -164,6 +169,8 @@ sim::Coro<void> DpclApplication::broadcast(proc::SimThread& tool, Request protot
       daemon->inbox().put(std::move(request));
     });
     ++requests_sent_;
+    telemetry::Registry& reg = telemetry::current();
+    reg.add(reg.metrics().dpcl_requests);
   }
   if (ack != nullptr) co_await ack->done.wait();
 }
@@ -210,6 +217,11 @@ sim::Coro<bool> DpclApplication::request_node(proc::SimThread& tool, std::size_t
       });
     }
     ++requests_sent_;
+    {
+      telemetry::Registry& reg = telemetry::current();
+      reg.add(reg.metrics().dpcl_requests);
+      if (attempt > 0) reg.add(reg.metrics().dpcl_retries);
+    }
     if (co_await ack->done.wait_for(ft.request_deadline)) co_return true;
     if (attempt < ft.request_max_retries) {
       co_await tool_engine.sleep(ft.retry_backoff_base << attempt);
@@ -220,6 +232,10 @@ sim::Coro<bool> DpclApplication::request_node(proc::SimThread& tool, std::size_t
 
 void DpclApplication::abandon_node(int node, sim::TimeNs now) {
   if (!lost_nodes_.insert(node).second) return;
+  {
+    telemetry::Registry& reg = telemetry::current();
+    reg.add(reg.metrics().dpcl_abandoned_nodes);
+  }
   std::vector<int> ranks;
   const auto it = std::find(nodes_.begin(), nodes_.end(), node);
   if (it != nodes_.end()) {

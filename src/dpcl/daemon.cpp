@@ -6,6 +6,7 @@
 #include "fault/injector.hpp"
 #include "support/common.hpp"
 #include "support/strings.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace dyntrace::dpcl {
 
@@ -104,6 +105,8 @@ sim::Coro<void> CommDaemon::loop() {
       if (it != completed_.end()) {
         // Retry of a request this daemon already executed (its ack was
         // lost): re-ack without re-running the side effects.
+        telemetry::Registry& reg = telemetry::current();
+        reg.add(reg.metrics().dpcl_dedup_hits);
         send_ack(request, it->second);
         continue;
       }

@@ -58,6 +58,8 @@ std::vector<Policy> policies_for(const asci::AppSpec& app) {
 
 Launch::Launch(Options options)
     : options_(std::move(options)),
+      telemetry_(std::make_unique<telemetry::Registry>(options_.telemetry_level)),
+      scoped_registry_(std::in_place, *telemetry_),
       psim_(std::make_unique<sim::ParallelEngine>(std::max(1, options_.sim_threads))),
       init_trigger_(psim_->shard(0)) {
   DT_EXPECT(options_.app != nullptr, "Launch needs an application");

@@ -32,6 +32,7 @@
 #include "proc/job.hpp"
 #include "sim/engine.hpp"
 #include "sim/parallel_engine.hpp"
+#include "telemetry/registry.hpp"
 #include "vt/interpose.hpp"
 #include "vt/trace_store.hpp"
 #include "vt/vtlib.hpp"
@@ -86,6 +87,10 @@ class Launch {
     /// keeps every layer on its legacy code path -- runs without a plan are
     /// bit-identical to a build without the fault harness.
     std::shared_ptr<fault::FaultInjector> fault;
+    /// Self-telemetry level for this run (DESIGN.md §12).  The Launch owns
+    /// a private registry installed as telemetry::current() for its whole
+    /// lifetime, so every layer's hooks land in this run's counters.
+    telemetry::Level telemetry_level = telemetry::default_level();
   };
 
   explicit Launch(Options options);
@@ -117,6 +122,10 @@ class Launch {
   asci::AppContext& context(int pid) { return *contexts_[static_cast<std::size_t>(pid)]; }
   std::shared_ptr<vt::TraceStore> trace() { return store_; }
   std::shared_ptr<vt::StagedUpdate> staged() { return staged_; }
+  /// This run's telemetry registry (installed as telemetry::current() while
+  /// the Launch is alive).
+  telemetry::Registry& telemetry_registry() { return *telemetry_; }
+  const telemetry::Registry& telemetry_registry() const { return *telemetry_; }
   /// The run's fault injector; null for healthy runs.
   fault::FaultInjector* fault_injector() const { return options_.fault.get(); }
   const Options& options() const { return options_; }
@@ -154,6 +163,10 @@ class Launch {
   sim::Coro<void> rank_main(int pid, proc::SimThread& thread);
 
   Options options_;
+  // The registry outlives everything below it: spans emitted while ~Engine
+  // destroys surviving coroutine frames must still find it alive.
+  std::unique_ptr<telemetry::Registry> telemetry_;
+  std::optional<telemetry::ScopedRegistry> scoped_registry_;
   // The engine group must outlive (i.e. be declared before) everything the
   // coroutine frames it owns may reference during teardown.
   std::unique_ptr<sim::ParallelEngine> psim_;

@@ -29,6 +29,7 @@ PolicyResult run_policy(const RunConfig& config) {
   options.policy = config.policy;
   options.machine = config.machine;
   options.sim_threads = config.sim_threads;
+  options.telemetry_level = config.telemetry_level;
   Launch launch(std::move(options));
 
   PolicyResult result;
@@ -96,6 +97,7 @@ PolicyResult run_policy(const RunConfig& config) {
   }
   result.trace_digest = launch.trace()->digest();
   result.stats_digest = vt::stats_digest(launch.vt(0).statistics());
+  if (config.telemetry_sink) config.telemetry_sink(launch.telemetry_registry());
   return result;
 }
 

@@ -2,6 +2,7 @@
 // policy (paper Table 3) and measure what Figures 7 and 9 plot.
 #pragma once
 
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -21,6 +22,12 @@ struct RunConfig {
   /// Simulation worker threads (see Launch::Options::sim_threads).  Results
   /// are bit-identical for every value.
   int sim_threads = 1;
+  /// Self-telemetry level for the run (DESIGN.md §12).  Telemetry never
+  /// perturbs simulated results -- digests are identical at every level.
+  telemetry::Level telemetry_level = telemetry::default_level();
+  /// Capture the run's telemetry artifacts after completion (set by the CLI
+  /// when --telemetry-stats/--telemetry-trace ask for files).
+  std::function<void(const telemetry::Registry&)> telemetry_sink;
 
   // --- Policy::kAdaptive only ----------------------------------------------
   /// Budget controller configuration (see control::ControllerOptions).

@@ -6,6 +6,7 @@
 #include "support/common.hpp"
 #include "support/rng.hpp"
 #include "support/strings.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace dyntrace::fault {
 
@@ -126,6 +127,13 @@ MessageFate FaultInjector::message_fate(Channel channel, int src, int dst,
         break;
     }
   }
+  if (fate.drop || fate.duplicates > 0 || fate.delay_factor != 1.0) {
+    telemetry::Registry& reg = telemetry::current();
+    const telemetry::Metrics& tm = reg.metrics();
+    if (fate.drop) reg.add(tm.fault_drops);
+    if (fate.duplicates > 0) reg.add(tm.fault_dups, static_cast<std::uint64_t>(fate.duplicates));
+    if (fate.delay_factor != 1.0) reg.add(tm.fault_delays);
+  }
   return fate;
 }
 
@@ -145,6 +153,10 @@ std::size_t FaultInjector::spill_bytes(std::int32_t pid, std::uint64_t run_index
     if (action.rank != pid || action.spill != run_index) continue;
     const auto kept = static_cast<std::size_t>(
         std::floor(static_cast<double>(bytes) * action.keep));
+    {
+      telemetry::Registry& reg = telemetry::current();
+      reg.add(reg.metrics().fault_tears);
+    }
     report_.add(0, "shard-torn",
                 str::format("pid=%d run=%llu kept %zu of %zu bytes", pid,
                             static_cast<unsigned long long>(run_index), kept, bytes),

@@ -8,9 +8,12 @@
 namespace dyntrace::sampling {
 
 Sampler::Sampler(proc::SimProcess& process, Options options)
-    : process_(process), options_(options) {
+    : process_(process),
+      options_(options),
+      samples_(str::format("sampling.pid%d.samples", process.pid())) {
   DT_EXPECT(options.interval > 0, "sampling interval must be positive");
   DT_EXPECT(options.per_sample_cost >= 0, "per-sample cost cannot be negative");
+  samples_.attach(telemetry::current());
 }
 
 void Sampler::start() {
@@ -44,15 +47,23 @@ sim::Coro<void> Sampler::run() {
       process_.resume();
     }
     for (const auto& thread : process_.threads()) {
-      ++histogram_[thread->current_function()];
-      ++total_samples_;
+      samples_.add(static_cast<std::int64_t>(thread->current_function()));
     }
   }
 }
 
+std::unordered_map<image::FunctionId, std::uint64_t> Sampler::histogram() const {
+  std::unordered_map<image::FunctionId, std::uint64_t> out;
+  for (const auto& [key, hits] : samples_.snapshot()) {
+    out.emplace(static_cast<image::FunctionId>(key), hits);
+  }
+  return out;
+}
+
 std::vector<std::pair<image::FunctionId, std::uint64_t>> Sampler::top(std::size_t k) const {
   std::vector<std::pair<image::FunctionId, std::uint64_t>> entries;
-  for (const auto& [fn, hits] : histogram_) {
+  for (const auto& [key, hits] : samples_.snapshot()) {
+    const auto fn = static_cast<image::FunctionId>(key);
     if (fn != image::kInvalidFunction) entries.emplace_back(fn, hits);
   }
   std::sort(entries.begin(), entries.end(), [](const auto& a, const auto& b) {

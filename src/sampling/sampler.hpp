@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "proc/process.hpp"
+#include "telemetry/registry.hpp"
 
 namespace dyntrace::sampling {
 
@@ -42,10 +43,10 @@ class Sampler {
   bool running() const { return running_; }
 
   /// samples[fn] = hits; kInvalidFunction = outside any workload function.
-  const std::unordered_map<image::FunctionId, std::uint64_t>& histogram() const {
-    return histogram_;
-  }
-  std::uint64_t total_samples() const { return total_samples_; }
+  /// Materialized from the keyed telemetry counter that replaced the old
+  /// private histogram (PR 5 bugfix), hence by value.
+  std::unordered_map<image::FunctionId, std::uint64_t> histogram() const;
+  std::uint64_t total_samples() const { return samples_.total(); }
 
   /// The k most-sampled real functions (kInvalidFunction excluded),
   /// most-hit first; deterministic tie-break by function id.
@@ -58,8 +59,10 @@ class Sampler {
   Options options_;
   bool running_ = false;
   std::uint64_t generation_ = 0;  ///< invalidates stale timer coroutines
-  std::unordered_map<image::FunctionId, std::uint64_t> histogram_;
-  std::uint64_t total_samples_ = 0;
+  /// Per-function sample counts.  A telemetry::KeyedCounter is data-plane
+  /// (always counts regardless of the registry level); attaching it to the
+  /// run's registry additionally exports it in the stats JSON.
+  telemetry::KeyedCounter samples_;
 };
 
 }  // namespace dyntrace::sampling

@@ -5,6 +5,7 @@
 
 #include "sim/parallel_engine.hpp"
 #include "support/log.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace dyntrace::sim {
 
@@ -176,14 +177,22 @@ bool Engine::step() {
 }
 
 void Engine::run_window(TimeNs bound) {
+  const std::uint64_t before = events_executed_;
   while (!failure_) {
     const auto next = queue_.next_time();
     if (!next || *next >= bound) break;
     step();
   }
+  // Bulk-count the window's events: one telemetry update per window keeps
+  // step() itself untouched (it is the hottest loop in the project).
+  if (events_executed_ != before) {
+    telemetry::Registry& reg = telemetry::current();
+    reg.add(reg.metrics().sim_events, events_executed_ - before);
+  }
 }
 
 std::size_t Engine::run_until_blocked(TimeNs deadline) {
+  const std::uint64_t before = events_executed_;
   while (!queue_.empty() && !failure_) {
     if (deadline >= 0) {
       auto next = queue_.next_time();
@@ -193,6 +202,10 @@ std::size_t Engine::run_until_blocked(TimeNs deadline) {
       }
     }
     step();
+  }
+  if (events_executed_ != before) {
+    telemetry::Registry& reg = telemetry::current();
+    reg.add(reg.metrics().sim_events, events_executed_ - before);
   }
   if (failure_) {
     auto error = failure_;

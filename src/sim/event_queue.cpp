@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/common.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace dyntrace::sim {
 
@@ -90,9 +91,13 @@ void EventQueue::maybe_compact() {
   // Dead heap entries are the price of O(1) cancel; rebuild once they
   // outnumber the live ones so the heap stays within 2x of live events.
   if (heap_.size() < kCompactMinEntries || heap_.size() - live_ <= live_) return;
+  const std::size_t before = heap_.size();
   heap_.erase(std::remove_if(heap_.begin(), heap_.end(),
                              [this](const HeapEntry& e) { return !entry_live(e); }),
               heap_.end());
+  telemetry::Registry& reg = telemetry::current();
+  reg.add(reg.metrics().sim_queue_compactions);
+  reg.add(reg.metrics().sim_queue_compacted_entries, before - heap_.size());
   if (heap_.size() < 2) return;
   for (std::size_t i = (heap_.size() - 2) / kArity + 1; i-- > 0;) sift_down(i);
 }

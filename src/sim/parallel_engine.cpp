@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "support/log.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace dyntrace::sim {
 
@@ -194,6 +195,12 @@ void ParallelEngine::run(TimeNs deadline) {
     ~PhaseReset() { flag.store(false, std::memory_order_release); }
   } reset{parallel_phase_};
 
+  telemetry::Registry& reg = telemetry::current();
+  const telemetry::Metrics& tm = reg.metrics();
+  if (reg.spans_enabled()) {
+    reg.name_track(telemetry::Metrics::kShardTrackBase, "sim.windows");
+  }
+
   std::vector<std::size_t> active;
   while (true) {
     // Coordinator section: workers are quiescent, so single-threaded access
@@ -224,12 +231,31 @@ void ParallelEngine::run(TimeNs deadline) {
       if (next && *next < bound) active.push_back(i);
     }
     ++windows_;
+    if (reg.counting()) {
+      reg.add(tm.sim_windows);
+      reg.observe(tm.sim_window_shards, active.size());
+      // A multi-shard window is where the pool barrier can stall: the
+      // coordinator waits for the slowest shard.
+      if (active.size() > 1) reg.add(tm.sim_window_stalls);
+      std::size_t depth = 0;
+      for (const auto& engine : shards_) depth += engine->queue_.size();
+      reg.observe(tm.sim_queue_depth, depth);
+    }
+    // YAWNS windows are disjoint in virtual time (every cross-shard delivery
+    // lands at or past the sending window's bound), so back-to-back
+    // begin/end pairs on one track nest correctly.
+    if (reg.spans_enabled()) {
+      reg.span_begin(tm.span_window, telemetry::Metrics::kShardTrackBase, min_next);
+    }
     if (active.size() == 1) {
       // One busy shard (sequential stretches, e.g. the tool connecting
       // while the application waits): run it inline, skip the pool barrier.
       shards_[active[0]]->run_window(bound);
     } else {
       dispatch_window(bound, active);
+    }
+    if (reg.spans_enabled()) {
+      reg.span_end(tm.span_window, telemetry::Metrics::kShardTrackBase, bound);
     }
   }
 

@@ -1,0 +1,247 @@
+#include "telemetry/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+
+#include "support/common.hpp"
+
+namespace dyntrace::telemetry {
+
+bool JsonValue::as_bool() const {
+  DT_EXPECT(type_ == Type::kBool, "json: expected bool");
+  return bool_;
+}
+
+double JsonValue::as_number() const {
+  DT_EXPECT(type_ == Type::kNumber, "json: expected number");
+  return number_;
+}
+
+std::int64_t JsonValue::as_int() const {
+  const double n = as_number();
+  DT_EXPECT(n == std::floor(n), "json: expected integer, got ", n);
+  return static_cast<std::int64_t>(n);
+}
+
+const std::string& JsonValue::as_string() const {
+  DT_EXPECT(type_ == Type::kString, "json: expected string");
+  return string_;
+}
+
+const std::vector<JsonValue>& JsonValue::as_array() const {
+  DT_EXPECT(type_ == Type::kArray, "json: expected array");
+  return array_;
+}
+
+const std::map<std::string, JsonValue>& JsonValue::as_object() const {
+  DT_EXPECT(type_ == Type::kObject, "json: expected object");
+  return object_;
+}
+
+const JsonValue& JsonValue::at(const std::string& key) const {
+  const auto& members = as_object();
+  const auto it = members.find(key);
+  DT_EXPECT(it != members.end(), "json: missing key '", key, "'");
+  return it->second;
+}
+
+bool JsonValue::contains(const std::string& key) const {
+  const auto& members = as_object();
+  return members.find(key) != members.end();
+}
+
+JsonValue JsonValue::make_bool(bool b) {
+  JsonValue v;
+  v.type_ = Type::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::make_number(double n) {
+  JsonValue v;
+  v.type_ = Type::kNumber;
+  v.number_ = n;
+  return v;
+}
+
+JsonValue JsonValue::make_string(std::string s) {
+  JsonValue v;
+  v.type_ = Type::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::make_array(std::vector<JsonValue> items) {
+  JsonValue v;
+  v.type_ = Type::kArray;
+  v.array_ = std::move(items);
+  return v;
+}
+
+JsonValue JsonValue::make_object(std::map<std::string, JsonValue> members) {
+  JsonValue v;
+  v.type_ = Type::kObject;
+  v.object_ = std::move(members);
+  return v;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue value = parse_value();
+    skip_ws();
+    DT_EXPECT(pos_ == text_.size(), "json: trailing garbage at byte ", pos_);
+    return value;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+  }
+
+  char peek() {
+    DT_EXPECT(pos_ < text_.size(), "json: unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    DT_EXPECT(pos_ < text_.size() && text_[pos_] == c, "json: expected '", c, "' at byte ", pos_);
+    ++pos_;
+  }
+
+  bool try_consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void expect_word(const char* word) {
+    for (const char* p = word; *p != '\0'; ++p) expect(*p);
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return JsonValue::make_string(parse_string());
+      case 't': expect_word("true"); return JsonValue::make_bool(true);
+      case 'f': expect_word("false"); return JsonValue::make_bool(false);
+      case 'n': expect_word("null"); return JsonValue::make_null();
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    std::map<std::string, JsonValue> members;
+    skip_ws();
+    if (try_consume('}')) return JsonValue::make_object(std::move(members));
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      members.emplace(std::move(key), parse_value());
+      skip_ws();
+      if (try_consume('}')) break;
+      expect(',');
+    }
+    return JsonValue::make_object(std::move(members));
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    std::vector<JsonValue> items;
+    skip_ws();
+    if (try_consume(']')) return JsonValue::make_array(std::move(items));
+    while (true) {
+      items.push_back(parse_value());
+      skip_ws();
+      if (try_consume(']')) break;
+      expect(',');
+    }
+    return JsonValue::make_array(std::move(items));
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      DT_EXPECT(pos_ < text_.size(), "json: unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') break;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      DT_EXPECT(pos_ < text_.size(), "json: unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'n': out.push_back('\n'); break;
+        case 't': out.push_back('\t'); break;
+        case 'r': out.push_back('\r'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'u': {
+          DT_EXPECT(pos_ + 4 <= text_.size(), "json: truncated \\u escape");
+          const unsigned code =
+              static_cast<unsigned>(std::strtoul(text_.substr(pos_, 4).c_str(), nullptr, 16));
+          pos_ += 4;
+          // ASCII-only output is all our artifacts use; encode the rest as
+          // UTF-8 so round-trips stay lossless.
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default: fail("json: bad escape '\\", esc, "' at byte ", pos_ - 1);
+      }
+    }
+    return out;
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (try_consume('-')) {
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    DT_EXPECT(pos_ > start, "json: expected a value at byte ", start);
+    char* end = nullptr;
+    const std::string token = text_.substr(start, pos_ - start);
+    const double value = std::strtod(token.c_str(), &end);
+    DT_EXPECT(end != nullptr && *end == '\0', "json: bad number '", token, "' at byte ", start);
+    return JsonValue::make_number(value);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue parse_json(const std::string& text) { return Parser(text).parse_document(); }
+
+}  // namespace dyntrace::telemetry

@@ -1,0 +1,60 @@
+// Minimal recursive-descent JSON reader.
+//
+// Enough to parse the artifacts this project emits (stats JSON, Chrome trace
+// JSON, BENCH_*.json): objects, arrays, strings with the common escapes,
+// doubles, bools, null.  Used by `dynprof_cli report` and by the tests that
+// check exported artifacts are schema-valid -- not a general-purpose parser.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dyntrace::telemetry {
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_number() const { return type_ == Type::kNumber; }
+
+  /// Typed accessors throw dyntrace::Error on a type mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  std::int64_t as_int() const;
+  const std::string& as_string() const;
+  const std::vector<JsonValue>& as_array() const;
+  const std::map<std::string, JsonValue>& as_object() const;
+
+  /// Object member access; throws on non-objects and missing keys.
+  const JsonValue& at(const std::string& key) const;
+  bool contains(const std::string& key) const;
+
+  static JsonValue make_null() { return JsonValue(); }
+  static JsonValue make_bool(bool b);
+  static JsonValue make_number(double n);
+  static JsonValue make_string(std::string s);
+  static JsonValue make_array(std::vector<JsonValue> items);
+  static JsonValue make_object(std::map<std::string, JsonValue> members);
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+/// Parse a complete JSON document; throws dyntrace::Error with a byte offset
+/// on malformed input or trailing garbage.
+JsonValue parse_json(const std::string& text);
+
+}  // namespace dyntrace::telemetry

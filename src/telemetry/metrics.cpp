@@ -1,0 +1,37 @@
+#include "telemetry/metrics.hpp"
+
+namespace dyntrace::telemetry {
+
+Metrics::Metrics(Registry& registry)
+    : sim_windows(registry.counter("sim.windows")),
+      sim_window_stalls(registry.counter("sim.window_stalls")),
+      sim_events(registry.counter("sim.events")),
+      sim_window_shards(registry.histogram("sim.window_shards")),
+      sim_queue_depth(registry.histogram("sim.queue_depth")),
+      sim_queue_compactions(registry.counter("sim.queue_compactions")),
+      sim_queue_compacted_entries(registry.counter("sim.queue_compacted_entries")),
+      control_confsync_rounds(registry.counter("control.confsync_rounds")),
+      control_overlay_rounds(registry.counter("control.overlay_rounds")),
+      control_overlay_fanin_ns(registry.histogram("control.overlay_fanin_ns")),
+      control_decisions(registry.counter("control.decisions")),
+      control_deactivations(registry.counter("control.deactivations")),
+      control_reactivations(registry.counter("control.reactivations")),
+      vt_spill_runs(registry.counter("vt.spill_runs")),
+      vt_spill_bytes(registry.counter("vt.spill_bytes")),
+      vt_torn_shards(registry.counter("vt.torn_shards")),
+      vt_salvaged_records(registry.counter("vt.salvaged_records")),
+      vt_lost_records(registry.counter("vt.lost_records")),
+      dpcl_requests(registry.counter("dpcl.requests")),
+      dpcl_retries(registry.counter("dpcl.retries")),
+      dpcl_dedup_hits(registry.counter("dpcl.dedup_hits")),
+      dpcl_abandoned_nodes(registry.counter("dpcl.abandoned_nodes")),
+      fault_drops(registry.counter("fault.drops")),
+      fault_dups(registry.counter("fault.dups")),
+      fault_delays(registry.counter("fault.delays")),
+      fault_tears(registry.counter("fault.tears")),
+      span_window(registry.span_name("window")),
+      span_confsync(registry.span_name("confsync")),
+      span_reduce(registry.span_name("reduce")),
+      span_decision(registry.span_name("decision")) {}
+
+}  // namespace dyntrace::telemetry

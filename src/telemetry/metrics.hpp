@@ -1,0 +1,65 @@
+// The cross-layer metric catalog.
+//
+// Every Registry pre-registers this fixed set of ids at construction so the
+// instrumented layers (sim, control, vt, dpcl, fault) can write through
+// `current().metrics()` without any per-call name lookup.  Naming follows
+// `<layer>.<thing>`; histograms carry a unit suffix where one applies.
+#pragma once
+
+#include "telemetry/registry.hpp"
+
+namespace dyntrace::telemetry {
+
+struct Metrics {
+  explicit Metrics(Registry& registry);
+
+  // --- sim: parallel engine + event queue -----------------------------------
+  CounterId sim_windows;               ///< YAWNS windows executed
+  CounterId sim_window_stalls;         ///< windows where >1 shard met the barrier
+  CounterId sim_events;                ///< events dispatched (bulk-added per window/run)
+  HistogramId sim_window_shards;       ///< active shards per window
+  HistogramId sim_queue_depth;         ///< scheduled events at window open
+  CounterId sim_queue_compactions;     ///< heap compaction passes
+  CounterId sim_queue_compacted_entries;  ///< dead entries dropped by compaction
+
+  // --- control: confsync, overlay, budget controller ------------------------
+  CounterId control_confsync_rounds;   ///< per-rank confsync entries
+  CounterId control_overlay_rounds;    ///< completed overlay reductions (root)
+  HistogramId control_overlay_fanin_ns;  ///< sim-time from round start to root fan-in
+  CounterId control_decisions;         ///< controller decisions recorded
+  CounterId control_deactivations;     ///< functions staged out by decisions
+  CounterId control_reactivations;     ///< functions staged back in
+
+  // --- vt: sharded trace store ----------------------------------------------
+  CounterId vt_spill_runs;             ///< spill runs written
+  CounterId vt_spill_bytes;            ///< encoded bytes handed to spill I/O
+  CounterId vt_torn_shards;            ///< shards that hit a torn tail
+  CounterId vt_salvaged_records;       ///< records recovered from torn spills
+  CounterId vt_lost_records;           ///< records dropped by salvage
+
+  // --- dpcl: control-plane requests -----------------------------------------
+  CounterId dpcl_requests;             ///< requests broadcast
+  CounterId dpcl_retries;              ///< per-node retry sends (attempt > 0)
+  CounterId dpcl_dedup_hits;           ///< daemon re-acks of completed requests
+  CounterId dpcl_abandoned_nodes;      ///< nodes given up on after max retries
+
+  // --- fault: injected fates -------------------------------------------------
+  CounterId fault_drops;
+  CounterId fault_dups;
+  CounterId fault_delays;              ///< messages with a stretched delay
+  CounterId fault_tears;               ///< spills truncated mid-write
+
+  // --- span names ------------------------------------------------------------
+  SpanName span_window;                ///< one parallel-engine window (track = shard)
+  SpanName span_confsync;              ///< one rank's confsync round (track = rank)
+  SpanName span_reduce;                ///< one overlay reduction (track = rank)
+  SpanName span_decision;              ///< instant: controller decision (tool track)
+
+  /// Track number used for tool-side (controller) span events; rank and
+  /// shard tracks are numbered from 0, so the tool sits far above them.
+  static constexpr std::uint32_t kToolTrack = 1'000'000;
+  /// Sim-shard tracks sit in their own band below the tool track.
+  static constexpr std::uint32_t kShardTrackBase = 900'000;
+};
+
+}  // namespace dyntrace::telemetry

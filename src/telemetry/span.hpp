@@ -1,0 +1,51 @@
+// ScopedSpan: RAII begin/end pairing for sim-time spans.
+//
+// The instrumented code runs inside coroutines that the fault injector can
+// destroy without resuming (a killed rank's confsync frame is dropped, not
+// unwound to completion), so the span *must* close from a destructor rather
+// than from straight-line code after the awaited work.  The destructor reads
+// the current simulated time through a caller-supplied clock callback --
+// a plain function pointer plus context, so constructing a span allocates
+// nothing.
+#pragma once
+
+#include "telemetry/registry.hpp"
+
+namespace dyntrace::telemetry {
+
+class ScopedSpan {
+ public:
+  /// Reads "now" in the simulated clock domain from `ctx`.
+  using Clock = sim::TimeNs (*)(const void* ctx);
+
+  ScopedSpan(Registry& registry, SpanName name, std::uint32_t track, Clock clock,
+             const void* ctx)
+      : registry_(registry), name_(name), track_(track), clock_(clock), ctx_(ctx) {
+    armed_ = registry_.spans_enabled();
+    if (armed_) registry_.span_begin(name_, track_, clock_(ctx_));
+  }
+
+  ~ScopedSpan() {
+    if (armed_) registry_.span_end(name_, track_, clock_(ctx_));
+  }
+
+  /// Close the span now (at an explicit timestamp) instead of at scope exit.
+  void close(sim::TimeNs at) {
+    if (!armed_) return;
+    armed_ = false;
+    registry_.span_end(name_, track_, at);
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  Registry& registry_;
+  SpanName name_;
+  std::uint32_t track_;
+  Clock clock_;
+  const void* ctx_;
+  bool armed_ = false;
+};
+
+}  // namespace dyntrace::telemetry

@@ -10,6 +10,7 @@
 
 #include "support/common.hpp"
 #include "support/strings.hpp"
+#include "telemetry/metrics.hpp"
 #include "vt/trace_format.hpp"
 
 namespace dyntrace::vt {
@@ -99,6 +100,10 @@ void TraceShard::spill() {
   const std::string tmp_path = final_path + ".tmp";
   write_file_durably(tmp_path, bytes.data(), written);
 
+  telemetry::Registry& reg = telemetry::current();
+  const telemetry::Metrics& tm = reg.metrics();
+  reg.add(tm.vt_spill_runs);
+  reg.add(tm.vt_spill_bytes, written);
   if (written == bytes.size()) {
     // Atomic publish: the run exists completely or not at all.
     DT_EXPECT(std::rename(tmp_path.c_str(), final_path.c_str()) == 0,
@@ -114,6 +119,9 @@ void TraceShard::spill() {
     salvaged_records_ += salvaged;
     lost_records_ += tail_.size() - salvaged;
     torn_ = true;
+    reg.add(tm.vt_torn_shards);
+    reg.add(tm.vt_salvaged_records, salvaged);
+    reg.add(tm.vt_lost_records, tail_.size() - salvaged);
   }
   tail_.clear();
 }

@@ -5,6 +5,9 @@
 
 #include "support/common.hpp"
 #include "support/log.hpp"
+#include "support/strings.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/span.hpp"
 
 namespace dyntrace::vt {
 
@@ -387,6 +390,18 @@ void VtLib::note_synthetic_pairs(image::FunctionId fn, std::uint64_t pairs,
 sim::Coro<void> VtLib::confsync(proc::SimThread& thread, bool write_statistics) {
   DT_EXPECT(initialized_, "VT_confsync before VT_init");
   ++confsyncs_;
+  telemetry::Registry& reg = telemetry::current();
+  const telemetry::Metrics& tm = reg.metrics();
+  reg.add(tm.control_confsync_rounds);
+  const auto track = static_cast<std::uint32_t>(rank_ != nullptr ? rank_->rank() : 0);
+  if (reg.spans_enabled()) reg.name_track(track, str::format("rank %u", track));
+  // RAII span: a rank the fault plan kills mid-confsync has its coroutine
+  // frame destroyed rather than resumed, and the destructor still closes
+  // the span at the frame's teardown time.
+  telemetry::ScopedSpan span(
+      reg, tm.span_confsync, track,
+      [](const void* ctx) { return static_cast<const sim::Engine*>(ctx)->now(); },
+      &thread.engine());
   const machine::CostModel& c = costs();
   // Fixed library bookkeeping plus this process's share of OS scheduling
   // noise; the barrier below waits for the *slowest* rank, so the job-wide
