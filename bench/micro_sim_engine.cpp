@@ -1,20 +1,27 @@
 // Simulation-substrate throughput baseline (DESIGN.md §8): the
 // zero-allocation EventQueue against the legacy std::function +
-// unordered_map design it replaced, and whole-engine events/sec for the
-// conservative parallel engine at 1/2/4/8 worker threads.
+// unordered_map design it replaced, whole-engine events/sec for the
+// conservative parallel engine at 1/2/4/8 worker threads, and the
+// 512-rank fig7a cell (Smg98/Full) sequential vs sharded under the
+// channel-clock protocol.
 //
 // Emits BENCH_sim.json so the perf trajectory has a tracked artifact next
 // to BENCH_control.json.  Shape checks: >= 3x queue speedup on
-// schedule/pop, and bit-identical parallel results at every thread count.
+// schedule/pop, bit-identical parallel results at every thread count, and
+// (where the host has the cores) the committed 8-thread scaling floor on
+// the fig7a cell.
 #include <chrono>
 #include <cstdio>
 #include <functional>
 #include <queue>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "asci/app.hpp"
 #include "bench_common.hpp"
+#include "dynprof/policy.hpp"
 #include "sim/parallel_engine.hpp"
 #include "support/rng.hpp"
 
@@ -201,6 +208,37 @@ EngineRun run_ring(int nodes, int shards, int steps) {
   return run;
 }
 
+struct Fig7Cell {
+  int threads = 1;
+  double wall_s = 0;
+  double app_seconds = 0;
+  std::uint64_t trace_digest = 0;
+  std::uint64_t stats_digest = 0;
+};
+
+/// One fig7a cell -- Smg98 under the Full policy -- at bench rank count,
+/// timed end to end (launch + instrument + run + merge).  The trace and
+/// stats digests are the bit-identity witness across --sim-threads.
+Fig7Cell run_fig7a_cell(const asci::AppSpec& app, int ranks, double scale,
+                        int sim_threads) {
+  dynprof::RunConfig config;
+  config.app = &app;
+  config.policy = dynprof::Policy::kFull;
+  config.nprocs = ranks;
+  config.problem_scale = scale;
+  config.seed = 42;
+  config.sim_threads = sim_threads;
+  const auto begin = std::chrono::steady_clock::now();
+  const dynprof::PolicyResult result = dynprof::run_policy(config);
+  Fig7Cell cell;
+  cell.threads = sim_threads;
+  cell.wall_s = seconds_since(begin);
+  cell.app_seconds = result.app_seconds;
+  cell.trace_digest = result.trace_digest;
+  cell.stats_digest = result.stats_digest;
+  return cell;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -211,6 +249,8 @@ int main(int argc, char** argv) {
   std::int64_t queue_reps = 40;
   std::int64_t ring_nodes = 64;
   std::int64_t ring_steps = 1500;
+  std::int64_t fig7a_ranks = 512;
+  double fig7a_scale = 0.05;
   std::string json_path = "BENCH_sim.json";
   CliParser parser("micro_sim_engine",
                    "Event-queue and parallel-engine throughput baseline (BENCH_sim.json)");
@@ -218,6 +258,9 @@ int main(int argc, char** argv) {
   parser.option_int("queue-reps", "schedule/pop rounds (default 40)", &queue_reps);
   parser.option_int("ring-nodes", "ring workload nodes (default 64)", &ring_nodes);
   parser.option_int("ring-steps", "ring workload steps per node (default 1500)", &ring_steps);
+  parser.option_int("fig7a-ranks", "fig7a cell rank count (default 512)", &fig7a_ranks);
+  parser.option_double("fig7a-scale", "fig7a cell problem scale (default 0.05)",
+                       &fig7a_scale);
   parser.option_string("json", "output artifact (default BENCH_sim.json)", &json_path);
   if (!parser.parse(argc, argv)) return 0;
 
@@ -274,6 +317,39 @@ int main(int argc, char** argv) {
   }
   std::fputs(engine_table.render().c_str(), stdout);
 
+  // --- Part 3: the 512-rank fig7a cell, sequential vs sharded -------------
+  std::printf("\nPart 3: fig7a cell (Smg98/Full, %d ranks, scale %.2f)\n\n",
+              static_cast<int>(fig7a_ranks), fig7a_scale);
+  asci::AppSpec app512 = asci::smg98();
+  app512.max_procs = static_cast<int>(fig7a_ranks);
+  std::vector<Fig7Cell> cells;
+  for (const int threads : {1, 2, 4, 8}) {
+    cells.push_back(run_fig7a_cell(app512, static_cast<int>(fig7a_ranks), fig7a_scale,
+                                   threads));
+    std::fprintf(stderr, ".");
+    std::fflush(stderr);
+  }
+  std::fprintf(stderr, "\n");
+
+  const Fig7Cell& cell_seq = cells.front();
+  bool cells_identical = true;
+  TextTable cell_table({"Threads", "Wall (s)", "Speedup", "Identical"});
+  for (const auto& c : cells) {
+    const bool identical = c.trace_digest == cell_seq.trace_digest &&
+                           c.stats_digest == cell_seq.stats_digest &&
+                           c.app_seconds == cell_seq.app_seconds;
+    cells_identical = cells_identical && identical;
+    cell_table.add_row({std::to_string(c.threads), TextTable::num(c.wall_s, 3),
+                        TextTable::num(cell_seq.wall_s / c.wall_s, 2) + "x",
+                        identical ? "yes" : "NO"});
+  }
+  std::fputs(cell_table.render().c_str(), stdout);
+  const double fig7a_speedup8 = cell_seq.wall_s / cells.back().wall_s;
+  const unsigned cores = std::thread::hardware_concurrency();
+  std::printf("(%u hardware core(s); the 8-thread scaling floor is gated only "
+              "where the threads have cores to run on)\n",
+              cores);
+
   std::FILE* f = std::fopen(json_path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
@@ -309,6 +385,26 @@ int main(int argc, char** argv) {
                  seq.wall_s / p.run.wall_s, p.run.digest == seq.digest ? "true" : "false",
                  i + 1 < points.size() ? "," : "");
   }
+  std::fprintf(f,
+               "    ]\n  },\n"
+               "  \"fig7a_512\": {\n"
+               "    \"ranks\": %d,\n"
+               "    \"scale\": %.3f,\n"
+               "    \"hardware_cores\": %u,\n"
+               "    \"threads\": [\n",
+               static_cast<int>(fig7a_ranks), fig7a_scale, cores);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const auto& c = cells[i];
+    std::fprintf(f,
+                 "      {\"threads\": %d, \"wall_s\": %.4f, \"speedup\": %.3f, "
+                 "\"identical\": %s}%s\n",
+                 c.threads, c.wall_s, cell_seq.wall_s / c.wall_s,
+                 c.trace_digest == cell_seq.trace_digest &&
+                         c.stats_digest == cell_seq.stats_digest
+                     ? "true"
+                     : "false",
+                 i + 1 < cells.size() ? "," : "");
+  }
   std::fprintf(f, "    ]\n  }\n}\n");
   std::fclose(f);
   std::printf("\nwrote %s\n", json_path.c_str());
@@ -321,6 +417,15 @@ int main(int argc, char** argv) {
   checks.push_back({"zero-alloc queue >= 3x legacy on schedule/cancel (timeout churn)",
                     sc_speedup >= 3.0});
   checks.push_back({"parallel runs bit-identical at 1/2/4/8 threads", all_identical});
+  checks.push_back({"fig7a 512-rank cell bit-identical at 1/2/4/8 threads",
+                    cells_identical});
+  if (cores >= 8) {
+    // The committed scaling floor (ISSUE 6 acceptance): channel clocks must
+    // hold >= 4x at 8 threads on the 512-rank cell.  Skipped where the
+    // host cannot physically run 8 workers (the single-core CI fallback).
+    checks.push_back({"fig7a 512-rank cell >= 4x speedup at 8 threads",
+                      fig7a_speedup8 >= 4.0});
+  }
   // schedule/pop fires its churned total plus the final live window; the
   // cancel loop cancels exactly `churn` of its `window + churn` events, so
   // only the final window survives to fire.

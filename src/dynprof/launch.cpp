@@ -124,6 +124,14 @@ Launch::Launch(Options options)
                                 : params.threads_per_rank;
   const auto placement = cluster_->place_block(nprocs, cpus_per_proc);
 
+  // Topology-aware partition over the span placement actually uses (app
+  // nodes plus the tool's login node directly above them): contiguous node
+  // blocks per shard keep neighbour-heavy rank traffic shard-local.  Must
+  // happen before add_process binds each process to its home engine.
+  const int last_app_node = options_.first_app_node + placement.back().node;
+  cluster_->partition_nodes(
+      std::min(cluster_->spec().nodes, last_app_node + 2));
+
   Rng seed_rng(params.seed);
   Rng clock_rng(params.seed ^ 0xc10c);
   for (int pid = 0; pid < nprocs; ++pid) {

@@ -75,6 +75,15 @@ void Engine::deliver_at(TimeNs at, EventQueue::Callback cb) {
   }
   DT_ASSERT(cur != nullptr,
             "cross-shard deliver_at from outside any engine during a parallel run");
+  // Send-side conservative check: the delivery must clear the sender's
+  // channel lookahead to this shard, or a concurrent window here may have
+  // already executed past it.  (Faults only stretch delays, never shrink
+  // them, so this holds under injection too.)
+  DT_ASSERT(at >= cur->now_ + group_->channel_lookahead(cur->shard_, shard_),
+            "conservative channel bound violated: shard ", cur->shard_, " at t=",
+            cur->now_, " delivering to shard ", shard_, " at t=", at,
+            " under channel lookahead ",
+            group_->channel_lookahead(cur->shard_, shard_));
   std::lock_guard<std::mutex> lock(inbox_mutex_);
   // cross_seq_ belongs to the *sender*: exactly one thread executes a
   // shard's window, so the increment is single-writer.
@@ -98,6 +107,19 @@ void Engine::drain_inbox() {
     DT_ASSERT(e.at >= now_, "conservative bound violated: shard ", shard_, " at t=", now_,
               " received a delivery for t=", e.at, " from shard ", e.src_shard);
     queue_.schedule(e.at, std::move(e.cb));
+  }
+  if (!batch.empty()) {
+    if (group_ != nullptr &&
+        channel_from_.size() < static_cast<std::size_t>(group_->shard_count())) {
+      channel_from_.resize(static_cast<std::size_t>(group_->shard_count()), 0);
+    }
+    for (const ForeignEvent& e : batch) {
+      if (static_cast<std::size_t>(e.src_shard) < channel_from_.size()) {
+        ++channel_from_[static_cast<std::size_t>(e.src_shard)];
+      }
+    }
+    telemetry::Registry& reg = telemetry::current();
+    if (reg.counting()) reg.add(reg.metrics().sim_cross_deliveries, batch.size());
   }
 }
 

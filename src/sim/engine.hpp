@@ -64,8 +64,9 @@ class Engine {
   /// plain schedule; from a sibling shard mid-run the event is queued in a
   /// thread-safe inbox and merged at the next window boundary, ordered by
   /// (at, sender shard, sender sequence).  Cross-shard deliveries must obey
-  /// the conservative bound: `at` must be >= sender now + lookahead (checked
-  /// against the receiver clock when the inbox drains).
+  /// the conservative bound: `at` must be >= sender now + the sender->this
+  /// channel lookahead (checked at send, and against the receiver clock
+  /// when the inbox drains).
   void deliver_at(TimeNs at, EventQueue::Callback cb);
 
   /// Resume a coroutine at the current time (after already-scheduled events
@@ -197,6 +198,9 @@ class Engine {
   std::uint64_t cross_seq_ = 0;  ///< ordinal of this shard's outgoing deliveries
   std::mutex inbox_mutex_;
   std::vector<ForeignEvent> inbox_;
+  /// Cross-shard deliveries drained into this shard, indexed by sender
+  /// shard (sized lazily; coordinator-only, like drain_inbox).
+  std::vector<std::uint64_t> channel_from_;
 
   inline static thread_local Engine* tls_current_ = nullptr;
 };

@@ -1,8 +1,10 @@
 #include "sim/parallel_engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
 #include <sstream>
+#include <string>
 
 #include "support/log.hpp"
 #include "telemetry/metrics.hpp"
@@ -12,6 +14,11 @@ namespace dyntrace::sim {
 namespace {
 
 constexpr TimeNs kNoEvent = std::numeric_limits<TimeNs>::max();
+
+/// a + b for event times, saturating at kNoEvent ("never").
+constexpr TimeNs sat_add(TimeNs a, TimeNs b) {
+  return a >= kNoEvent - b ? kNoEvent : a + b;
+}
 
 // Bounded busy-wait before parking on a condition variable: roughly the
 // cost of one futex round-trip, so a short window never pays for a full
@@ -26,11 +33,18 @@ inline void cpu_pause() {
 #endif
 }
 
+std::uint64_t wall_ns_since(std::chrono::steady_clock::time_point start) {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                        std::chrono::steady_clock::now() - start)
+                                        .count());
+}
+
 }  // namespace
 
 ParallelEngine::ParallelEngine(Options options) : lookahead_(options.lookahead) {
   DT_EXPECT(options.shards >= 1, "ParallelEngine needs at least one shard, got ",
             options.shards);
+  DT_EXPECT(options.lookahead >= 0, "negative lookahead");
   shards_.reserve(static_cast<std::size_t>(options.shards));
   for (int i = 0; i < options.shards; ++i) {
     auto engine = std::make_unique<Engine>();
@@ -38,6 +52,8 @@ ParallelEngine::ParallelEngine(Options options) : lookahead_(options.lookahead) 
     engine->shard_ = i;
     shards_.push_back(std::move(engine));
   }
+  const auto n = static_cast<std::size_t>(options.shards);
+  channels_.assign(n * n, options.lookahead);
   spin_ = std::thread::hardware_concurrency() > 1;
 }
 
@@ -57,7 +73,70 @@ const Engine& ParallelEngine::shard(int index) const {
 
 void ParallelEngine::set_lookahead(TimeNs lookahead) {
   DT_EXPECT(lookahead >= 0, "negative lookahead");
+  std::fill(channels_.begin(), channels_.end(), lookahead);
   lookahead_ = lookahead;
+  closure_dirty_ = true;
+}
+
+void ParallelEngine::set_channel_lookahead(int src, int dst, TimeNs lookahead) {
+  DT_EXPECT(lookahead >= 0, "negative channel lookahead");
+  DT_EXPECT(src >= 0 && src < shard_count() && dst >= 0 && dst < shard_count(),
+            "channel (", src, " -> ", dst, ") out of range (", shard_count(), " shards)");
+  DT_EXPECT(src != dst, "channel ", src, " -> ", dst,
+            " is same-shard delivery, not a channel");
+  const std::size_t n = shards_.size();
+  channels_[static_cast<std::size_t>(src) * n + static_cast<std::size_t>(dst)] = lookahead;
+  // Keep the scalar minimum coherent eagerly: callers read lookahead()
+  // before run() ever rebuilds the closure.
+  lookahead_ = kNoEvent;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i != j) lookahead_ = std::min(lookahead_, channels_[i * n + j]);
+    }
+  }
+  closure_dirty_ = true;
+}
+
+TimeNs ParallelEngine::channel_lookahead(int src, int dst) const {
+  DT_ASSERT(src >= 0 && src < shard_count() && dst >= 0 && dst < shard_count(),
+            "channel (", src, " -> ", dst, ") out of range (", shard_count(), " shards)");
+  if (src == dst) return 0;
+  const std::size_t n = shards_.size();
+  return channels_[static_cast<std::size_t>(src) * n + static_cast<std::size_t>(dst)];
+}
+
+void ParallelEngine::ensure_closure() {
+  if (!closure_dirty_) return;
+  const std::size_t n = shards_.size();
+  lookahead_ = kNoEvent;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      DT_EXPECT(channels_[i * n + j] > 0, "ParallelEngine::run with ", n,
+                " shards requires a positive lookahead on every channel; channel ", i,
+                " -> ", j, " is ", channels_[i * n + j],
+                " (machine::Cluster installs the machine-derived values)");
+      lookahead_ = std::min(lookahead_, channels_[i * n + j]);
+    }
+  }
+  closure_ = channels_;
+  // Min-plus Floyd-Warshall over walks of >= 1 hop: seeding the diagonal
+  // with "never" (rather than the trivial empty path) makes closure_[i][i]
+  // the cheapest round-trip through a sibling -- the earliest one of shard
+  // i's own sends can be reflected back at it.  The off-diagonal entries
+  // matter too: an installed channel need not obey the triangle inequality,
+  // and a two-hop relay that undercuts the direct channel would otherwise
+  // break the conservative bound.
+  for (std::size_t i = 0; i < n; ++i) closure_[i * n + i] = kNoEvent;
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        closure_[i * n + j] = std::min(
+            closure_[i * n + j], sat_add(closure_[i * n + k], closure_[k * n + j]));
+      }
+    }
+  }
+  closure_dirty_ = false;
 }
 
 std::uint64_t ParallelEngine::events_executed() const {
@@ -70,6 +149,14 @@ std::size_t ParallelEngine::processes_alive() const {
   std::size_t total = 0;
   for (const auto& engine : shards_) total += engine->processes_alive();
   return total;
+}
+
+std::uint64_t ParallelEngine::channel_deliveries(int src, int dst) const {
+  DT_ASSERT(src >= 0 && src < shard_count() && dst >= 0 && dst < shard_count(),
+            "channel (", src, " -> ", dst, ") out of range (", shard_count(), " shards)");
+  const auto& counts = shards_[static_cast<std::size_t>(dst)]->channel_from_;
+  const auto s = static_cast<std::size_t>(src);
+  return s < counts.size() ? counts[s] : 0;
 }
 
 void ParallelEngine::start_workers() {
@@ -118,7 +205,11 @@ void ParallelEngine::worker_loop(std::size_t shard_index) {
     }
     if (slot.stop.load(std::memory_order_acquire)) return;
     seen = slot.round.load(std::memory_order_acquire);
+    const auto start = std::chrono::steady_clock::now();
     shards_[shard_index]->run_window(slot.bound);
+    // wall_ns is published by the release fetch_sub below and read by the
+    // coordinator only after it observes the countdown reach zero.
+    slot.wall_ns = wall_ns_since(start);
     if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       // Last shard of the window: wake the coordinator if it parked.
       std::lock_guard<std::mutex> lock(done_mutex_);
@@ -127,7 +218,8 @@ void ParallelEngine::worker_loop(std::size_t shard_index) {
   }
 }
 
-void ParallelEngine::dispatch_window(TimeNs bound, const std::vector<std::size_t>& active) {
+bool ParallelEngine::dispatch_window(const std::vector<std::size_t>& active,
+                                     const std::vector<TimeNs>& bounds) {
   start_workers();
   pending_.store(static_cast<int>(active.size()) - 1, std::memory_order_release);
   for (std::size_t i = 1; i < active.size(); ++i) {
@@ -136,14 +228,20 @@ void ParallelEngine::dispatch_window(TimeNs bound, const std::vector<std::size_t
       // The mutex pairs with the worker's predicate check so the round bump
       // cannot slip between its check and its wait (lost wakeup).
       std::lock_guard<std::mutex> lock(slot.mutex);
-      slot.bound = bound;
+      slot.bound = bounds[active[i]];
       slot.round.fetch_add(1, std::memory_order_release);
     }
     slot.cv.notify_one();
   }
   // The coordinator is a worker too: run the first active shard here
   // instead of idling at the barrier.
-  shards_[active[0]]->run_window(bound);
+  const auto start = std::chrono::steady_clock::now();
+  shards_[active[0]]->run_window(bounds[active[0]]);
+  const std::uint64_t own_wall = wall_ns_since(start);
+  // If workers are still running once the coordinator's own shard is done,
+  // the barrier genuinely waits on the window's slowest shard; otherwise it
+  // falls straight through.
+  const bool stalled = pending_.load(std::memory_order_acquire) != 0;
   if (spin_) {
     for (int i = 0;
          i < kSpinIters && pending_.load(std::memory_order_acquire) != 0; ++i) {
@@ -155,6 +253,20 @@ void ParallelEngine::dispatch_window(TimeNs bound, const std::vector<std::size_t
     done_cv_.wait(lock,
                   [&] { return pending_.load(std::memory_order_acquire) == 0; });
   }
+  telemetry::Registry& reg = telemetry::current();
+  if (reg.counting()) {
+    const telemetry::Metrics& tm = reg.metrics();
+    if (stalled) reg.add(tm.sim_window_stalls);
+    std::uint64_t fastest = own_wall;
+    std::uint64_t slowest = own_wall;
+    for (std::size_t i = 1; i < active.size(); ++i) {
+      const std::uint64_t wall = slots_[active[i]]->wall_ns;
+      fastest = std::min(fastest, wall);
+      slowest = std::max(slowest, wall);
+    }
+    reg.observe(tm.sim_window_stall_ns, slowest - fastest);
+  }
+  return stalled;
 }
 
 void ParallelEngine::rethrow_earliest_failure() {
@@ -180,6 +292,22 @@ void ParallelEngine::rethrow_earliest_failure() {
   std::rethrow_exception(error);
 }
 
+void ParallelEngine::checkpoint_at_deadline(TimeNs deadline) {
+  // The conservative bound guarantees every in-flight delivery lands past
+  // the deadline (the last window was capped at deadline + 1), but sibling
+  // inboxes may still hold those future deliveries: move them into their
+  // home queues now so the stopped state is a complete checkpoint that a
+  // later run() -- or a caller inspecting the shards -- resumes from
+  // exactly as a sequential run would.
+  for (auto& engine : shards_) engine->drain_inbox();
+  for (auto& engine : shards_) {
+    const auto next = engine->queue_.next_time();
+    DT_ASSERT(!next || *next > deadline, "deadline checkpoint left shard ",
+              engine->shard_, " a pending event at or before t=", deadline);
+    engine->now_ = std::max(engine->now_, deadline);
+  }
+}
+
 void ParallelEngine::run(TimeNs deadline) {
   if (shard_count() == 1) {
     shards_[0]->run(deadline);
@@ -188,6 +316,7 @@ void ParallelEngine::run(TimeNs deadline) {
   DT_EXPECT(lookahead_ > 0,
             "ParallelEngine::run with ", shard_count(),
             " shards requires a positive lookahead (set by machine::Cluster)");
+  ensure_closure();
 
   parallel_phase_.store(true, std::memory_order_release);
   struct PhaseReset {
@@ -198,9 +327,15 @@ void ParallelEngine::run(TimeNs deadline) {
   telemetry::Registry& reg = telemetry::current();
   const telemetry::Metrics& tm = reg.metrics();
   if (reg.spans_enabled()) {
-    reg.name_track(telemetry::Metrics::kShardTrackBase, "sim.windows");
+    for (int i = 0; i < shard_count(); ++i) {
+      reg.name_track(telemetry::Metrics::kShardTrackBase + static_cast<std::uint32_t>(i),
+                     "sim.shard" + std::to_string(i));
+    }
   }
 
+  const std::size_t n = shards_.size();
+  std::vector<TimeNs> next(n);
+  std::vector<TimeNs> bounds(n);
   std::vector<std::size_t> active;
   while (true) {
     // Coordinator section: workers are quiescent, so single-threaded access
@@ -209,53 +344,77 @@ void ParallelEngine::run(TimeNs deadline) {
 
     bool failed = false;
     TimeNs min_next = kNoEvent;
-    for (auto& engine : shards_) {
-      if (engine->failure_) failed = true;
-      const auto next = engine->queue_.next_time();
-      if (next && *next < min_next) min_next = *next;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (shards_[i]->failure_) failed = true;
+      const auto at = shards_[i]->queue_.next_time();
+      next[i] = at ? *at : kNoEvent;
+      min_next = std::min(min_next, next[i]);
     }
     if (failed) rethrow_earliest_failure();
     if (min_next == kNoEvent) break;  // every queue drained
     if (deadline >= 0 && min_next > deadline) {
-      for (auto& engine : shards_) engine->now_ = std::max(engine->now_, deadline);
+      checkpoint_at_deadline(deadline);
       return;  // stopped at deadline, fine
     }
 
-    TimeNs bound = min_next + lookahead_;
-    // A deadline caps the window so no event past it executes.
-    if (deadline >= 0 && bound > deadline + 1) bound = deadline + 1;
-
+    // Per-shard channel-clock bounds (see the header): B(i) = min over
+    // shards k of next(k) + D+(k, i).  A deadline caps every bound so no
+    // event past it executes.  A bound beyond the classic global window
+    // (min_next + min lookahead) is a fused window: the shard runs what
+    // would have been several global rounds without re-synchronising.
+    const TimeNs classic = sat_add(min_next, lookahead_);
     active.clear();
-    for (std::size_t i = 0; i < shards_.size(); ++i) {
-      const auto next = shards_[i]->queue_.next_time();
-      if (next && *next < bound) active.push_back(i);
+    std::uint64_t fused = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      TimeNs bound = kNoEvent;
+      for (std::size_t k = 0; k < n; ++k) {
+        bound = std::min(bound, sat_add(next[k], closure_[k * n + i]));
+      }
+      if (deadline >= 0 && bound > deadline + 1) bound = deadline + 1;
+      bounds[i] = bound;
+      if (next[i] < bound) {
+        active.push_back(i);
+        if (bound > classic) ++fused;
+      }
     }
+    // The shard holding min_next always clears its own bound (every closure
+    // entry is positive), so each round executes at least one event.
+    DT_ASSERT(!active.empty(), "channel-clock round made no progress");
     ++windows_;
+    if (fused > 0) ++fused_windows_;
     if (reg.counting()) {
       reg.add(tm.sim_windows);
       reg.observe(tm.sim_window_shards, active.size());
-      // A multi-shard window is where the pool barrier can stall: the
-      // coordinator waits for the slowest shard.
-      if (active.size() > 1) reg.add(tm.sim_window_stalls);
+      if (fused > 0) reg.add(tm.sim_window_fusions, fused);
       std::size_t depth = 0;
       for (const auto& engine : shards_) depth += engine->queue_.size();
       reg.observe(tm.sim_queue_depth, depth);
     }
-    // YAWNS windows are disjoint in virtual time (every cross-shard delivery
-    // lands at or past the sending window's bound), so back-to-back
-    // begin/end pairs on one track nest correctly.
-    if (reg.spans_enabled()) {
-      reg.span_begin(tm.span_window, telemetry::Metrics::kShardTrackBase, min_next);
+    // One span per active shard on that shard's own track, emitted the same
+    // way for the inline and pooled paths.  Spans on one track are disjoint
+    // in virtual time: a window's span closes at the shard clock (< B(i)),
+    // and both the next local event and any cross-shard arrival are >= B(i).
+    const bool spans = reg.spans_enabled();
+    if (spans) {
+      for (const std::size_t i : active) {
+        reg.span_begin(tm.span_window,
+                       telemetry::Metrics::kShardTrackBase + static_cast<std::uint32_t>(i),
+                       next[i]);
+      }
     }
     if (active.size() == 1) {
       // One busy shard (sequential stretches, e.g. the tool connecting
       // while the application waits): run it inline, skip the pool barrier.
-      shards_[active[0]]->run_window(bound);
+      shards_[active[0]]->run_window(bounds[active[0]]);
     } else {
-      dispatch_window(bound, active);
+      dispatch_window(active, bounds);
     }
-    if (reg.spans_enabled()) {
-      reg.span_end(tm.span_window, telemetry::Metrics::kShardTrackBase, bound);
+    if (spans) {
+      for (const std::size_t i : active) {
+        reg.span_end(tm.span_window,
+                     telemetry::Metrics::kShardTrackBase + static_cast<std::uint32_t>(i),
+                     shards_[i]->now_);
+      }
     }
   }
 

@@ -5,8 +5,11 @@ namespace dyntrace::telemetry {
 Metrics::Metrics(Registry& registry)
     : sim_windows(registry.counter("sim.windows")),
       sim_window_stalls(registry.counter("sim.window_stalls")),
+      sim_window_fusions(registry.counter("sim.window_fusions")),
+      sim_cross_deliveries(registry.counter("sim.cross_deliveries")),
       sim_events(registry.counter("sim.events")),
       sim_window_shards(registry.histogram("sim.window_shards")),
+      sim_window_stall_ns(registry.histogram("sim.window_stall_ns")),
       sim_queue_depth(registry.histogram("sim.queue_depth")),
       sim_queue_compactions(registry.counter("sim.queue_compactions")),
       sim_queue_compacted_entries(registry.counter("sim.queue_compacted_entries")),

@@ -14,10 +14,13 @@ struct Metrics {
   explicit Metrics(Registry& registry);
 
   // --- sim: parallel engine + event queue -----------------------------------
-  CounterId sim_windows;               ///< YAWNS windows executed
-  CounterId sim_window_stalls;         ///< windows where >1 shard met the barrier
+  CounterId sim_windows;               ///< coordinator window rounds executed
+  CounterId sim_window_stalls;         ///< windows where the pool barrier really waited
+  CounterId sim_window_fusions;        ///< active shards granted a bound past the classic global window
+  CounterId sim_cross_deliveries;      ///< cross-shard events merged at window boundaries
   CounterId sim_events;                ///< events dispatched (bulk-added per window/run)
   HistogramId sim_window_shards;       ///< active shards per window
+  HistogramId sim_window_stall_ns;     ///< slowest-minus-fastest shard wall time per pooled window
   HistogramId sim_queue_depth;         ///< scheduled events at window open
   CounterId sim_queue_compactions;     ///< heap compaction passes
   CounterId sim_queue_compacted_entries;  ///< dead entries dropped by compaction

@@ -71,19 +71,26 @@ MatrixResult run_cell(const std::string& app_name, const std::string& plan_text,
   return result;
 }
 
-/// Run one cell at --sim-threads 1 and 2 and require identical outcomes
-/// (the determinism half of the acceptance bar), returning the t=1 result.
+/// Run one cell at --sim-threads 1, 2, and 8 and require identical
+/// outcomes (the determinism half of the acceptance bar), returning the
+/// t=1 result.  The 8-thread column exercises the channel-clock window
+/// protocol -- many shards, most idle per window -- under injected faults.
 MatrixResult run_cell_deterministically(const std::string& app_name,
                                         const std::string& plan_text,
                                         const std::string& script_text,
                                         std::size_t spill_bytes = 0) {
   const MatrixResult t1 = run_cell(app_name, plan_text, 1, script_text, spill_bytes);
-  const MatrixResult t2 = run_cell(app_name, plan_text, 2, script_text, spill_bytes);
   EXPECT_TRUE(t1.tool_finished) << app_name;
-  EXPECT_TRUE(t2.tool_finished) << app_name;
-  EXPECT_EQ(t1.digest, t2.digest) << app_name << ": trace diverged across sim-threads";
-  EXPECT_EQ(t1.report, t2.report) << app_name << ": report diverged across sim-threads";
-  EXPECT_EQ(t1.lost_ranks, t2.lost_ranks) << app_name;
+  for (const int threads : {2, 8}) {
+    const MatrixResult tn = run_cell(app_name, plan_text, threads, script_text,
+                                     spill_bytes);
+    EXPECT_TRUE(tn.tool_finished) << app_name << " sim-threads=" << threads;
+    EXPECT_EQ(t1.digest, tn.digest)
+        << app_name << ": trace diverged at sim-threads=" << threads;
+    EXPECT_EQ(t1.report, tn.report)
+        << app_name << ": report diverged at sim-threads=" << threads;
+    EXPECT_EQ(t1.lost_ranks, tn.lost_ranks) << app_name << " sim-threads=" << threads;
+  }
   return t1;
 }
 

@@ -170,6 +170,46 @@ TEST(ParallelEngine, FailureRethrownIsTheEarliestInVirtualTime) {
   }
 }
 
+TEST(ParallelEngine, DeadlineMidWindowDrainsInFlightDeliveriesAndResumes) {
+  // Regression: stopping at a deadline while cross-shard deliveries posted
+  // by the final window are still in sibling inboxes.  The stop point must
+  // drain them into their home queues (an explicit checkpoint), so chopping
+  // a run into arbitrary deadline slices is bit-identical to one long run.
+  const auto uninterrupted = run_ring(6, 3, 40);
+
+  constexpr int kNodes = 6, kShards = 3, kSteps = 40;
+  ParallelEngine group(ParallelEngine::Options{kShards, kLookahead});
+  std::vector<std::vector<Record>> logs(kNodes);
+  auto node_main = [&](int node) -> Coro<void> {
+    Engine& home = group.shard(node % kShards);
+    for (int step = 0; step < kSteps; ++step) {
+      co_await home.sleep(step_delay(node, step));
+      logs[static_cast<std::size_t>(node)].push_back(Record{home.now(), node, step});
+      const int dst = (node + 1) % kNodes;
+      Engine& peer = group.shard(dst % kShards);
+      const TimeNs at = kLookahead + (step + 1) * 1000 + node;
+      peer.deliver_at(at, [&logs, &peer, node, dst, step] {
+        logs[static_cast<std::size_t>(dst)].push_back(Record{peer.now(), node, step});
+      });
+    }
+  };
+  for (int node = 0; node < kNodes; ++node) {
+    group.shard(node % kShards).spawn(node_main(node), "ring.node" + std::to_string(node));
+  }
+  // Slices prime with the step cadence (1000) so deadlines land mid-window
+  // with sends in flight; keep resuming until the ring finishes.
+  TimeNs deadline = 137;
+  while (group.processes_alive() > 0) {
+    group.run(deadline);
+    for (int shard = 0; shard < kShards; ++shard) {
+      EXPECT_LE(group.shard(shard).now(), deadline + 1);
+    }
+    deadline += 137;
+  }
+  group.run();  // the remaining deliveries past the last deadline
+  EXPECT_EQ(uninterrupted, logs);
+}
+
 TEST(ParallelEngine, DeadlineStopsEveryShardAtTheDeadline) {
   ParallelEngine group(ParallelEngine::Options{2, kLookahead});
   auto busy = [&](int shard) -> Coro<void> {
