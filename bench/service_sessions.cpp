@@ -1,0 +1,210 @@
+// Multi-tenant control-service bench (DESIGN.md §13): N simulated user
+// sessions attach to one shared target job through the ControlService and
+// issue instrument/confsync/subscribe/report scripts concurrently.
+//
+// Reports sessions/sec (host wall clock), p50/p99 command latency (sim
+// time), the admission outcome mix, the cross---sim-threads determinism
+// check (bit-identical digests for 1/2/4/8 shards), and the admission
+// invariant (priced overhead <= budget, or at_floor, in every window).
+// Emits BENCH_service.json; shape-check failures exit non-zero, so CI's
+// service-smoke step gates on the invariant.
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "service/scenario.hpp"
+
+namespace {
+
+using namespace dyntrace;
+using bench::ShapeCheck;
+
+sim::TimeNs percentile(std::vector<sim::TimeNs> sorted, double p) {
+  if (sorted.empty()) return 0;
+  const auto index = static_cast<std::size_t>(p * static_cast<double>(sorted.size() - 1));
+  return sorted[index];
+}
+
+struct Cell {
+  int sessions = 0;
+  int sim_threads = 1;
+  service::ScenarioResult result;
+  double sessions_per_sec = 0;
+  sim::TimeNs p50 = 0;
+  sim::TimeNs p99 = 0;
+};
+
+Cell run_cell(const service::ScenarioOptions& base, int sessions, int sim_threads) {
+  service::ScenarioOptions options = base;
+  options.sessions = sessions;
+  options.sim_threads = sim_threads;
+  Cell cell;
+  cell.sessions = sessions;
+  cell.sim_threads = sim_threads;
+  cell.result = service::run_scenario(options);
+  cell.sessions_per_sec = cell.result.host_seconds > 0
+                              ? static_cast<double>(sessions) / cell.result.host_seconds
+                              : 0;
+  std::vector<sim::TimeNs> sorted = cell.result.latencies;
+  std::sort(sorted.begin(), sorted.end());
+  cell.p50 = percentile(sorted, 0.50);
+  cell.p99 = percentile(sorted, 0.99);
+  std::fprintf(stderr, ".");
+  std::fflush(stderr);
+  return cell;
+}
+
+std::uint64_t count(const Cell& cell, service::Status status) {
+  const auto it = cell.result.status_counts.find(status);
+  return it != cell.result.status_counts.end() ? it->second : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::int64_t sessions = 10'000;
+  std::int64_t ranks = 8;
+  std::int64_t functions = 32;
+  std::int64_t commands = 4;
+  std::int64_t seed = 42;
+  bool skip_determinism = false;
+  std::string json_path = "BENCH_service.json";
+
+  CliParser cli("service_sessions",
+                         "Concurrent control-service sessions against one shared job");
+  cli.option_int("sessions", "session count for the main cell", &sessions)
+      .option_int("ranks", "MPI ranks of the shared target job", &ranks)
+      .option_int("functions", "target app function inventory", &functions)
+      .option_int("commands", "commands per session between attach/detach", &commands)
+      .option_int("seed", "base RNG seed", &seed)
+      .flag("skip-determinism", "skip the cross-thread digest sweep", &skip_determinism)
+      .option_string("json", "output JSON path", &json_path);
+  if (!cli.parse(argc, argv)) return 0;
+
+  service::ScenarioOptions base;
+  base.ranks = static_cast<int>(ranks);
+  base.functions = static_cast<int>(functions);
+  base.commands_per_session = static_cast<int>(commands);
+  base.seed = static_cast<std::uint64_t>(seed);
+
+  // --- Part 1: throughput sweep (sequential engine) ------------------------
+  std::puts("Part 1: session throughput, one shared job, sim-threads=1\n");
+  std::vector<int> sweep_counts{1'000};
+  if (static_cast<int>(sessions) != 1'000) sweep_counts.push_back(static_cast<int>(sessions));
+  std::vector<Cell> sweep;
+  for (const int n : sweep_counts) sweep.push_back(run_cell(base, n, 1));
+  std::fprintf(stderr, "\n");
+
+  TextTable table({"Sessions", "Sessions/s", "p50 ms", "p99 ms", "Admit", "Degrade",
+                            "Deny", "Timeout", "Windows", "Sim s"});
+  for (const Cell& cell : sweep) {
+    table.add_row({std::to_string(cell.sessions),
+                   TextTable::num(cell.sessions_per_sec, 0),
+                   TextTable::num(sim::to_seconds(cell.p50) * 1e3, 3),
+                   TextTable::num(sim::to_seconds(cell.p99) * 1e3, 3),
+                   std::to_string(count(cell, service::Status::kAdmitted)),
+                   std::to_string(count(cell, service::Status::kDegraded)),
+                   std::to_string(count(cell, service::Status::kDenied)),
+                   std::to_string(count(cell, service::Status::kTimeout)),
+                   std::to_string(cell.result.windows.size()),
+                   TextTable::num(cell.result.sim_seconds, 3)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  // --- Part 2: determinism across sim-threads ------------------------------
+  std::vector<Cell> det;
+  bool identical = true;
+  if (!skip_determinism) {
+    std::puts("\nPart 2: bit-identical digests across --sim-threads (DESIGN.md §8)\n");
+    for (const int threads : {1, 2, 4, 8}) {
+      det.push_back(run_cell(base, static_cast<int>(sessions), threads));
+    }
+    std::fprintf(stderr, "\n");
+    TextTable dtable({"Threads", "Digest", "Stats digest", "Host s"});
+    for (const Cell& cell : det) {
+      identical = identical && cell.result.digest == det.front().result.digest &&
+                  cell.result.stats_digest == det.front().result.stats_digest;
+      char digest[32];
+      std::snprintf(digest, sizeof digest, "%016llx",
+                    static_cast<unsigned long long>(cell.result.digest));
+      char stats[32];
+      std::snprintf(stats, sizeof stats, "%016llx",
+                    static_cast<unsigned long long>(cell.result.stats_digest));
+      dtable.add_row({std::to_string(cell.sim_threads), digest, stats,
+                      TextTable::num(cell.result.host_seconds, 2)});
+    }
+    std::fputs(dtable.render().c_str(), stdout);
+  }
+
+  // --- Part 3: admission invariant ------------------------------------------
+  std::size_t windows_total = 0;
+  std::size_t violations = 0;
+  std::size_t at_floor = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t total_commands = 0;
+  std::uint64_t expected_commands = 0;
+  for (const std::vector<Cell>* cells : {&sweep, &det}) {
+    for (const Cell& cell : *cells) {
+      windows_total += cell.result.windows.size();
+      violations += cell.result.budget_violations;
+      for (const service::WindowRecord& window : cell.result.windows) {
+        at_floor += window.at_floor ? 1 : 0;
+      }
+      timeouts += count(cell, service::Status::kTimeout);
+      total_commands += cell.result.commands;
+      expected_commands += static_cast<std::uint64_t>(cell.sessions) *
+                           static_cast<std::uint64_t>(commands + 2);
+    }
+  }
+  std::printf("\nadmission invariant: %zu windows, %zu violations, %zu at-floor\n",
+              windows_total, violations, at_floor);
+
+  std::FILE* f = std::fopen(json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"sweep\": [\n");
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const Cell& cell = sweep[i];
+    std::fprintf(
+        f,
+        "    {\"sessions\": %d, \"sessions_per_sec\": %.1f, \"p50_ns\": %lld,"
+        " \"p99_ns\": %lld, \"admitted\": %llu, \"degraded\": %llu, \"denied\": %llu,"
+        " \"timeouts\": %llu, \"windows\": %zu, \"sim_seconds\": %.6f,"
+        " \"host_seconds\": %.3f}%s\n",
+        cell.sessions, cell.sessions_per_sec, static_cast<long long>(cell.p50),
+        static_cast<long long>(cell.p99),
+        static_cast<unsigned long long>(count(cell, service::Status::kAdmitted)),
+        static_cast<unsigned long long>(count(cell, service::Status::kDegraded)),
+        static_cast<unsigned long long>(count(cell, service::Status::kDenied)),
+        static_cast<unsigned long long>(count(cell, service::Status::kTimeout)),
+        cell.result.windows.size(), cell.result.sim_seconds, cell.result.host_seconds,
+        i + 1 < sweep.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"determinism\": {\"ran\": %s, \"identical\": %s, \"digests\": [",
+               skip_determinism ? "false" : "true", identical ? "true" : "false");
+  for (std::size_t i = 0; i < det.size(); ++i) {
+    std::fprintf(f, "\"%016llx\"%s", static_cast<unsigned long long>(det[i].result.digest),
+                 i + 1 < det.size() ? ", " : "");
+  }
+  std::fprintf(f,
+               "]},\n  \"admission\": {\"windows\": %zu, \"violations\": %zu,"
+               " \"at_floor\": %zu}\n}\n",
+               windows_total, violations, at_floor);
+  std::fclose(f);
+  std::printf("wrote %s\n", json_path.c_str());
+
+  std::vector<ShapeCheck> checks;
+  checks.push_back({"every session ran its full script (attach..detach)",
+                    total_commands == expected_commands});
+  checks.push_back({"no command timed out in a healthy run", timeouts == 0});
+  checks.push_back({"admission never exceeded the budget (or was at floor)", violations == 0});
+  if (!skip_determinism) {
+    checks.push_back({"digests bit-identical across sim-threads 1/2/4/8", identical});
+  }
+  return bench::report_checks(checks);
+}

@@ -1,71 +1,15 @@
 #include "control/estimator.hpp"
 
-#include <variant>
-
+#include "control/pricing.hpp"
 #include "image/image.hpp"
 #include "support/common.hpp"
 
 namespace dyntrace::control {
 
-namespace {
-
-/// VT_begin/VT_end call sites inside a snippet body.
-int vt_call_count(const image::Snippet& snippet) {
-  struct Visitor {
-    int operator()(const image::NoOp&) const { return 0; }
-    int operator()(const image::CallLibOp& op) const {
-      return op.function == "VT_begin" || op.function == "VT_end" ? 1 : 0;
-    }
-    int operator()(const image::SequenceOp& op) const {
-      int n = 0;
-      for (const auto& item : op.items) n += vt_call_count(*item);
-      return n;
-    }
-    int operator()(const image::SetFlagOp&) const { return 0; }
-    int operator()(const image::SpinUntilOp&) const { return 0; }
-    int operator()(const image::CallbackOp&) const { return 0; }
-  };
-  return std::visit(Visitor{}, snippet.node());
-}
-
-/// Price one enter/exit pair of `fn` in two hypothetical library states:
-/// fully active, and deactivated through the filter table (early-out after
-/// the lookup).  The trampoline share is common to both -- the filter can
-/// not remove trampolines, only the probe actuator can.
-struct PairPrice {
-  sim::TimeNs active = 0;
-  sim::TimeNs residual = 0;
-};
-
-PairPrice pair_price(vt::VtLib& vt, image::FunctionId fn) {
-  const machine::CostModel& c = vt.process().cluster().spec().costs;
-  const image::ProgramImage& img = vt.process().image();
-  sim::TimeNs structural = 0;
-  int vt_calls = 0;
-  for (auto where : {image::ProbeWhere::kEntry, image::ProbeWhere::kExit}) {
-    structural += img.trampoline_overhead(fn, where, c);
-    for (const auto& snippet : img.active_snippets(fn, where)) {
-      vt_calls += vt_call_count(*snippet);
-    }
-  }
-  if (img.static_instrumented(fn)) vt_calls += 2;
-  PairPrice price;
-  price.active = structural + vt_calls * vt.active_call_cost();
-  price.residual = structural + vt_calls * (c.vt_call_overhead + c.vt_filter_lookup);
-  return price;
-}
-
-}  // namespace
-
-Estimate OverheadEstimator::update(vt::VtLib& vt, sim::TimeNs now) {
+Estimate OverheadEstimator::quote(const vt::VtLib& vt, sim::TimeNs now) const {
   const std::vector<vt::FuncStats>& stats = vt.statistics();
   Estimate est;
-  if (!primed_ || last_.size() != stats.size()) {
-    last_ = stats;
-    last_now_ = now;
-    primed_ = true;
-    return est;
-  }
+  if (!primed_ || last_.size() != stats.size()) return est;
   est.window = now - last_now_;
   for (image::FunctionId fn = 0; fn < stats.size(); ++fn) {
     const vt::FuncStats& cur = stats[fn];
@@ -94,8 +38,18 @@ Estimate OverheadEstimator::update(vt::VtLib& vt, sim::TimeNs now) {
     est.total_cost += f.current_cost;
     est.functions.push_back(f);
   }
-  last_ = stats;
+  return est;
+}
+
+void OverheadEstimator::advance(const vt::VtLib& vt, sim::TimeNs now) {
+  last_ = vt.statistics();
   last_now_ = now;
+  primed_ = true;
+}
+
+Estimate OverheadEstimator::update(const vt::VtLib& vt, sim::TimeNs now) {
+  Estimate est = quote(vt, now);
+  advance(vt, now);
   return est;
 }
 

@@ -45,11 +45,21 @@ struct Estimate {
 
 class OverheadEstimator {
  public:
-  /// Diff against the previous snapshot and advance it.  The first call
-  /// only primes the snapshot and returns a zero-window estimate (the
-  /// elapsed time before the first safe point includes startup and would
-  /// dilute the rates).
-  Estimate update(vt::VtLib& vt, sim::TimeNs now);
+  /// Diff against the previous snapshot WITHOUT advancing it: a pure
+  /// quote.  Calling quote() twice at the same instant returns the same
+  /// estimate; no controller state changes.  Returns a zero-window
+  /// estimate until the snapshot has been primed (see advance()).
+  Estimate quote(const vt::VtLib& vt, sim::TimeNs now) const;
+
+  /// Advance the snapshot to the library's current statistics: the next
+  /// quote()/update() window starts here.  The first call primes the
+  /// snapshot (the elapsed time before the first safe point includes
+  /// startup and would dilute the rates, so the first window is dropped).
+  void advance(const vt::VtLib& vt, sim::TimeNs now);
+
+  /// quote() + advance(): diff against the previous snapshot and start
+  /// the next window -- the controller's per-safe-point measurement step.
+  Estimate update(const vt::VtLib& vt, sim::TimeNs now);
 
  private:
   std::vector<vt::FuncStats> last_;

@@ -244,6 +244,15 @@ void DpclApplication::abandon_node(int node, sim::TimeNs now) {
       ranks.push_back(pid);
     }
   }
+  // A dead daemon cannot resume targets it had ptrace-suspended, but the
+  // kernel does: a tracee continues when its tracer dies.  Model that
+  // detach, so a daemon lost between a patch cycle's suspend and resume
+  // leaves the node's processes running (uninstrumented), not wedged.
+  const sim::TimeNs delay = cluster_.message_delay(tool_node_, node, 0, now);
+  for (const int pid : ranks) {
+    proc::SimProcess& process = job_.process(pid);
+    cluster_.engine_for_node(node).deliver_at(now + delay, [&process] { process.resume(); });
+  }
   fault::FaultInjector* injector = cluster_.fault_injector();
   DT_ASSERT(injector != nullptr);
   injector->report().add(now, "daemon-lost", str::format("node=%d", node), ranks);

@@ -112,7 +112,16 @@ sim::Coro<void> CommDaemon::loop() {
       }
     }
     const int failures = co_await execute(request);
-    if (request.request_id != 0) completed_[request.request_id] = failures;
+    if (request.request_id != 0) {
+      completed_[request.request_id] = failures;
+      // Deterministic eviction: ids are monotonic, so begin() is always
+      // the oldest completed entry (see set_dedup_capacity).
+      while (completed_.size() > dedup_capacity_) {
+        completed_.erase(completed_.begin());
+        telemetry::Registry& reg = telemetry::current();
+        reg.add(reg.metrics().dpcl_dedup_evictions);
+      }
+    }
     send_ack(request, failures);
   }
 }

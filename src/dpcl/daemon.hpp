@@ -93,6 +93,20 @@ class CommDaemon {
 
   std::uint64_t requests_handled() const { return requests_handled_; }
 
+  /// Cap on the dedup table (kDedupCapacity by default).  A long-lived
+  /// service issues requests forever, so completed entries are evicted
+  /// oldest-id-first once the table fills -- request ids are allocated
+  /// monotonically, so the smallest id is always the oldest entry, and
+  /// the eviction order is identical on every run.  An evicted id that is
+  /// replayed later is re-executed (and re-acked) as a fresh request; the
+  /// capacity only needs to cover the retry horizon of in-flight requests,
+  /// not the daemon's lifetime.  Tests shrink this to force evictions.
+  void set_dedup_capacity(std::size_t capacity) { dedup_capacity_ = capacity; }
+  std::size_t dedup_capacity() const { return dedup_capacity_; }
+  std::size_t dedup_size() const { return completed_.size(); }
+
+  static constexpr std::size_t kDedupCapacity = 4096;
+
  private:
   sim::Coro<void> loop();
   /// Run the request against every local pid; returns how many targets
@@ -107,7 +121,9 @@ class CommDaemon {
   sim::Mailbox<Request> inbox_;
   /// Dedup table (fault-tolerant mode): request id -> failure count of the
   /// completed execution, so a retried request is re-acked, not re-run.
+  /// Bounded by dedup_capacity_ (oldest ids evicted first).
   std::map<std::uint64_t, int> completed_;
+  std::size_t dedup_capacity_ = kDedupCapacity;
   std::uint64_t requests_handled_ = 0;
   bool started_ = false;
 };

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <set>
 #include <string>
 #include <vector>
@@ -26,6 +27,7 @@
 #include "dpcl/application.hpp"
 #include "dynprof/command.hpp"
 #include "dynprof/launch.hpp"
+#include "sim/sync.hpp"
 
 namespace dyntrace::dynprof {
 
@@ -61,6 +63,29 @@ class DynprofTool {
   /// Queue a script for execution and spawn the tool process; call before
   /// Engine::run().  The commands run concurrently with the application.
   void run_script(std::vector<Command> script);
+
+  // --- persistent service mode ----------------------------------------------
+  //
+  // The one-shot script path above creates, instruments, and quits; a
+  // control service instead holds the attachment open for its whole
+  // lifetime.  start_service() runs the same create/connect/init protocol
+  // (or the attach_to_running preamble), fires attached(), then parks until
+  // request_detach() -- all insert/remove traffic in between goes through
+  // the programmatic insert_functions()/remove_functions() calls below.
+
+  /// Spawn the persistent tool coroutine; call before Engine::run(),
+  /// mutually exclusive with run_script().
+  void start_service();
+
+  /// Fires once the application is created, instrumented, and released
+  /// into main() (or, in attach mode, once attachment is verified) --
+  /// i.e. once programmatic insert/remove calls become valid.
+  sim::Trigger& attached() { return *attached_; }
+
+  /// End a start_service() session: detach from the job, leaving active
+  /// instrumentation in place (§3.3).  Call after attached() has fired;
+  /// safe to call from any coroutine on the tool node's shard.
+  void request_detach() { detach_requested_->fire(); }
 
   /// The internal timings dynprof writes to its timefile.
   const std::vector<TimeRecord>& timefile() const { return timefile_; }
@@ -103,6 +128,10 @@ class DynprofTool {
 
  private:
   sim::Coro<void> tool_main(std::vector<Command> script);
+  sim::Coro<void> service_main();
+  /// The attach_to_running preamble: connect, verify VT initialization
+  /// through target memory, mark the session ready for mid-run patching.
+  sim::Coro<void> attach_preamble(proc::SimThread& tool);
   sim::Coro<void> create_and_connect(proc::SimThread& tool);
   sim::Coro<void> install_init_hook(proc::SimThread& tool);
   sim::Coro<void> await_init_and_release(proc::SimThread& tool);
@@ -124,6 +153,10 @@ class DynprofTool {
   std::unique_ptr<proc::SimProcess> tool_process_;
   std::vector<std::unique_ptr<dpcl::SuperDaemon>> super_daemons_;
   std::unique_ptr<dpcl::DpclApplication> app_;
+  /// Service-mode lifecycle (constructed after tool_process_, whose engine
+  /// they live on).
+  std::optional<sim::Trigger> attached_;
+  std::optional<sim::Trigger> detach_requested_;
 
   bool started_app_ = false;
   bool init_released_ = false;

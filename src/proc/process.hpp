@@ -133,6 +133,7 @@ class SimProcess {
   SimProcess& operator=(const SimProcess&) = delete;
 
   machine::Cluster& cluster() { return cluster_; }
+  const machine::Cluster& cluster() const { return cluster_; }
   /// The process's home engine: the shard owning its node.  Every event the
   /// process schedules executes there.
   sim::Engine& engine() { return engine_; }

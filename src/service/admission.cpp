@@ -1,0 +1,164 @@
+#include "service/admission.hpp"
+
+#include <algorithm>
+
+#include "support/common.hpp"
+
+namespace dyntrace::service {
+
+AdmissionController::AdmissionController(
+    std::shared_ptr<const image::SymbolTable> symbols, control::PairPrice pair_price,
+    AdmissionOptions options)
+    : symbols_(std::move(symbols)), price_(pair_price), options_(options) {
+  DT_EXPECT(symbols_ != nullptr, "admission controller needs a symbol table");
+  fns_.resize(symbols_->size());
+}
+
+AdmitResult AdmissionController::admit(SessionId session,
+                                       const std::vector<image::FunctionId>& fns) {
+  AdmitResult result;
+
+  // Deduplicate the request and drop functions the session already holds
+  // (a repeat grant must not double-count holders).
+  std::vector<image::FunctionId> unique = fns;
+  std::sort(unique.begin(), unique.end());
+  unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
+  std::vector<image::FunctionId>& held = grants_[session];
+  std::vector<image::FunctionId> fresh;
+  for (const image::FunctionId fn : unique) {
+    DT_ASSERT(fn < fns_.size(), "admit: function id out of range");
+    if (std::find(held.begin(), held.end(), fn) == held.end()) fresh.push_back(fn);
+  }
+
+  // The marginal cost is the functions nobody holds yet; shared functions
+  // are already priced in.
+  double marginal_active = 0.0;
+  double marginal_residual = 0.0;
+  bool touches_degraded = false;
+  for (const image::FunctionId fn : fresh) {
+    const FnState& state = fns_[fn];
+    if (state.holders > 0) {
+      if (state.filtered) touches_degraded = true;
+      continue;
+    }
+    const double r = rate(state);
+    marginal_active += control::overhead_fraction(price_.active, r);
+    marginal_residual += control::overhead_fraction(price_.residual, r);
+  }
+
+  const double priced = priced_fraction();
+  const bool fits_active = priced + marginal_active <= options_.budget_fraction;
+  const bool fits_residual = priced + marginal_residual <= options_.budget_fraction;
+  if (!fits_active && !fits_residual) {
+    result.decision = AdmitDecision::kDenied;
+    result.projected_fraction = priced;
+    if (held.empty()) grants_.erase(session);
+    return result;
+  }
+
+  for (const image::FunctionId fn : fresh) {
+    FnState& state = fns_[fn];
+    if (state.holders == 0) {
+      result.install.push_back(fn);
+      state.filtered = !fits_active;
+      if (state.filtered) {
+        result.directives.push_back({/*activate=*/false, symbols_->at(fn).name});
+      }
+    }
+    ++state.holders;
+    held.push_back(fn);
+  }
+  result.decision = (!fits_active || touches_degraded) ? AdmitDecision::kDegraded
+                                                       : AdmitDecision::kAdmitted;
+  result.projected_fraction = priced_fraction();
+  return result;
+}
+
+ReleaseResult AdmissionController::release(SessionId session) {
+  ReleaseResult result;
+  const auto it = grants_.find(session);
+  if (it == grants_.end()) return result;
+  for (const image::FunctionId fn : it->second) {
+    FnState& state = fns_[fn];
+    DT_ASSERT(state.holders > 0, "release: holder underflow");
+    if (--state.holders == 0) {
+      result.remove.push_back(fn);
+      if (state.filtered) {
+        result.directives.push_back({/*activate=*/true, symbols_->at(fn).name});
+        state.filtered = false;
+      }
+    }
+  }
+  std::sort(result.remove.begin(), result.remove.end());
+  grants_.erase(it);
+  return result;
+}
+
+void AdmissionController::update_rate(image::FunctionId fn, double pairs_per_sec) {
+  if (fn >= fns_.size()) return;
+  fns_[fn].rate_hz = pairs_per_sec;
+  fns_[fn].rate_observed = true;
+}
+
+ArbitrateResult AdmissionController::arbitrate() {
+  ArbitrateResult result;
+  while (priced_fraction() > options_.budget_fraction) {
+    // Flip the most expensive active function; lowest id breaks ties so
+    // the walk is deterministic.
+    image::FunctionId victim = image::kInvalidFunction;
+    double worst = 0.0;
+    for (image::FunctionId fn = 0; fn < fns_.size(); ++fn) {
+      const FnState& state = fns_[fn];
+      if (state.holders == 0 || state.filtered) continue;
+      const double f = fraction(state);
+      if (victim == image::kInvalidFunction || f > worst) {
+        victim = fn;
+        worst = f;
+      }
+    }
+    if (victim == image::kInvalidFunction) {
+      result.at_floor = true;
+      break;
+    }
+    fns_[victim].filtered = true;
+    result.flipped.push_back(victim);
+    result.directives.push_back({/*activate=*/false, symbols_->at(victim).name});
+  }
+  return result;
+}
+
+void AdmissionController::replay(const vt::FilterProgram& applied) {
+  for (const auto& directive : applied) {
+    for (const image::FunctionId fn : symbols_->match(directive.pattern)) {
+      if (fns_[fn].holders > 0) fns_[fn].filtered = !directive.activate;
+    }
+  }
+}
+
+double AdmissionController::priced_fraction() const {
+  double total = 0.0;
+  for (const FnState& state : fns_) {
+    if (state.holders > 0) total += fraction(state);
+  }
+  return total;
+}
+
+bool AdmissionController::installed(image::FunctionId fn) const {
+  return fn < fns_.size() && fns_[fn].holders > 0;
+}
+
+bool AdmissionController::filtered(image::FunctionId fn) const {
+  return fn < fns_.size() && fns_[fn].filtered;
+}
+
+int AdmissionController::holders(image::FunctionId fn) const {
+  return fn < fns_.size() ? fns_[fn].holders : 0;
+}
+
+std::size_t AdmissionController::installed_count() const {
+  std::size_t count = 0;
+  for (const FnState& state : fns_) count += state.holders > 0 ? 1 : 0;
+  return count;
+}
+
+}  // namespace dyntrace::service

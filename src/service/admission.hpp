@@ -1,0 +1,136 @@
+// Admission control: keeps the combined per-job instrumentation overhead
+// of all concurrent sessions under one budget (DESIGN.md §13.2).
+//
+// Pure bookkeeping over the control plane's const pricing API -- no
+// simulation types, no coroutines -- so the policy is unit-testable on its
+// own.  The ControlService owns one instance and is the only writer.
+//
+// Model: every dynprof probe pair costs the same (control::probe_pair_price
+// is uniform across functions), so a function's overhead fraction is
+// price x observed call rate.  The controller tracks, per function,
+//   * holders -- how many sessions hold a grant on it (probes are shared:
+//     installed on 0->1, removed on ->0);
+//   * filtered -- whether the function currently sits on the Subset rung
+//     (filter-deactivated: residual lookup cost instead of the full pair);
+//   * rate -- completed+suppressed pairs per second, learned from the
+//     estimator's windows (default_rate_hz until first observed).
+//
+// admit() reuses PR 4's degradation ladder for the answer:
+//   Dynamic (kAdmitted)  -- the set fits fully active;
+//   Subset  (kDegraded)  -- only fits with the new functions deactivated
+//                           through the filter (directives returned for the
+//                           next safe point), or shares an already-degraded
+//                           function;
+//   None    (kDenied)    -- does not fit even degraded (the service queues
+//                           and retries before surfacing this).
+//
+// arbitrate() restores the invariant after rates move: flips the most
+// expensive active functions to filtered until the priced total fits, and
+// reports at_floor when everything is already degraded.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "control/pricing.hpp"
+#include "service/session.hpp"
+
+namespace dyntrace::service {
+
+struct AdmissionOptions {
+  /// Ceiling for the priced per-process overhead fraction.
+  double budget_fraction = 0.05;
+  /// Assumed call rate (pairs/sec) for functions with no observed window.
+  double default_rate_hz = 1000.0;
+};
+
+enum class AdmitDecision : std::uint8_t { kAdmitted = 0, kDegraded, kDenied };
+
+struct AdmitResult {
+  AdmitDecision decision = AdmitDecision::kDenied;
+  /// Functions to physically instrument (holder count went 0 -> 1).
+  std::vector<image::FunctionId> install;
+  /// Filter directives to stage (degrade flips for the new functions).
+  vt::FilterProgram directives;
+  /// Priced fraction after the grant (unchanged when denied).
+  double projected_fraction = 0.0;
+};
+
+struct ReleaseResult {
+  /// Functions whose probes should be removed (holder count hit 0).
+  std::vector<image::FunctionId> remove;
+  /// Directives clearing their filter entries so a later re-admission
+  /// starts from a clean table.
+  vt::FilterProgram directives;
+};
+
+struct ArbitrateResult {
+  vt::FilterProgram directives;
+  std::vector<image::FunctionId> flipped;
+  /// Still over budget with every installed function already filtered: the
+  /// residual lookup cost alone exceeds the budget.  Admissions stop; the
+  /// invariant reported per window is "priced <= budget OR at_floor".
+  bool at_floor = false;
+};
+
+class AdmissionController {
+ public:
+  AdmissionController(std::shared_ptr<const image::SymbolTable> symbols,
+                      control::PairPrice pair_price, AdmissionOptions options);
+
+  /// Price and decide one session's requested probe set.  Mutates holder
+  /// counts and filter intent on admit/degrade; a denial changes nothing.
+  /// Repeat grants to one session merge (functions are held once).
+  AdmitResult admit(SessionId session, const std::vector<image::FunctionId>& fns);
+
+  /// Drop every grant the session holds.
+  ReleaseResult release(SessionId session);
+
+  /// Learn a window's observed rate for one function.
+  void update_rate(image::FunctionId fn, double pairs_per_sec);
+
+  /// Re-establish priced <= budget after rates moved or a replayed program
+  /// reactivated functions.  Flips are deterministic: most expensive first,
+  /// lowest id on ties.
+  ArbitrateResult arbitrate();
+
+  /// Mirror the filter program rank 0 actually applied at a safe point
+  /// (sessions' own confsync directives included), in applied order.
+  void replay(const vt::FilterProgram& applied);
+
+  /// Priced per-process overhead fraction of everything installed.
+  double priced_fraction() const;
+
+  bool installed(image::FunctionId fn) const;
+  bool filtered(image::FunctionId fn) const;
+  int holders(image::FunctionId fn) const;
+  std::size_t installed_count() const;
+  const AdmissionOptions& options() const { return options_; }
+
+ private:
+  struct FnState {
+    int holders = 0;
+    bool filtered = false;
+    double rate_hz = 0.0;
+    bool rate_observed = false;
+  };
+
+  double rate(const FnState& state) const {
+    return state.rate_observed ? state.rate_hz : options_.default_rate_hz;
+  }
+  double fraction(const FnState& state) const {
+    return control::overhead_fraction(
+        state.filtered ? price_.residual : price_.active, rate(state));
+  }
+
+  std::shared_ptr<const image::SymbolTable> symbols_;
+  control::PairPrice price_;
+  AdmissionOptions options_;
+  std::vector<FnState> fns_;
+  /// Ordered by session id so release-driven removals are deterministic.
+  std::map<SessionId, std::vector<image::FunctionId>> grants_;
+};
+
+}  // namespace dyntrace::service

@@ -1,0 +1,393 @@
+#include "service/scenario.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <string>
+#include <utility>
+
+#include "control/overlay.hpp"
+#include "sim/mailbox.hpp"
+#include "support/common.hpp"
+#include "support/strings.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace dyntrace::service {
+
+namespace {
+
+constexpr const char* kSentinelName = "svcapp_run";
+
+/// Hard iteration ceiling: every rank hits it at the same iteration, so
+/// even a broken shutdown path ends collectively instead of spinning the
+/// engine forever.
+constexpr std::int64_t kMaxIterations = 200'000;
+
+std::string fn_name(int index) { return str::format("svc_fn_%02d", index); }
+
+sim::Coro<void> svcapp_body(asci::AppContext& ctx, proc::SimThread& thread,
+                            const std::vector<std::string>& names) {
+  vt::VtLib* vt = ctx.vt();
+  const image::FunctionId sentinel = ctx.fid(kSentinelName);
+  Rng& rng = ctx.rng();
+  const int fns = static_cast<int>(names.size());
+
+  for (std::int64_t iter = 0; iter < kMaxIterations; ++iter) {
+    // The iteration's bulk numerics...
+    co_await thread.compute(
+        sim::nanoseconds(rng.normal_at_least(400e3, 40e3, 50e3)));
+    // ...and a rotating window of hot leaves over the function inventory,
+    // so every function eventually accumulates observable call rates.
+    for (int k = 0; k < 4 && fns > 0; ++k) {
+      const int idx = static_cast<int>((iter * 4 + k) % fns);
+      const auto work =
+          sim::nanoseconds(rng.normal_at_least(2'000, 300, 200));
+      co_await ctx.leaf_repeat(thread, names[static_cast<std::size_t>(idx)], 48, work);
+    }
+    if (ctx.mpi() != nullptr && ctx.nprocs() > 1) {
+      co_await ctx.mpi()->allreduce(thread, 8);
+    }
+    co_await ctx.safe_point(thread);
+    // Collective shutdown: the service deactivates the sentinel through a
+    // staged filter directive; VT_confsync applies it on every rank at the
+    // same safe point, so the whole job leaves the loop at one iteration.
+    if (vt != nullptr && vt->filter().deactivated(sentinel)) break;
+  }
+}
+
+// --- FNV-1a digest helpers ---------------------------------------------------
+
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xffu;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::uint64_t quantize(double fraction) {
+  return static_cast<std::uint64_t>(std::llround(fraction * 1e12));
+}
+
+// --- session drivers ---------------------------------------------------------
+
+struct Driver {
+  SessionId id = 0;
+  int node = 0;
+  sim::Engine* engine = nullptr;
+  std::unique_ptr<sim::Trigger> start;
+  std::unique_ptr<sim::Mailbox<Response>> inbox;
+  std::vector<Request> script;
+  ScenarioResult::SessionOutcome outcome;
+};
+
+struct Coordinator {
+  std::size_t remaining = 0;
+  std::unique_ptr<sim::Trigger> all_done;
+
+  void note_done() {
+    DT_ASSERT(remaining > 0, "coordinator completion underflow");
+    if (--remaining == 0) all_done->fire();
+  }
+};
+
+sim::Coro<void> session_coro(Driver& d, ControlService& svc, machine::Cluster& cluster,
+                             sim::TimeNs response_timeout, Coordinator& coord) {
+  co_await d.start->wait();
+  telemetry::Registry& reg = telemetry::current();
+  std::uint32_t seq = 0;
+  bool bail = false;
+  for (const Request& entry : d.script) {
+    // A timed-out or shutdown-refused session skips ahead to its detach so
+    // grants are still released and the run drains.
+    if (bail && entry.kind != CommandKind::kDetach) continue;
+    Request request = entry;
+    request.session = d.id;
+    request.seq = ++seq;
+    request.client_node = d.node;
+
+    const sim::TimeNs sent = d.engine->now();
+    const sim::TimeNs delay =
+        cluster.message_delay(d.node, svc.node(), request_bytes(request), sent);
+    ControlService* service = &svc;
+    svc.engine().deliver_at(sent + delay,
+                            [service, request] { service->submit(request); });
+
+    ScenarioResult::CommandOutcome out;
+    out.kind = request.kind;
+    out.status = Status::kTimeout;
+    const sim::TimeNs deadline = sent + response_timeout;
+    while (true) {
+      const sim::TimeNs now = d.engine->now();
+      if (now >= deadline) break;
+      std::optional<Response> response = co_await d.inbox->recv_for(deadline - now);
+      if (!response.has_value()) break;
+      // Drop stale responses (e.g. a late ack for a command that already
+      // timed out); only the current seq resolves this command.
+      if (response->session != d.id || response->seq != seq) continue;
+      out.status = response->status;
+      break;
+    }
+    out.latency = d.engine->now() - sent;
+    d.outcome.commands.push_back(out);
+    reg.observe(reg.metrics().service_command_latency_ns,
+                static_cast<std::uint64_t>(out.latency));
+    if (out.status == Status::kTimeout || out.status == Status::kShutdown) bail = true;
+  }
+
+  // Tell the coordinator (on the service's shard) this session is done.
+  const sim::TimeNs now = d.engine->now();
+  const sim::TimeNs delay = cluster.message_delay(d.node, svc.node(), 64, now);
+  Coordinator* c = &coord;
+  svc.engine().deliver_at(now + delay, [c] { c->note_done(); });
+}
+
+sim::Coro<void> scenario_main(dynprof::DynprofTool& tool, ControlService& svc,
+                              machine::Cluster& cluster, std::vector<std::unique_ptr<Driver>>& drivers,
+                              sim::TimeNs stagger, Coordinator& coord) {
+  co_await tool.attached().wait();
+  svc.start();
+
+  // Open the session start gates, staggered, each fired on its driver's own
+  // shard (Trigger::fire with waiters must run shard-locally).
+  const sim::TimeNs now = svc.engine().now();
+  for (std::size_t i = 0; i < drivers.size(); ++i) {
+    Driver* d = drivers[i].get();
+    const sim::TimeNs delay = cluster.message_delay(svc.node(), d->node, 64, now);
+    const sim::TimeNs at = now + delay + static_cast<sim::TimeNs>(i) * stagger;
+    cluster.engine_for_node(d->node).deliver_at(at, [d] { d->start->fire(); });
+  }
+
+  co_await coord.all_done->wait();
+  svc.initiate_shutdown(kSentinelName);
+  tool.request_detach();
+}
+
+std::vector<Request> generate_script(Rng& rng, int functions, int commands) {
+  std::vector<Request> script;
+  script.reserve(static_cast<std::size_t>(commands));
+  for (int c = 0; c < commands; ++c) {
+    Request request;
+    switch (rng.next_below(4)) {
+      case 0: {
+        request.kind = CommandKind::kInstrument;
+        const int n = 1 + static_cast<int>(rng.next_below(3));
+        for (int k = 0; k < n; ++k) {
+          request.functions.push_back(
+              fn_name(static_cast<int>(rng.next_below(static_cast<std::uint64_t>(functions)))));
+        }
+        break;
+      }
+      case 1: {
+        request.kind = CommandKind::kSubscribe;
+        const int decades = (functions + 9) / 10;
+        request.pattern = str::format(
+            "svc_fn_%d*", static_cast<int>(rng.next_below(static_cast<std::uint64_t>(decades))));
+        break;
+      }
+      case 2: {
+        request.kind = CommandKind::kConfsync;
+        request.directives.push_back(
+            {rng.next_below(2) == 0,
+             fn_name(static_cast<int>(rng.next_below(static_cast<std::uint64_t>(functions))))});
+        break;
+      }
+      default:
+        request.kind = CommandKind::kReport;
+        break;
+    }
+    script.push_back(std::move(request));
+  }
+  return script;
+}
+
+}  // namespace
+
+const char* scenario_sentinel() { return kSentinelName; }
+
+asci::AppSpec make_svcapp(int functions) {
+  auto symbols = std::make_shared<image::SymbolTable>();
+  symbols->add("main", "svcapp.c");
+  symbols->add("MPI_Init", "libmpi");
+  symbols->add("MPI_Finalize", "libmpi");
+  std::vector<std::string> names;
+  names.reserve(static_cast<std::size_t>(functions));
+  for (int i = 0; i < functions; ++i) {
+    names.push_back(fn_name(i));
+    symbols->add(names.back(), str::format("svc_mod_%d.c", i / 8));
+  }
+  symbols->add(kSentinelName, "svcapp.c");
+
+  asci::AppSpec spec;
+  spec.name = "svcapp";
+  spec.language = "MPI/C";
+  spec.description = "Synthetic service-target application (open-ended iteration loop)";
+  spec.model = asci::AppSpec::Model::kMpi;
+  spec.scaling = asci::AppSpec::Scaling::kWeak;
+  spec.min_procs = 1;
+  spec.max_procs = 1024;
+  spec.symbols = symbols;
+  spec.body = [names](asci::AppContext& ctx, proc::SimThread& thread) {
+    return svcapp_body(ctx, thread, names);
+  };
+  return spec;
+}
+
+ScenarioResult run_scenario(const ScenarioOptions& options) {
+  const auto host_start = std::chrono::steady_clock::now();
+
+  const asci::AppSpec app = make_svcapp(options.functions);
+  dynprof::Launch::Options lo;
+  lo.app = &app;
+  lo.params.nprocs = options.ranks;
+  lo.params.problem_scale = options.problem_scale;
+  lo.params.seed = options.seed;
+  lo.params.confsync_interval = options.confsync_interval;
+  lo.params.confsync_statistics = true;
+  lo.policy = dynprof::Policy::kDynamic;
+  lo.sim_threads = options.sim_threads;
+  lo.fault = options.fault;
+  lo.telemetry_level = options.telemetry_level;
+  dynprof::Launch launch(lo);
+
+  // Statistics reduce through the overlay tree to rank 0 -- the fan-out
+  // root the break agent reads.
+  auto overlay = std::make_shared<control::StatsOverlay>(4);
+  overlay->prepare(launch.process_count());
+  for (int pid = 0; pid < launch.process_count(); ++pid) {
+    launch.vt(pid).set_stats_aggregator(overlay);
+  }
+
+  dynprof::DynprofTool tool(launch, dynprof::DynprofTool::Options{});
+  ControlService service(launch, tool, options.service);
+  machine::Cluster& cluster = launch.cluster();
+
+  const bool scripted = !options.scripted_sessions.empty();
+  const std::size_t session_count =
+      scripted ? options.scripted_sessions.size() : static_cast<std::size_t>(options.sessions);
+
+  // Client nodes sit above the tool node, reused round-robin; a machine too
+  // small for any client node co-locates the drivers with the service.
+  const int tool_node = service.node();
+  const int first_client = tool_node + 1;
+  const int avail = cluster.spec().nodes - first_client;
+  const int client_nodes = std::min(options.session_nodes, std::max(avail, 0));
+
+  std::vector<std::unique_ptr<Driver>> drivers;
+  drivers.reserve(session_count);
+  Coordinator coord;
+  coord.remaining = session_count;
+  coord.all_done = std::make_unique<sim::Trigger>(service.engine());
+
+  for (std::size_t i = 0; i < session_count; ++i) {
+    auto driver = std::make_unique<Driver>();
+    driver->id = static_cast<SessionId>(i);
+    driver->node = client_nodes > 0
+                       ? first_client + static_cast<int>(i) % client_nodes
+                       : tool_node;
+    driver->engine = &cluster.engine_for_node(driver->node);
+    driver->start = std::make_unique<sim::Trigger>(*driver->engine);
+    driver->inbox = std::make_unique<sim::Mailbox<Response>>(*driver->engine);
+    driver->outcome.id = driver->id;
+    driver->outcome.node = driver->node;
+
+    driver->script.push_back(Request{.kind = CommandKind::kAttach});
+    if (scripted) {
+      const std::vector<Request>& body = options.scripted_sessions[i];
+      driver->script.insert(driver->script.end(), body.begin(), body.end());
+    } else {
+      Rng rng(options.seed ^ (0x9e3779b97f4a7c15ull * (i + 1)));
+      std::vector<Request> body =
+          generate_script(rng, options.functions, options.commands_per_session);
+      driver->script.insert(driver->script.end(),
+                            std::make_move_iterator(body.begin()),
+                            std::make_move_iterator(body.end()));
+    }
+    driver->script.push_back(Request{.kind = CommandKind::kDetach});
+
+    Driver* d = driver.get();
+    service.register_session(
+        d->id, d->node, [d](const Response& response) { d->inbox->put(response); },
+        [d](const SubscriptionDelta& delta) {
+          ++d->outcome.deltas;
+          d->outcome.delta_pairs += delta.pairs;
+        });
+    drivers.push_back(std::move(driver));
+  }
+
+  tool.start_service();
+  for (const std::unique_ptr<Driver>& driver : drivers) {
+    Driver* d = driver.get();
+    d->engine->spawn(
+        session_coro(*d, service, cluster, options.response_timeout, coord),
+        str::format("svc.session.%u", d->id));
+  }
+  service.engine().spawn(scenario_main(tool, service, cluster, drivers,
+                                       options.session_stagger, coord),
+                         "svc.scenario");
+
+  launch.run_engine();
+
+  // --- collect -------------------------------------------------------------
+  ScenarioResult result;
+  result.sessions.reserve(drivers.size());
+  for (const std::unique_ptr<Driver>& driver : drivers) {
+    result.sessions.push_back(driver->outcome);
+    for (const ScenarioResult::CommandOutcome& out : driver->outcome.commands) {
+      ++result.status_counts[out.status];
+      ++result.commands;
+      result.latencies.push_back(out.latency);
+    }
+  }
+  result.windows = service.windows();
+  const double budget = service.admission().options().budget_fraction;
+  for (const WindowRecord& window : result.windows) {
+    if (window.priced_after > budget + 1e-9 && !window.at_floor) {
+      result.budget_ok = false;
+      ++result.budget_violations;
+    }
+  }
+  for (image::FunctionId fn = 0; fn < launch.options().app->symbols->size(); ++fn) {
+    if (launch.vt(0).filter().deactivated(fn)) result.rank0_deactivated.push_back(fn);
+  }
+  if (tool.application() != nullptr) result.lost_ranks = tool.application()->lost_pids();
+  result.sim_seconds = launch.collect_result().total_seconds;
+  result.stats_digest = vt::stats_digest(launch.vt(0).statistics());
+
+  std::uint64_t h = kFnvOffset;
+  for (const ScenarioResult::SessionOutcome& session : result.sessions) {
+    h = mix(h, session.id);
+    h = mix(h, static_cast<std::uint64_t>(session.node));
+    for (const ScenarioResult::CommandOutcome& out : session.commands) {
+      h = mix(h, static_cast<std::uint64_t>(out.kind));
+      h = mix(h, static_cast<std::uint64_t>(out.status));
+      h = mix(h, static_cast<std::uint64_t>(out.latency));
+    }
+    h = mix(h, session.deltas);
+    h = mix(h, session.delta_pairs);
+  }
+  for (const WindowRecord& window : result.windows) {
+    h = mix(h, window.sync);
+    h = mix(h, static_cast<std::uint64_t>(window.time));
+    h = mix(h, static_cast<std::uint64_t>(window.window));
+    h = mix(h, quantize(window.measured_fraction));
+    h = mix(h, quantize(window.priced_before));
+    h = mix(h, quantize(window.priced_after));
+    h = mix(h, window.flips);
+    h = mix(h, window.at_floor ? 1 : 0);
+  }
+  for (const image::FunctionId fn : result.rank0_deactivated) h = mix(h, fn);
+  for (const int pid : result.lost_ranks) h = mix(h, static_cast<std::uint64_t>(pid));
+  h = mix(h, service.responses_sent());
+  h = mix(h, result.stats_digest);
+  result.digest = h;
+
+  result.host_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - host_start).count();
+  return result;
+}
+
+}  // namespace dyntrace::service

@@ -1,0 +1,101 @@
+// Scenario harness for the multi-tenant control service: one shared target
+// job (a synthetic MPI application), one persistent dynprof attachment, one
+// ControlService, and N simulated user sessions issuing deterministic
+// command scripts from client nodes.  Used by the service tests and
+// bench/service_sessions.
+//
+// The synthetic application ("svcapp") runs an open-ended iteration loop --
+// rotating leaf work over its function inventory, a collective reduction,
+// and a safe-point offer per iteration -- and exits *collectively* when a
+// shutdown sentinel function is filter-deactivated: the service stages the
+// directive, VT_confsync applies it on every rank at the same safe point,
+// and all ranks observe it at the same iteration.  Flag-based shutdown
+// would reach ranks at different times and hang the collective; the
+// sentinel uses the paper's own §5 machinery instead.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "asci/app.hpp"
+#include "fault/injector.hpp"
+#include "service/service.hpp"
+
+namespace dyntrace::service {
+
+/// Name of svcapp's shutdown sentinel function.
+const char* scenario_sentinel();
+
+/// Build the synthetic service-target application with `functions` user
+/// functions ("svc_fn_00" ...).  The returned spec owns its symbols; keep
+/// it alive for the Launch's lifetime.
+asci::AppSpec make_svcapp(int functions);
+
+struct ScenarioOptions {
+  int ranks = 8;
+  int functions = 32;
+  int sessions = 64;
+  /// Client nodes used round-robin, starting one above the tool node.
+  int session_nodes = 16;
+  /// Commands between the implicit attach and detach of generated scripts.
+  int commands_per_session = 4;
+  int sim_threads = 1;
+  std::uint64_t seed = 42;
+  double problem_scale = 1.0;
+  int confsync_interval = 2;
+  ServiceOptions service;
+  /// Gap between consecutive sessions' start gates.
+  sim::TimeNs session_stagger = sim::microseconds(50);
+  /// Driver-side deadline per command; a missing response becomes an
+  /// explicit kTimeout outcome, never a hang.
+  sim::TimeNs response_timeout = sim::seconds(240);
+  std::shared_ptr<fault::FaultInjector> fault;
+  telemetry::Level telemetry_level = telemetry::default_level();
+  /// Non-empty: run exactly these scripts (outer index = session id)
+  /// instead of generated ones.  kAttach/kDetach are added automatically;
+  /// entries only need kind + payload.
+  std::vector<std::vector<Request>> scripted_sessions;
+};
+
+struct ScenarioResult {
+  struct CommandOutcome {
+    CommandKind kind = CommandKind::kAttach;
+    Status status = Status::kOk;
+    sim::TimeNs latency = 0;
+  };
+  struct SessionOutcome {
+    SessionId id = 0;
+    int node = 0;
+    std::vector<CommandOutcome> commands;
+    std::uint64_t deltas = 0;       ///< subscription deltas received
+    std::uint64_t delta_pairs = 0;  ///< event pairs summarised across them
+  };
+
+  std::vector<SessionOutcome> sessions;  ///< session-id order
+  std::vector<WindowRecord> windows;
+  std::map<Status, std::uint64_t> status_counts;
+  std::uint64_t commands = 0;
+  std::vector<sim::TimeNs> latencies;  ///< every command's latency
+
+  /// priced_after <= budget (or at_floor) held in every window.
+  bool budget_ok = true;
+  std::size_t budget_violations = 0;
+
+  /// Final rank-0 filter state (function ids deactivated), sentinel
+  /// included -- the satellite-3 serialization assertions read this.
+  std::vector<image::FunctionId> rank0_deactivated;
+  std::vector<int> lost_ranks;
+
+  double sim_seconds = 0;
+  double host_seconds = 0;
+  std::uint64_t stats_digest = 0;
+  /// FNV-1a over outcomes, windows, filter state -- the cross-thread
+  /// determinism fingerprint.
+  std::uint64_t digest = 0;
+};
+
+ScenarioResult run_scenario(const ScenarioOptions& options);
+
+}  // namespace dyntrace::service

@@ -1,0 +1,534 @@
+#include "service/service.hpp"
+
+#include <algorithm>
+
+#include "control/estimator.hpp"
+#include "support/common.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace dyntrace::service {
+
+namespace {
+
+/// Modelled cost of scanning one statistics record at the configuration
+/// break (same figure the budget controller charges).
+constexpr sim::TimeNs kScanCostPerRecord = 200;
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// BreakAgent: lives on rank 0's shard.  The service mutates it exclusively
+// through deliver_at messages; the VT_confsync break handler reads it.
+// ---------------------------------------------------------------------------
+
+struct ControlService::BreakAgent {
+  ControlService& service;
+  machine::Cluster& cluster;
+  std::shared_ptr<vt::StagedUpdate> staged;
+  int node = 0;          ///< rank 0's node
+  int service_node = 0;  ///< the tool node
+
+  control::OverheadEstimator estimator;
+
+  struct PendingProgram {
+    SessionId session = 0;
+    std::uint32_t seq = 0;
+    vt::FilterProgram program;
+    bool ack = false;
+  };
+  std::vector<PendingProgram> pending;
+
+  struct Subscription {
+    SessionId session = 0;
+    int client_node = 0;
+    std::vector<std::uint8_t> match;  ///< per-function-id membership
+    DeltaSink sink;
+  };
+  std::vector<Subscription> subs;  ///< kept in session-id order
+
+  /// Seq counter for the service's own (kServiceSession) programs, so
+  /// arbitration flips keep their relative order under the sort.
+  std::uint32_t service_seq = 0;
+
+  bool stop_requested = false;
+  bool stop_staged = false;
+  std::string sentinel;
+  std::uint64_t syncs = 0;
+
+  BreakAgent(ControlService& svc, machine::Cluster& c, std::shared_ptr<vt::StagedUpdate> s,
+             int agent_node, int svc_node)
+      : service(svc), cluster(c), staged(std::move(s)), node(agent_node),
+        service_node(svc_node) {}
+
+  sim::TimeNs on_break(vt::VtLib& vt) {
+    sim::Engine& engine = vt.process().engine();
+    const sim::TimeNs now = engine.now();
+    ++syncs;
+    const control::Estimate estimate = estimator.update(vt, now);
+
+    // Subscription push-down: each session receives only its matching
+    // functions' activity, fanned out from the reduction root -- never the
+    // full event stream.
+    if (estimate.window > 0 && !subs.empty()) {
+      telemetry::Registry& reg = telemetry::current();
+      for (const Subscription& sub : subs) {
+        SubscriptionDelta delta;
+        delta.session = sub.session;
+        delta.sync = syncs;
+        for (const auto& fe : estimate.functions) {
+          if (fe.fn < sub.match.size() && sub.match[fe.fn] != 0) {
+            ++delta.functions;
+            delta.pairs += fe.pairs + fe.suppressed;
+          }
+        }
+        const sim::TimeNs delay =
+            cluster.message_delay(node, sub.client_node, kDeltaBytes, now);
+        DeltaSink sink = sub.sink;
+        cluster.engine_for_node(sub.client_node)
+            .deliver_at(now + delay, [sink, delta] { sink(delta); });
+        reg.add(reg.metrics().service_sub_deliveries);
+        reg.add(reg.metrics().service_sub_events, delta.pairs);
+      }
+    }
+
+    // Merge pending directive programs in (session, seq) order -- the
+    // serialization guarantee: whatever order sessions' messages arrived
+    // in, the image state equals applying them in session-id order, with
+    // the service's own corrections (kServiceSession) last.
+    std::stable_sort(pending.begin(), pending.end(),
+                     [](const PendingProgram& a, const PendingProgram& b) {
+                       return a.session != b.session ? a.session < b.session
+                                                     : a.seq < b.seq;
+                     });
+    WindowReport report;
+    vt::FilterProgram program;
+    for (PendingProgram& p : pending) {
+      program.insert(program.end(), p.program.begin(), p.program.end());
+      if (p.ack) report.acks.emplace_back(p.session, p.seq);
+    }
+    pending.clear();
+    if (stop_requested && !stop_staged) {
+      program.push_back({/*activate=*/false, sentinel});
+      stop_staged = true;
+    }
+    if (!program.empty()) {
+      // Safe to overwrite: the previous confsync ended in a barrier, so
+      // every rank has applied the prior staged program already.
+      staged->program = program;
+      staged->probe_edits.clear();
+      ++staged->version;
+    }
+
+    report.sync = syncs;
+    report.time = now;
+    report.window = estimate.window;
+    report.measured_fraction = estimate.overhead_fraction();
+    report.lines.reserve(estimate.functions.size());
+    for (const auto& fe : estimate.functions) {
+      report.lines.push_back({fe.fn, fe.pairs, fe.suppressed});
+    }
+    report.applied = program;
+
+    const std::int64_t bytes = 128 +
+                               24 * static_cast<std::int64_t>(report.lines.size()) +
+                               16 * static_cast<std::int64_t>(report.acks.size()) +
+                               vt::serialized_size(report.applied);
+    const sim::TimeNs delay = cluster.message_delay(node, service_node, bytes, now);
+    ControlService* svc = &service;
+    cluster.engine_for_node(service_node)
+        .deliver_at(now + delay, [svc, report] { svc->on_window(report); });
+
+    return kScanCostPerRecord * static_cast<sim::TimeNs>(report.lines.size());
+  }
+};
+
+// ---------------------------------------------------------------------------
+// ControlService
+// ---------------------------------------------------------------------------
+
+ControlService::ControlService(dynprof::Launch& launch, dynprof::DynprofTool& tool,
+                               ServiceOptions options)
+    : launch_(launch),
+      tool_(tool),
+      cluster_(launch.cluster()),
+      engine_(launch.cluster().engine_for_node(tool.tool_thread().process().node())),
+      options_(options),
+      node_(tool.tool_thread().process().node()),
+      agent_node_(launch.job().process(0).node()),
+      symbols_(launch.options().app->symbols),
+      admission_(symbols_, control::probe_pair_price(launch.vt(0)),
+                 AdmissionOptions{options.budget_fraction, options.default_rate_hz}),
+      patch_ready_(std::make_unique<sim::Condition>(engine_)) {
+  agent_ = std::make_unique<BreakAgent>(*this, cluster_, launch.staged(), agent_node_, node_);
+  BreakAgent* agent = agent_.get();
+  launch.vt(0).set_break_handler([agent](vt::VtLib& vt) { return agent->on_break(vt); });
+}
+
+ControlService::~ControlService() = default;
+
+void ControlService::register_session(SessionId id, int client_node, ResponseSink responses,
+                                      DeltaSink deltas) {
+  DT_EXPECT(id != kServiceSession, "session id reserved for the service");
+  endpoints_[id] = SessionEndpoint{client_node, std::move(responses), std::move(deltas)};
+}
+
+void ControlService::start() {
+  DT_EXPECT(!started_, "service already started");
+  started_ = true;
+  engine_.spawn(patch_loop(), "service.patch", sim::Engine::SpawnOptions{.daemon = true});
+}
+
+void ControlService::submit(Request request) {
+  telemetry::Registry& reg = telemetry::current();
+  reg.add(reg.metrics().service_commands);
+  switch (request.kind) {
+    case CommandKind::kAttach:
+      if (shutting_down_) {
+        respond(request, Status::kShutdown);
+        return;
+      }
+      ++active_sessions_;
+      reg.set(reg.metrics().service_sessions_active,
+              static_cast<std::int64_t>(active_sessions_));
+      respond(request, Status::kOk);
+      return;
+    case CommandKind::kInstrument:
+      handle_instrument(request, /*from_queue=*/false);
+      return;
+    case CommandKind::kConfsync:
+      handle_confsync(request);
+      return;
+    case CommandKind::kSubscribe:
+      handle_subscribe(request);
+      return;
+    case CommandKind::kReport: {
+      Response response;
+      response.session = request.session;
+      response.seq = request.seq;
+      response.status = Status::kOk;
+      response.projected_fraction = admission_.priced_fraction();
+      response.windows = windows_.size();
+      send_response(std::move(response));
+      return;
+    }
+    case CommandKind::kDetach:
+      handle_detach(request);
+      return;
+  }
+}
+
+/// Attempt one admission.  Returns false iff the request was denied and may
+/// wait in the queue (nothing responded); any other outcome is resolved.
+bool ControlService::try_admit(const Request& request, bool allow_queue) {
+  telemetry::Registry& reg = telemetry::current();
+  std::vector<image::FunctionId> fns;
+  fns.reserve(request.functions.size());
+  for (const std::string& name : request.functions) {
+    const image::FunctionInfo* info = symbols_->find(name);
+    if (info == nullptr) {
+      respond(request, Status::kError);
+      return true;
+    }
+    fns.push_back(info->id);
+  }
+  if (fns.empty()) {
+    respond(request, Status::kError);
+    return true;
+  }
+
+  const AdmitResult result = admission_.admit(request.session, fns);
+  if (result.decision == AdmitDecision::kDenied) {
+    if (allow_queue) return false;
+    reg.add(reg.metrics().service_denials);
+    respond(request, Status::kDenied, result.projected_fraction);
+    return true;
+  }
+
+  const Status status = result.decision == AdmitDecision::kAdmitted ? Status::kAdmitted
+                                                                    : Status::kDegraded;
+  reg.add(status == Status::kAdmitted ? reg.metrics().service_admits
+                                      : reg.metrics().service_degrades);
+  if (!result.directives.empty()) stage_service_program(result.directives);
+  if (!result.install.empty()) {
+    PatchOp op;
+    op.install.reserve(result.install.size());
+    for (const image::FunctionId fn : result.install) {
+      op.install.push_back(symbols_->at(fn).name);
+    }
+    op.response.session = request.session;
+    op.response.seq = request.seq;
+    op.response.status = status;
+    op.response.projected_fraction = result.projected_fraction;
+    enqueue_patch(std::move(op));
+  } else {
+    // Every requested probe is already installed for another session.
+    respond(request, status, result.projected_fraction);
+  }
+  return true;
+}
+
+void ControlService::handle_instrument(const Request& request, bool from_queue) {
+  if (shutting_down_) {
+    respond(request, Status::kShutdown);
+    return;
+  }
+  const bool allow_queue = !from_queue && options_.queue_timeout > 0;
+  if (!try_admit(request, allow_queue)) {
+    telemetry::Registry& reg = telemetry::current();
+    reg.add(reg.metrics().service_queued);
+    queue_.push_back(QueuedAdmit{request, engine_.now()});
+  }
+}
+
+void ControlService::handle_confsync(const Request& request) {
+  if (shutting_down_) {
+    respond(request, Status::kShutdown);
+    return;
+  }
+  if (request.directives.empty()) {
+    respond(request, Status::kOk);
+    return;
+  }
+  // Deferred: the response is the ack the break agent sends once the next
+  // safe point has applied this program, so the measured latency includes
+  // the wait for the safe point -- the paper's VT_confsync semantics.
+  forward_to_agent(request_bytes(request),
+                   [session = request.session, seq = request.seq,
+                    program = request.directives](BreakAgent& agent) {
+                     agent.pending.push_back({session, seq, program, /*ack=*/true});
+                   });
+}
+
+void ControlService::handle_subscribe(const Request& request) {
+  if (shutting_down_) {
+    respond(request, Status::kShutdown);
+    return;
+  }
+  const std::vector<image::FunctionId> matched = symbols_->match(request.pattern);
+  const auto it = endpoints_.find(request.session);
+  if (matched.empty() || it == endpoints_.end() || !it->second.deltas) {
+    respond(request, Status::kError);
+    return;
+  }
+  BreakAgent::Subscription sub;
+  sub.session = request.session;
+  sub.client_node = it->second.client_node;
+  sub.match.assign(symbols_->size(), 0);
+  for (const image::FunctionId fn : matched) sub.match[fn] = 1;
+  sub.sink = it->second.deltas;
+  forward_to_agent(64 + static_cast<std::int64_t>(request.pattern.size()),
+                   [sub = std::move(sub)](BreakAgent& agent) {
+                     // Keep session-id order so per-window fan-out is
+                     // independent of subscription arrival order.
+                     auto pos = std::upper_bound(
+                         agent.subs.begin(), agent.subs.end(), sub.session,
+                         [](SessionId id, const BreakAgent::Subscription& s) {
+                           return id < s.session;
+                         });
+                     agent.subs.insert(pos, sub);
+                   });
+  respond(request, Status::kOk);
+}
+
+void ControlService::handle_detach(const Request& request) {
+  const ReleaseResult released = admission_.release(request.session);
+  if (!released.directives.empty()) stage_service_program(released.directives);
+  if (!released.remove.empty()) {
+    PatchOp op;
+    for (const image::FunctionId fn : released.remove) {
+      op.remove.push_back(symbols_->at(fn).name);
+    }
+    op.response.session = kServiceSession;  // nobody waits on removals
+    enqueue_patch(std::move(op));
+  }
+  forward_to_agent(64, [session = request.session](BreakAgent& agent) {
+    agent.subs.erase(std::remove_if(agent.subs.begin(), agent.subs.end(),
+                                    [session](const BreakAgent::Subscription& s) {
+                                      return s.session == session;
+                                    }),
+                     agent.subs.end());
+  });
+  if (active_sessions_ > 0) --active_sessions_;
+  telemetry::Registry& reg = telemetry::current();
+  reg.set(reg.metrics().service_sessions_active,
+          static_cast<std::int64_t>(active_sessions_));
+  respond(request, Status::kOk);
+  // A grant release is headroom for whoever waits in the queue.
+  retry_queue();
+}
+
+void ControlService::on_window(const WindowReport& report) {
+  if (report.window > 0) {
+    const double seconds = sim::to_seconds(report.window);
+    for (const WindowReport::RateLine& line : report.lines) {
+      admission_.update_rate(line.fn,
+                             static_cast<double>(line.pairs + line.suppressed) / seconds);
+    }
+  }
+  if (!report.applied.empty()) admission_.replay(report.applied);
+  const double before = admission_.priced_fraction();
+  const ArbitrateResult arbitration = admission_.arbitrate();
+  if (!arbitration.directives.empty()) stage_service_program(arbitration.directives);
+
+  WindowRecord record;
+  record.sync = report.sync;
+  record.time = report.time;
+  record.window = report.window;
+  record.measured_fraction = report.measured_fraction;
+  record.priced_before = before;
+  record.priced_after = admission_.priced_fraction();
+  record.flips = static_cast<std::uint32_t>(arbitration.flipped.size());
+  record.at_floor = arbitration.at_floor;
+  windows_.push_back(record);
+
+  for (const auto& [session, seq] : report.acks) {
+    Response response;
+    response.session = session;
+    response.seq = seq;
+    response.status = Status::kOk;
+    send_response(std::move(response));
+  }
+  retry_queue();
+}
+
+void ControlService::retry_queue() {
+  if (queue_.empty()) return;
+  std::deque<QueuedAdmit> keep;
+  while (!queue_.empty()) {
+    QueuedAdmit entry = std::move(queue_.front());
+    queue_.pop_front();
+    if (shutting_down_) {
+      respond(entry.request, Status::kShutdown);
+      continue;
+    }
+    if (try_admit(entry.request, /*allow_queue=*/true)) continue;
+    if (engine_.now() - entry.enqueued >= options_.queue_timeout) {
+      telemetry::Registry& reg = telemetry::current();
+      reg.add(reg.metrics().service_denials);
+      respond(entry.request, Status::kDenied, admission_.priced_fraction());
+    } else {
+      keep.push_back(std::move(entry));
+    }
+  }
+  queue_.swap(keep);
+}
+
+void ControlService::initiate_shutdown(const std::string& sentinel_function) {
+  shutting_down_ = true;
+  for (const QueuedAdmit& entry : queue_) respond(entry.request, Status::kShutdown);
+  queue_.clear();
+  forward_to_agent(64, [sentinel = sentinel_function](BreakAgent& agent) {
+    agent.stop_requested = true;
+    agent.sentinel = sentinel;
+  });
+}
+
+void ControlService::stage_service_program(vt::FilterProgram program) {
+  if (program.empty()) return;
+  const std::int64_t bytes = vt::serialized_size(program);
+  forward_to_agent(bytes, [program = std::move(program)](BreakAgent& agent) {
+    agent.pending.push_back(
+        {kServiceSession, agent.service_seq++, program, /*ack=*/false});
+  });
+}
+
+void ControlService::respond(const Request& request, Status status, double projected) {
+  Response response;
+  response.session = request.session;
+  response.seq = request.seq;
+  response.status = status;
+  response.projected_fraction = projected;
+  send_response(std::move(response));
+}
+
+void ControlService::send_response(Response response) {
+  if (response.session == kServiceSession) return;
+  const auto it = endpoints_.find(response.session);
+  if (it == endpoints_.end() || !it->second.responses) return;
+  ++responses_sent_;
+  const sim::TimeNs now = engine_.now();
+  const sim::TimeNs delay =
+      cluster_.message_delay(node_, it->second.client_node, response_bytes(response), now);
+  ResponseSink sink = it->second.responses;
+  cluster_.engine_for_node(it->second.client_node)
+      .deliver_at(now + delay, [sink, response = std::move(response)] { sink(response); });
+}
+
+void ControlService::enqueue_patch(PatchOp op) {
+  patch_queue_.push_back(std::move(op));
+  patch_ready_->notify_one();
+}
+
+sim::Coro<void> ControlService::patch_loop() {
+  while (true) {
+    while (patch_queue_.empty()) co_await patch_ready_->wait();
+    std::vector<PatchOp> batch(std::make_move_iterator(patch_queue_.begin()),
+                               std::make_move_iterator(patch_queue_.end()));
+    patch_queue_.clear();
+
+    // Any number of queued edits costs one suspend/patch/resume cycle.  A
+    // batch can carry remove->install (detach, then another session re-admits)
+    // or install->remove cycles for one function; only the net effect against
+    // the tool's current probe state is patched.
+    std::vector<std::string> order;
+    std::map<std::string, bool> net_install;
+    for (const PatchOp& op : batch) {
+      for (const std::string& name : op.install) {
+        if (net_install.emplace(name, true).second) order.push_back(name);
+        net_install[name] = true;
+      }
+      for (const std::string& name : op.remove) {
+        if (net_install.emplace(name, false).second) order.push_back(name);
+        net_install[name] = false;
+      }
+    }
+    const std::vector<std::string>& current = tool_.instrumented_functions();
+    const auto is_instrumented = [&current](const std::string& name) {
+      return std::find(current.begin(), current.end(), name) != current.end();
+    };
+    std::vector<std::string> installs;
+    std::vector<std::string> removes;
+    for (const std::string& name : order) {
+      if (net_install[name]) {
+        if (!is_instrumented(name)) installs.push_back(name);
+      } else {
+        if (is_instrumented(name)) removes.push_back(name);
+      }
+    }
+
+    if (!installs.empty()) co_await tool_.insert_functions(installs);
+    if (!removes.empty()) co_await tool_.remove_functions(removes);
+    const dpcl::DpclApplication* app = tool_.application();
+
+    // Daemon death: every response from the patch path names the lost
+    // nodes, never hangs.  Not just on growth during this batch -- the
+    // loss may land on a response-less batch (a detach-driven removal),
+    // and any later grant is equally incomplete: its probes cannot reach
+    // the lost ranks.
+    std::vector<int> lost;
+    if (app != nullptr && !app->lost_nodes().empty()) {
+      lost.assign(app->lost_nodes().begin(), app->lost_nodes().end());
+    }
+    telemetry::Registry& reg = telemetry::current();
+    for (PatchOp& op : batch) {
+      if (op.response.session == kServiceSession) continue;
+      if (!lost.empty()) {
+        op.response.status = Status::kDaemonLost;
+        op.response.lost_nodes = lost;
+        reg.add(reg.metrics().service_daemon_lost_errors);
+      }
+      send_response(std::move(op.response));
+    }
+  }
+}
+
+void ControlService::forward_to_agent(std::int64_t bytes,
+                                      std::function<void(BreakAgent&)> mutate) {
+  BreakAgent* agent = agent_.get();
+  const sim::TimeNs now = engine_.now();
+  const sim::TimeNs delay = cluster_.message_delay(node_, agent_node_, bytes, now);
+  cluster_.engine_for_node(agent_node_)
+      .deliver_at(now + delay, [agent, mutate = std::move(mutate)] { mutate(*agent); });
+}
+
+}  // namespace dyntrace::service

@@ -1,0 +1,191 @@
+// ControlService: the multi-tenant interactive control service
+// (DESIGN.md §13).
+//
+// One long-lived service process on the tool node multiplexes many
+// concurrent sessions onto a single shared dynprof attachment:
+//
+//   * requests arrive as sized messages on the tool node's shard and are
+//     decided inline (admission pricing, subscription validation) or
+//     deferred (patching, safe-point application, admission queue);
+//   * physical probe edits batch through one patch executor coroutine that
+//     drives DynprofTool::insert_functions / remove_functions, so any
+//     number of sessions costs one suspend/patch/resume cycle per batch --
+//     and once a daemon death abandons a node, every patch-path response
+//     reports kDaemonLost with the lost node list (the probes cannot reach
+//     those ranks), never a hang;
+//   * filter directives (session confsyncs, admission degrades, budget
+//     arbitration) travel to a *break agent* homed on rank 0's shard, which
+//     merges them in (session, seq) order at each VT_confsync safe point --
+//     two sessions staging conflicting updates at one safe point therefore
+//     serialize deterministically, with the image state equal to applying
+//     them in session-id order;
+//   * the break agent also runs the overhead estimator per window, fans
+//     subscription deltas out to sessions straight from rank 0 (the stats
+//     overlay root -- sessions never receive the full event stream), and
+//     reports rates back so the admission controller re-arbitrates.
+//
+// Everything crosses shards exclusively through Engine::deliver_at with
+// Cluster::message_delay latencies, so runs are bit-identical across
+// --sim-threads.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dynprof/launch.hpp"
+#include "dynprof/tool.hpp"
+#include "service/admission.hpp"
+#include "service/session.hpp"
+#include "sim/sync.hpp"
+
+namespace dyntrace::service {
+
+struct ServiceOptions {
+  double budget_fraction = 0.05;
+  /// Assumed pairs/sec for not-yet-observed functions.
+  double default_rate_hz = 1000.0;
+  /// How long a denied instrument request may wait in the admission queue
+  /// for headroom before kDenied is surfaced (0 = fail fast).
+  sim::TimeNs queue_timeout = sim::seconds(30);
+};
+
+/// One safe-point window as the service saw it: the measured overhead of
+/// the last window, and the priced (admission-intent) overhead before and
+/// after arbitration.  The budget invariant the bench gates on is
+/// priced_after <= budget OR at_floor, for every window.
+struct WindowRecord {
+  std::uint64_t sync = 0;
+  sim::TimeNs time = 0;
+  sim::TimeNs window = 0;
+  double measured_fraction = 0.0;
+  double priced_before = 0.0;
+  double priced_after = 0.0;
+  std::uint32_t flips = 0;
+  bool at_floor = false;
+};
+
+class ControlService {
+ public:
+  /// Executed on the session's client-node engine when a response / delta
+  /// arrives (drivers bump counters or feed a mailbox from these).
+  using ResponseSink = std::function<void(const Response&)>;
+  using DeltaSink = std::function<void(const SubscriptionDelta&)>;
+
+  /// Wires the rank-0 break agent immediately (before Engine::run); the
+  /// service's own coroutines start with start().
+  ControlService(dynprof::Launch& launch, dynprof::DynprofTool& tool,
+                 ServiceOptions options);
+  ~ControlService();
+  ControlService(const ControlService&) = delete;
+  ControlService& operator=(const ControlService&) = delete;
+
+  /// Declare a session's response/delta delivery endpoints (host-side
+  /// setup, before Engine::run).
+  void register_session(SessionId id, int client_node, ResponseSink responses,
+                        DeltaSink deltas = {});
+
+  /// Spawn the patch executor.  Call from a coroutine on the tool shard
+  /// after DynprofTool::attached() has fired (probe edits are only valid
+  /// once the target is released into main()).
+  void start();
+
+  /// Hand one request to the service.  Must run on the tool node's shard;
+  /// session drivers get here via deliver_at with message_delay latency.
+  void submit(Request request);
+
+  /// Stop accepting work and ask the break agent to stage a deactivate
+  /// directive for `sentinel_function` at the next safe point -- the
+  /// scenario applications watch that filter entry and exit collectively.
+  void initiate_shutdown(const std::string& sentinel_function);
+
+  sim::Engine& engine() { return engine_; }
+  int node() const { return node_; }
+  const std::vector<WindowRecord>& windows() const { return windows_; }
+  const AdmissionController& admission() const { return admission_; }
+  std::size_t sessions_active() const { return active_sessions_; }
+  std::uint64_t responses_sent() const { return responses_sent_; }
+  std::size_t queue_depth() const { return queue_.size(); }
+
+ private:
+  struct BreakAgent;
+
+  struct PatchOp {
+    std::vector<std::string> install;
+    std::vector<std::string> remove;
+    /// Response to send once the batch lands; session == kServiceSession
+    /// means no response (e.g. detach-driven removals).
+    Response response;
+  };
+
+  struct QueuedAdmit {
+    Request request;
+    sim::TimeNs enqueued = 0;
+  };
+
+  struct SessionEndpoint {
+    int client_node = 0;
+    ResponseSink responses;
+    DeltaSink deltas;
+  };
+
+  /// The break agent's post-window report (built on rank 0's shard,
+  /// delivered to the service's).
+  struct WindowReport {
+    std::uint64_t sync = 0;
+    sim::TimeNs time = 0;
+    sim::TimeNs window = 0;
+    double measured_fraction = 0.0;
+    struct RateLine {
+      image::FunctionId fn = 0;
+      std::uint64_t pairs = 0;
+      std::uint64_t suppressed = 0;
+    };
+    std::vector<RateLine> lines;
+    vt::FilterProgram applied;
+    std::vector<std::pair<SessionId, std::uint32_t>> acks;
+  };
+
+  void handle_instrument(const Request& request, bool from_queue);
+  bool try_admit(const Request& request, bool allow_queue);
+  void stage_service_program(vt::FilterProgram program);
+  void handle_confsync(const Request& request);
+  void handle_subscribe(const Request& request);
+  void handle_detach(const Request& request);
+  void on_window(const WindowReport& report);
+  void retry_queue();
+  void respond(const Request& request, Status status, double projected = 0.0);
+  void send_response(Response response);
+  void enqueue_patch(PatchOp op);
+  void forward_to_agent(std::int64_t bytes, std::function<void(BreakAgent&)> mutate);
+  sim::Coro<void> patch_loop();
+
+  dynprof::Launch& launch_;
+  dynprof::DynprofTool& tool_;
+  machine::Cluster& cluster_;
+  sim::Engine& engine_;  ///< the tool node's shard
+  ServiceOptions options_;
+  int node_ = 0;        ///< tool node
+  int agent_node_ = 0;  ///< rank 0's node
+  std::shared_ptr<const image::SymbolTable> symbols_;
+  AdmissionController admission_;
+  std::unique_ptr<BreakAgent> agent_;
+
+  std::map<SessionId, SessionEndpoint> endpoints_;
+  std::size_t active_sessions_ = 0;
+  bool started_ = false;
+  bool shutting_down_ = false;
+
+  std::deque<PatchOp> patch_queue_;
+  std::unique_ptr<sim::Condition> patch_ready_;
+  std::deque<QueuedAdmit> queue_;
+  std::vector<WindowRecord> windows_;
+  std::uint64_t responses_sent_ = 0;
+};
+
+}  // namespace dyntrace::service

@@ -1,0 +1,47 @@
+#include "service/session.hpp"
+
+namespace dyntrace::service {
+
+const char* to_string(CommandKind kind) {
+  switch (kind) {
+    case CommandKind::kAttach: return "attach";
+    case CommandKind::kInstrument: return "instrument";
+    case CommandKind::kConfsync: return "confsync";
+    case CommandKind::kSubscribe: return "subscribe";
+    case CommandKind::kReport: return "report";
+    case CommandKind::kDetach: return "detach";
+  }
+  return "?";
+}
+
+const char* to_string(Status status) {
+  switch (status) {
+    case Status::kOk: return "ok";
+    case Status::kAdmitted: return "admitted";
+    case Status::kDegraded: return "degraded";
+    case Status::kDenied: return "denied";
+    case Status::kError: return "error";
+    case Status::kDaemonLost: return "daemon-lost";
+    case Status::kShutdown: return "shutdown";
+    case Status::kTimeout: return "timeout";
+  }
+  return "?";
+}
+
+std::int64_t request_bytes(const Request& request) {
+  std::int64_t bytes = 64;  // header: session, seq, kind, node
+  for (const auto& name : request.functions) {
+    bytes += static_cast<std::int64_t>(name.size()) + 8;
+  }
+  for (const auto& directive : request.directives) {
+    bytes += static_cast<std::int64_t>(directive.pattern.size()) + 8;
+  }
+  bytes += static_cast<std::int64_t>(request.pattern.size());
+  return bytes;
+}
+
+std::int64_t response_bytes(const Response& response) {
+  return 64 + 8 * static_cast<std::int64_t>(response.lost_nodes.size());
+}
+
+}  // namespace dyntrace::service

@@ -44,7 +44,20 @@ struct Metrics {
   CounterId dpcl_requests;             ///< requests broadcast
   CounterId dpcl_retries;              ///< per-node retry sends (attempt > 0)
   CounterId dpcl_dedup_hits;           ///< daemon re-acks of completed requests
+  CounterId dpcl_dedup_evictions;      ///< completed ids evicted from full dedup tables
   CounterId dpcl_abandoned_nodes;      ///< nodes given up on after max retries
+
+  // --- service: multi-tenant control service ---------------------------------
+  GaugeId service_sessions_active;     ///< sessions currently attached
+  CounterId service_commands;          ///< commands processed (responses sent)
+  CounterId service_admits;            ///< instrument requests admitted fully active
+  CounterId service_degrades;          ///< instrument requests admitted filter-degraded
+  CounterId service_denials;           ///< instrument requests denied (budget)
+  CounterId service_queued;            ///< instrument requests parked in the admission queue
+  CounterId service_daemon_lost_errors;///< commands failed with an explicit daemon-lost error
+  CounterId service_sub_deliveries;    ///< subscription delta messages pushed to sessions
+  CounterId service_sub_events;        ///< event pairs summarised across those deltas
+  HistogramId service_command_latency_ns;  ///< request send -> response receipt, per command
 
   // --- fault: injected fates -------------------------------------------------
   CounterId fault_drops;

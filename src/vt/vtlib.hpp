@@ -114,6 +114,7 @@ class VtLib {
   void link();
 
   proc::SimProcess& process() { return process_; }
+  const proc::SimProcess& process() const { return process_; }
   bool initialized() const { return initialized_; }
 
   /// Wire the MPI rank used for confsync coordination (MPI apps only).

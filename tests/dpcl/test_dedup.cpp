@@ -1,0 +1,108 @@
+// The bounded daemon dedup table: retries of a completed request re-ack
+// without re-executing, eviction is deterministic (oldest id first), and a
+// replayed *evicted* id is re-executed as a fresh request -- the capacity
+// covers the retry horizon, not the daemon's lifetime.
+#include <gtest/gtest.h>
+
+#include "dpcl/daemon.hpp"
+#include "telemetry/registry.hpp"
+
+namespace dyntrace::dpcl {
+namespace {
+
+std::shared_ptr<const image::SymbolTable> make_symbols() {
+  auto table = std::make_shared<image::SymbolTable>();
+  table->add("main");
+  return table;
+}
+
+/// One process on node 0 and its CommDaemon, capacity shrunk to 2.
+/// kSetFlag pokes process memory without needing the process started, so
+/// the flag value doubles as the "did the side effect run" witness.
+struct DedupHarness {
+  DedupHarness() : cluster(engine, machine::ibm_power3_sp()), job(cluster, "dedup") {
+    job.add_process(image::ProgramImage(make_symbols()), 0, 0);
+    daemon = std::make_unique<CommDaemon>(cluster, job, 0);
+    daemon->set_dedup_capacity(2);
+    daemon->start();
+  }
+
+  sim::Coro<void> send(std::uint64_t id, std::int64_t value) {
+    Request request;
+    request.kind = Request::Kind::kSetFlag;
+    request.pids = {0};
+    request.flag = "witness";
+    request.value = value;
+    request.request_id = id;
+    request.ack = std::make_shared<AckState>(engine, 1);
+    request.reply_node = 0;
+    daemon->inbox().put(request);
+    co_await request.ack->done.wait();
+  }
+
+  std::int64_t witness() { return job.process(0).flag("witness"); }
+
+  sim::Engine engine;
+  machine::Cluster cluster;
+  proc::ParallelJob job;
+  std::unique_ptr<CommDaemon> daemon;
+};
+
+// Immediately-invoked capturing-lambda coroutines dangle; drive the daemon
+// from a free coroutine taking the harness by reference instead.
+sim::Coro<void> drive_eviction(DedupHarness& h) {
+  // Fresh request executes.
+  co_await h.send(1, 10);
+  EXPECT_EQ(h.witness(), 10);
+  EXPECT_EQ(h.daemon->dedup_size(), 1u);
+
+  // Retry of a completed id: re-acked, side effect NOT re-run.
+  co_await h.send(1, 11);
+  EXPECT_EQ(h.witness(), 10);
+  EXPECT_EQ(h.daemon->dedup_size(), 1u);
+
+  // Two more ids overflow capacity 2 -> id 1 (oldest) evicted.
+  co_await h.send(2, 20);
+  co_await h.send(3, 30);
+  EXPECT_EQ(h.witness(), 30);
+  EXPECT_EQ(h.daemon->dedup_size(), 2u);
+
+  // Replaying the evicted id re-executes: the daemon has forgotten it.
+  co_await h.send(1, 99);
+  EXPECT_EQ(h.witness(), 99);
+  // ...and since old ids sort first, the re-inserted id 1 is immediately
+  // the eviction victim again, leaving {2, 3}.
+  EXPECT_EQ(h.daemon->dedup_size(), 2u);
+  co_await h.send(2, 21);
+  EXPECT_EQ(h.witness(), 99);  // id 2 still deduped -- it was never evicted
+}
+
+TEST(DpclDedup, EvictedRequestIdIsReExecutedOnReplay) {
+  telemetry::Registry registry(telemetry::Level::kCounters);
+  telemetry::ScopedRegistry scope(registry);
+  DedupHarness h;
+  h.engine.spawn(drive_eviction(h), "driver");
+  h.engine.run();
+  // Two overflows total: id 3 displacing id 1, then id 1's re-insert
+  // displacing itself.
+  EXPECT_EQ(registry.snapshot().counter_value("dpcl.dedup_evictions"), 2u);
+  EXPECT_EQ(registry.snapshot().counter_value("dpcl.dedup_hits"), 2u);
+}
+
+sim::Coro<void> drive_unlimited(DedupHarness& h) {
+  h.daemon->set_dedup_capacity(CommDaemon::kDedupCapacity);
+  for (std::uint64_t id = 1; id <= 8; ++id) co_await h.send(id, static_cast<std::int64_t>(id));
+  EXPECT_EQ(h.daemon->dedup_size(), 8u);
+}
+
+TEST(DpclDedup, DefaultCapacityKeepsEverythingSmall) {
+  telemetry::Registry registry(telemetry::Level::kCounters);
+  telemetry::ScopedRegistry scope(registry);
+  DedupHarness h;
+  h.engine.spawn(drive_unlimited(h), "driver");
+  h.engine.run();
+  EXPECT_EQ(registry.snapshot().counter_value("dpcl.dedup_evictions"), 0u);
+}
+
+}  // namespace
+}  // namespace dyntrace::dpcl

@@ -1,0 +1,167 @@
+// AdmissionController unit tests: the Dynamic -> Subset -> None ladder over
+// the const pricing model, grant sharing, release, deterministic budget
+// arbitration, and replay reconciliation -- all sim-free.
+#include "service/admission.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace dyntrace::service {
+namespace {
+
+std::shared_ptr<const image::SymbolTable> make_symbols(int fns) {
+  auto table = std::make_shared<image::SymbolTable>();
+  for (int i = 0; i < fns; ++i) table->add("fn" + std::to_string(i), "mod.c");
+  return table;
+}
+
+// active = 20'000 ns/pair at the 1000 Hz default rate -> 2% per function;
+// residual -> 0.05% per function.  Budget 5%: two functions fit active,
+// the third only filtered.
+AdmissionController make_controller(int fns = 8, sim::TimeNs active = 20'000,
+                                    sim::TimeNs residual = 500) {
+  return AdmissionController(make_symbols(fns), control::PairPrice{active, residual},
+                             AdmissionOptions{0.05, 1000.0});
+}
+
+TEST(Admission, AdmitsWithinBudget) {
+  AdmissionController ctl = make_controller();
+  const AdmitResult result = ctl.admit(0, {0});
+  EXPECT_EQ(result.decision, AdmitDecision::kAdmitted);
+  EXPECT_EQ(result.install, (std::vector<image::FunctionId>{0}));
+  EXPECT_TRUE(result.directives.empty());
+  EXPECT_NEAR(result.projected_fraction, 0.02, 1e-12);
+  EXPECT_TRUE(ctl.installed(0));
+  EXPECT_FALSE(ctl.filtered(0));
+}
+
+TEST(Admission, SharedFunctionsArePricedOnce) {
+  AdmissionController ctl = make_controller();
+  ctl.admit(0, {0, 1});
+  const AdmitResult shared = ctl.admit(1, {0, 1});
+  EXPECT_EQ(shared.decision, AdmitDecision::kAdmitted);
+  EXPECT_TRUE(shared.install.empty());  // probes already in
+  EXPECT_NEAR(shared.projected_fraction, 0.04, 1e-12);
+  EXPECT_EQ(ctl.holders(0), 2);
+}
+
+TEST(Admission, DegradesWhenOnlyResidualFits) {
+  AdmissionController ctl = make_controller();
+  ctl.admit(0, {0, 1});  // 4% active
+  const AdmitResult result = ctl.admit(1, {2});
+  EXPECT_EQ(result.decision, AdmitDecision::kDegraded);
+  EXPECT_EQ(result.install, (std::vector<image::FunctionId>{2}));
+  ASSERT_EQ(result.directives.size(), 1u);
+  EXPECT_FALSE(result.directives[0].activate);
+  EXPECT_EQ(result.directives[0].pattern, "fn2");
+  EXPECT_TRUE(ctl.filtered(2));
+  EXPECT_LE(result.projected_fraction, 0.05 + 1e-12);
+}
+
+TEST(Admission, JoiningADegradedGrantReportsDegraded) {
+  AdmissionController ctl = make_controller();
+  ctl.admit(0, {0, 1});
+  ctl.admit(1, {2});  // degraded
+  const AdmitResult join = ctl.admit(2, {2});
+  EXPECT_EQ(join.decision, AdmitDecision::kDegraded);
+  EXPECT_TRUE(join.install.empty());
+}
+
+TEST(Admission, DeniesWhenEvenResidualExceeds) {
+  // Residual as expensive as active: nothing fits once 4% is committed.
+  AdmissionController ctl = make_controller(8, 20'000, 20'000);
+  ctl.admit(0, {0, 1});
+  const AdmitResult denied = ctl.admit(1, {2});
+  EXPECT_EQ(denied.decision, AdmitDecision::kDenied);
+  EXPECT_TRUE(denied.install.empty());
+  EXPECT_FALSE(ctl.installed(2));
+  EXPECT_EQ(ctl.holders(2), 0);
+  EXPECT_NEAR(ctl.priced_fraction(), 0.04, 1e-12);  // unchanged
+}
+
+TEST(Admission, ReleaseRemovesAndReactivates) {
+  AdmissionController ctl = make_controller();
+  ctl.admit(0, {0, 1});
+  ctl.admit(1, {2});  // degraded, filtered
+  const ReleaseResult released = ctl.release(1);
+  EXPECT_EQ(released.remove, (std::vector<image::FunctionId>{2}));
+  ASSERT_EQ(released.directives.size(), 1u);
+  EXPECT_TRUE(released.directives[0].activate);  // clear the filter entry
+  EXPECT_FALSE(ctl.installed(2));
+  EXPECT_FALSE(ctl.filtered(2));
+  // Headroom restored: the set fits active again.
+  const AdmitResult again = ctl.admit(2, {2});
+  EXPECT_EQ(again.decision, AdmitDecision::kDegraded);  // 6% active > 5%
+}
+
+TEST(Admission, SharedReleaseKeepsProbes) {
+  AdmissionController ctl = make_controller();
+  ctl.admit(0, {0});
+  ctl.admit(1, {0});
+  EXPECT_TRUE(ctl.release(0).remove.empty());  // session 1 still holds fn0
+  EXPECT_TRUE(ctl.installed(0));
+  EXPECT_EQ(ctl.release(1).remove, (std::vector<image::FunctionId>{0}));
+  EXPECT_FALSE(ctl.installed(0));
+}
+
+TEST(Admission, ArbitrateFlipsMostExpensiveFirst) {
+  AdmissionController ctl = make_controller();
+  ctl.admit(0, {0, 1});
+  // fn0's observed rate triples: 6% + 2% > 5% budget.
+  ctl.update_rate(0, 3000.0);
+  const ArbitrateResult result = ctl.arbitrate();
+  EXPECT_EQ(result.flipped, (std::vector<image::FunctionId>{0}));
+  ASSERT_EQ(result.directives.size(), 1u);
+  EXPECT_FALSE(result.directives[0].activate);
+  EXPECT_EQ(result.directives[0].pattern, "fn0");
+  EXPECT_FALSE(result.at_floor);
+  EXPECT_TRUE(ctl.filtered(0));
+  EXPECT_LE(ctl.priced_fraction(), 0.05 + 1e-12);
+}
+
+TEST(Admission, ArbitrateReportsFloor) {
+  AdmissionController ctl = make_controller(8, 20'000, 18'000);
+  ctl.admit(0, {0, 1});
+  ctl.update_rate(0, 10'000.0);
+  ctl.update_rate(1, 10'000.0);
+  const ArbitrateResult result = ctl.arbitrate();
+  // Everything flipped, residual alone still exceeds the budget.
+  EXPECT_EQ(result.flipped, (std::vector<image::FunctionId>{0, 1}));
+  EXPECT_TRUE(result.at_floor);
+  EXPECT_GT(ctl.priced_fraction(), 0.05);
+}
+
+TEST(Admission, ReplayReconcilesFilterIntent) {
+  AdmissionController ctl = make_controller();
+  ctl.admit(0, {0, 1});
+  ctl.admit(1, {2});  // fn2 filtered
+  EXPECT_TRUE(ctl.filtered(2));
+  // A session's own confsync reactivated fn2 at the safe point; replay
+  // mirrors the applied program, so the priced state follows the image.
+  ctl.replay({{/*activate=*/true, "fn2"}});
+  EXPECT_FALSE(ctl.filtered(2));
+  // And arbitration restores the invariant deterministically.
+  const ArbitrateResult result = ctl.arbitrate();
+  EXPECT_FALSE(result.flipped.empty());
+  EXPECT_LE(ctl.priced_fraction(), 0.05 + 1e-12);
+}
+
+TEST(Admission, ReplayIgnoresUnheldFunctions) {
+  AdmissionController ctl = make_controller();
+  ctl.replay({{/*activate=*/false, "fn5"}});
+  EXPECT_FALSE(ctl.filtered(5));  // nobody holds fn5; intent untouched
+}
+
+TEST(Admission, RepeatGrantIsIdempotent) {
+  AdmissionController ctl = make_controller();
+  ctl.admit(0, {0});
+  const AdmitResult repeat = ctl.admit(0, {0, 0});
+  EXPECT_EQ(repeat.decision, AdmitDecision::kAdmitted);
+  EXPECT_TRUE(repeat.install.empty());
+  EXPECT_EQ(ctl.holders(0), 1);
+  EXPECT_EQ(ctl.release(0).remove, (std::vector<image::FunctionId>{0}));
+}
+
+}  // namespace
+}  // namespace dyntrace::service
