@@ -121,6 +121,8 @@ int main(int argc, char** argv) {
   vt::ShardOptions spilling;
   spilling.spill_budget_bytes = std::size_t{1} << 16;  // 2048-record runs
   spilling.spill_dir = "";                             // system temp
+  spilling.format = vt::TraceFormat::kV1;  // this part measures the framed v1 path
+
   double spill_s;
   {
     HotRate spill_rate;

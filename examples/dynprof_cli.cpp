@@ -103,6 +103,9 @@ int main(int argc, char** argv) {
   std::string script_path;
   std::string timefile_path;
   std::string tracefile_path;
+  std::string tracebin_path;
+  std::string trace_format_name = "v2";
+  std::int64_t trace_spill_bytes = 0;
   std::string fault_plan_path;
   std::int64_t fault_seed = -1;
   bool show_timeline = false;
@@ -126,6 +129,15 @@ int main(int argc, char** argv) {
       .option_string("script", "command script (default: read stdin)", &script_path)
       .option_string("timefile", "write dynprof internal timings here", &timefile_path)
       .option_string("trace", "write the VGV trace file here", &tracefile_path)
+      .option_string("trace-bin", "write the compact binary trace here", &tracebin_path)
+      .option_string("trace-format",
+                     "binary/spill trace encoding: v1 (fixed records) | v2 "
+                     "(delta blocks + suppression; the default)",
+                     &trace_format_name)
+      .option_int("trace-spill-bytes",
+                  "per-shard byte budget before sorted runs spill to disk (0 = "
+                  "keep shards in memory)",
+                  &trace_spill_bytes)
       .option_string("fault-plan", "inject faults from this plan file (see configs/)",
                      &fault_plan_path)
       .option_int("fault-seed", "override the plan's seed", &fault_seed)
@@ -194,6 +206,10 @@ int main(int argc, char** argv) {
     options.sim_threads = static_cast<int>(sim_threads);
     options.fault = injector;
     options.telemetry_level = telemetry::level_from_string(telemetry_level);
+    const vt::TraceFormat trace_format = vt::trace_format_from_string(trace_format_name);
+    options.trace_format = trace_format;
+    DT_EXPECT(trace_spill_bytes >= 0, "--trace-spill-bytes must be >= 0");
+    options.trace_spill_bytes = static_cast<std::size_t>(trace_spill_bytes);
     dynprof::Launch launch(std::move(options));
 
     dynprof::DynprofTool::Options topt;
@@ -244,6 +260,11 @@ int main(int argc, char** argv) {
       launch.trace()->write(tracefile_path);
       std::printf("trace (%zu events) written to %s\n", launch.trace()->size(),
                   tracefile_path.c_str());
+    }
+    if (!tracebin_path.empty()) {
+      launch.trace()->write_binary(tracebin_path, trace_format);
+      std::printf("binary trace (%zu events, %s) written to %s\n", launch.trace()->size(),
+                  vt::to_string(trace_format).c_str(), tracebin_path.c_str());
     }
 
     if (!telemetry_stats_path.empty()) {

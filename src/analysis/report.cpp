@@ -183,6 +183,20 @@ std::string summary_report(const vt::TraceStore& store, const image::SymbolTable
                       "imbalance (max/mean) %.3f\n",
                       balance.mean, balance.min, balance.max, balance.imbalance);
   }
+  const auto volume = store.volume_stats();
+  if (volume.spilled_records > 0) {
+    os << str::format("trace volume: %llu spilled record(s) in %llu byte(s) "
+                      "(%.2f bytes/event)",
+                      static_cast<unsigned long long>(volume.spilled_records),
+                      static_cast<unsigned long long>(volume.spilled_bytes),
+                      volume.bytes_per_event());
+    if (volume.super_records > 0) {
+      os << str::format(", suppression folded %llu record(s) into %llu super-record(s)",
+                        static_cast<unsigned long long>(volume.suppressed_records),
+                        static_cast<unsigned long long>(volume.super_records));
+    }
+    os << "\n";
+  }
   return os.str();
 }
 

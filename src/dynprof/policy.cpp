@@ -30,6 +30,8 @@ PolicyResult run_policy(const RunConfig& config) {
   options.machine = config.machine;
   options.sim_threads = config.sim_threads;
   options.telemetry_level = config.telemetry_level;
+  options.trace_spill_bytes = config.trace_spill_bytes;
+  options.trace_format = config.trace_format;
   Launch launch(std::move(options));
 
   PolicyResult result;

@@ -25,6 +25,11 @@ struct RunConfig {
   /// Self-telemetry level for the run (DESIGN.md §12).  Telemetry never
   /// perturbs simulated results -- digests are identical at every level.
   telemetry::Level telemetry_level = telemetry::default_level();
+  /// Trace-shard spill budget and run encoding (see Launch::Options).  The
+  /// format changes bytes on disk only -- digests, statistics, and decision
+  /// logs are bit-identical between v1 and v2.
+  std::size_t trace_spill_bytes = 0;
+  vt::TraceFormat trace_format = vt::TraceFormat::kV2;
   /// Capture the run's telemetry artifacts after completion (set by the CLI
   /// when --telemetry-stats/--telemetry-trace ask for files).
   std::function<void(const telemetry::Registry&)> telemetry_sink;

@@ -36,9 +36,14 @@ struct Metrics {
   // --- vt: sharded trace store ----------------------------------------------
   CounterId vt_spill_runs;             ///< spill runs written
   CounterId vt_spill_bytes;            ///< encoded bytes handed to spill I/O
+  CounterId vt_spill_records;          ///< records covered by spill runs
   CounterId vt_torn_shards;            ///< shards that hit a torn tail
   CounterId vt_salvaged_records;       ///< records recovered from torn spills
   CounterId vt_lost_records;           ///< records dropped by salvage
+  CounterId vt_suppression_hits;       ///< records folded into super-records (v2)
+  CounterId vt_suppression_supers;     ///< super-records emitted (v2)
+  CounterId vt_suppression_evictions;  ///< pattern-table FIFO evictions (v2)
+  HistogramId vt_bytes_per_event;      ///< encoded bytes/record per spill run
 
   // --- dpcl: control-plane requests -----------------------------------------
   CounterId dpcl_requests;             ///< requests broadcast

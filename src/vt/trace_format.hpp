@@ -1,12 +1,12 @@
-// The compact binary trace encoding (v1).
+// The compact binary trace encodings (v1 and v2).
 //
-// Layout, all little-endian and fixed width so a record can be located by
-// index without parsing its predecessors:
+// v1 -- fixed width, all little-endian, so a record can be located by index
+// without parsing its predecessors:
 //
 //   header (16 bytes):
 //     [0..4)   magic "DTRC"
-//     [4..6)   format version (u16, currently 1)
-//     [6..8)   record size in bytes (u16, currently 32)
+//     [4..6)   format version (u16)
+//     [6..8)   record size in bytes (u16; 32 for v1, 0 for v2 = variable)
 //     [8..16)  record count (u64)
 //   records (32 bytes each):
 //     [0..8)   time (i64 ns)
@@ -17,12 +17,17 @@
 //     [28]     kind (u8)
 //     [29..32) reserved, zero
 //
-// The same record encoding is used by whole-trace files written by
-// TraceStore::write_binary (header + records).  Shard spill runs wrap each
-// record in a *frame* -- the 32 record bytes followed by their CRC32
-// (little-endian u32, 36 bytes total) -- so a run torn mid-write is
-// recoverable: every complete, checksummed frame before the tear is salvaged
-// and the corrupt tail is skipped and counted (see TraceShard).
+// v2 -- the same 16-byte file header (version 2, record size 0) followed by
+// self-contained CRC-framed *blocks* of varint zig-zag delta records with
+// per-block dictionaries and counted super-records (trace_codec_v2.hpp).
+//
+// Spill runs wrap records for crash safety instead of using a file header:
+// v1 wraps each record in a *frame* -- the 32 record bytes followed by
+// their CRC32 (little-endian u32, 36 bytes total); v2 spill runs are a bare
+// block sequence (each block already carries its own magic + CRC).  Either
+// way a run torn mid-write is recoverable: every complete, checksummed
+// frame/block before the tear is salvaged and the corrupt tail is skipped
+// and counted (see TraceShard).
 #pragma once
 
 #include <cstddef>
@@ -34,40 +39,126 @@
 namespace dyntrace::vt {
 
 inline constexpr std::uint8_t kTraceMagic[4] = {'D', 'T', 'R', 'C'};
-inline constexpr std::uint16_t kTraceFormatVersion = 1;
+
+/// On-disk encoding generation.  v1: fixed 32-byte records, CRC per spill
+/// frame.  v2: varint delta blocks with per-block dictionaries, suppression
+/// super-records, and CRC per block.
+enum class TraceFormat : std::uint16_t {
+  kV1 = 1,
+  kV2 = 2,
+};
+
+inline constexpr std::uint16_t kTraceFormatV1 = 1;
+inline constexpr std::uint16_t kTraceFormatV2 = 2;
+/// Newest version this reader/writer understands (the write default).
+inline constexpr std::uint16_t kTraceFormatVersion = kTraceFormatV2;
 inline constexpr std::size_t kTraceHeaderBytes = 16;
 inline constexpr std::size_t kTraceRecordBytes = 32;
 
+/// Parse "v1"/"v2" (or bare "1"/"2"); throws dyntrace::Error on anything
+/// else, naming the accepted spellings.
+TraceFormat trace_format_from_string(const std::string& name);
+std::string to_string(TraceFormat format);
+
 /// True if `kind` is a defined EventKind discriminant.
-bool valid_event_kind(std::uint8_t kind);
+inline bool valid_event_kind(std::uint8_t kind) {
+  return kind <= static_cast<std::uint8_t>(EventKind::kMarker);
+}
+
+/// Decoded file-header fields (see decode_trace_header).
+struct TraceHeader {
+  std::uint16_t version = 0;
+  std::uint64_t record_count = 0;
+};
 
 /// Serialize the file header into `out` (kTraceHeaderBytes bytes).
-void encode_trace_header(std::uint64_t record_count, std::uint8_t* out);
+void encode_trace_header(TraceFormat format, std::uint64_t record_count, std::uint8_t* out);
 
-/// Validate magic/version/record size of a header and return the record
-/// count; throws dyntrace::Error (mentioning `context`, typically the file
+/// Validate magic/version/record size of a header and return the decoded
+/// fields; throws dyntrace::Error (mentioning `context`, typically the file
 /// path) on mismatch or if fewer than kTraceHeaderBytes bytes are present.
-std::uint64_t decode_trace_header(const std::uint8_t* data, std::size_t size,
-                                  const std::string& context);
+/// A version this reader does not implement is rejected with an explicit
+/// versioned message (which versions the file and the reader speak), so a
+/// v1-only consumer fails loudly on a v2 file instead of misparsing it.
+TraceHeader decode_trace_header(const std::uint8_t* data, std::size_t size,
+                                const std::string& context);
 
-/// Serialize one event into `out` (kTraceRecordBytes bytes).
+/// Serialize one event into `out` (kTraceRecordBytes bytes, v1 layout).
 void encode_event(const Event& event, std::uint8_t* out);
 
-/// Parse one record; throws dyntrace::Error on an unknown event kind.
+/// Parse one v1 record; throws dyntrace::Error on an unknown event kind.
 Event decode_event(const std::uint8_t* in, const std::string& context);
 
-// --- CRC-framed spill records ----------------------------------------------
+// --- little-endian + varint primitives (shared with the v2 block codec) ----
+
+void put_u32_le(std::uint8_t* out, std::uint32_t v);
+std::uint32_t get_u32_le(const std::uint8_t* in);
+
+/// Longest LEB128 encoding of a u64 (10 bytes).
+inline constexpr std::size_t kMaxVarintBytes = 10;
+
+/// LEB128-encode `v` into `out` (at least kMaxVarintBytes writable bytes);
+/// returns the encoded length.
+inline std::size_t put_varint(std::uint8_t* out, std::uint64_t v) {
+  std::size_t n = 0;
+  while (v >= 0x80u) {
+    out[n++] = static_cast<std::uint8_t>(v | 0x80u);
+    v >>= 7;
+  }
+  out[n++] = static_cast<std::uint8_t>(v);
+  return n;
+}
+
+/// Decode one LEB128 varint from [*p, end); advances *p past it.  Returns
+/// false (without advancing past `end`) on truncation or overlong input.
+/// Inline with a one-byte fast path: the block decoder calls this five
+/// times per record, and most deltas and dictionary indices fit 7 bits.
+inline bool get_varint(const std::uint8_t** p, const std::uint8_t* end, std::uint64_t* out) {
+  const std::uint8_t* cur = *p;
+  if (cur < end && *cur < 0x80u) {
+    *out = *cur;
+    *p = cur + 1;
+    return true;
+  }
+  std::uint64_t v = 0;
+  int shift = 0;
+  while (cur < end && shift < 70) {
+    const std::uint8_t byte = *cur++;
+    v |= static_cast<std::uint64_t>(byte & 0x7fu) << shift;
+    if ((byte & 0x80u) == 0) {
+      // Reject overlong 10-byte encodings whose last byte carries bits a
+      // u64 cannot hold (they would silently alias another value).
+      if (shift == 63 && byte > 1) return false;
+      *p = cur;
+      *out = v;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;  // truncated (ran off `end`) or longer than 10 bytes
+}
+
+/// Zig-zag fold: small negative and positive deltas both become small
+/// unsigned varints.
+inline std::uint64_t zigzag_encode(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^ static_cast<std::uint64_t>(v >> 63);
+}
+inline std::int64_t zigzag_decode(std::uint64_t v) {
+  return static_cast<std::int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+// --- CRC-framed spill records (v1) -----------------------------------------
 
 inline constexpr std::size_t kSpillFrameBytes = kTraceRecordBytes + 4;
 
 /// CRC-32 (IEEE 802.3 polynomial, reflected) of `size` bytes.
 std::uint32_t crc32(const std::uint8_t* data, std::size_t size);
 
-/// Serialize one event as a spill frame: record bytes + CRC32 of them
+/// Serialize one event as a v1 spill frame: record bytes + CRC32 of them
 /// (kSpillFrameBytes bytes).
 void encode_spill_frame(const Event& event, std::uint8_t* out);
 
-/// Validate and parse one spill frame.  Returns false (without throwing)
+/// Validate and parse one v1 spill frame.  Returns false (without throwing)
 /// on CRC mismatch or an unknown event kind -- the salvage path treats
 /// either as the torn tail of a run.
 bool decode_spill_frame(const std::uint8_t* in, Event& out);

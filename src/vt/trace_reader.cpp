@@ -97,34 +97,98 @@ std::uint64_t salvage_frame_count(const std::string& path) {
   return intact;
 }
 
-bool MergeCursor::HeadAfter::operator()(const Head& a, const Head& b) const {
+BlockRunCursor::BlockRunCursor(const std::string& path, std::uint64_t offset,
+                               std::uint64_t count)
+    : path_(path), in_(path, std::ios::binary), remaining_(count) {
+  DT_EXPECT(in_.good(), "cannot open v2 trace '", path_, "'");
+  in_.seekg(static_cast<std::streamoff>(offset));
+  DT_EXPECT(in_.good(), path_, ": cannot seek to block offset ", offset);
+}
+
+void BlockRunCursor::open_next_block() {
+  block_.resize(kBlockHeaderBytes);
+  in_.read(reinterpret_cast<char*>(block_.data()),
+           static_cast<std::streamsize>(kBlockHeaderBytes));
+  DT_EXPECT(static_cast<std::size_t>(in_.gcount()) == kBlockHeaderBytes, path_,
+            ": truncated v2 block header (expected ", remaining_, " more record(s))");
+  const std::uint32_t payload_len = get_u32_le(block_.data() + 8);
+  DT_EXPECT(payload_len <= kMaxBlockPayloadBytes, path_, ": oversize v2 block (",
+            payload_len, " payload bytes)");
+  block_.resize(kBlockHeaderBytes + payload_len);
+  in_.read(reinterpret_cast<char*>(block_.data() + kBlockHeaderBytes),
+           static_cast<std::streamsize>(payload_len));
+  DT_EXPECT(static_cast<std::size_t>(in_.gcount()) == payload_len, path_,
+            ": truncated v2 block payload (expected ", remaining_, " more record(s))");
+  std::size_t block_bytes = 0;
+  std::uint32_t record_count = 0;
+  DT_EXPECT(decoder_.reset(block_.data(), block_.size(), &block_bytes, &record_count),
+            path_, ": corrupt v2 block (bad magic or CRC mismatch) with ", remaining_,
+            " record(s) expected");
+  chunk_.resize(record_count);
+  const std::uint32_t drained = decoder_.drain(chunk_.data(), record_count);
+  DT_EXPECT(drained == record_count && !decoder_.failed(), path_,
+            ": malformed v2 block payload with ", remaining_, " record(s) expected");
+  chunk_pos_ = 0;
+}
+
+bool BlockRunCursor::next(Event& out) {
+  if (remaining_ == 0) return false;
+  while (chunk_pos_ >= chunk_.size()) open_next_block();  // tolerates empty blocks
+  out = chunk_[chunk_pos_++];
+  --remaining_;
+  return true;
+}
+
+bool MergeCursor::after(std::uint32_t a, std::uint32_t b) const {
   const EventOrder order;
-  if (order(a.event, b.event)) return false;
-  if (order(b.event, a.event)) return true;
-  return a.index > b.index;
+  if (order(slots_[a], slots_[b])) return false;
+  if (order(slots_[b], slots_[a])) return true;
+  return a > b;
 }
 
 MergeCursor::MergeCursor(std::vector<std::unique_ptr<EventCursor>> inputs)
     : inputs_(std::move(inputs)) {
+  slots_.resize(inputs_.size());
   heap_.reserve(inputs_.size());
   for (std::size_t i = 0; i < inputs_.size(); ++i) {
-    Head head{Event{}, i};
-    if (inputs_[i]->next(head.event)) heap_.push_back(head);
+    if (inputs_[i]->next(slots_[i])) heap_.push_back(static_cast<std::uint32_t>(i));
   }
-  // std::*_heap with a "comes later" comparator keeps the earliest event at
+  const auto later = [this](std::uint32_t a, std::uint32_t b) { return after(a, b); };
+  // std::*_heap with a "comes later" comparator keeps the earliest slot at
   // the front.  Invert by using it as a max-heap of "later" elements.
-  std::make_heap(heap_.begin(), heap_.end(), HeadAfter{});
+  std::make_heap(heap_.begin(), heap_.end(), later);
+}
+
+void MergeCursor::sift_down() {
+  const std::size_t n = heap_.size();
+  const std::uint32_t moving = heap_[0];
+  std::size_t i = 0;
+  while (true) {
+    const std::size_t left = 2 * i + 1;
+    if (left >= n) break;
+    std::size_t earliest = left;
+    const std::size_t right = left + 1;
+    if (right < n && after(heap_[left], heap_[right])) earliest = right;
+    if (!after(moving, heap_[earliest])) break;
+    heap_[i] = heap_[earliest];  // hole technique: indices move, not events
+    i = earliest;
+  }
+  heap_[i] = moving;
 }
 
 bool MergeCursor::next(Event& out) {
   if (heap_.empty()) return false;
-  std::pop_heap(heap_.begin(), heap_.end(), HeadAfter{});
-  Head head = heap_.back();
-  heap_.pop_back();
-  out = head.event;
-  if (inputs_[head.index]->next(head.event)) {
-    heap_.push_back(head);
-    std::push_heap(heap_.begin(), heap_.end(), HeadAfter{});
+  // The comparator is a strict total order (EventOrder + slot index), so the
+  // emitted sequence is independent of how the heap restores itself: replace
+  // the root's head in place and sift once, rather than pop + re-push.
+  const std::uint32_t top = heap_[0];
+  out = slots_[top];
+  if (inputs_[top]->next(slots_[top])) {
+    sift_down();
+  } else {
+    heap_[0] = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) sift_down();
   }
   return true;
 }

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "vt/event.hpp"
+#include "vt/trace_codec_v2.hpp"
 
 namespace dyntrace::vt {
 
@@ -82,6 +83,31 @@ class FramedRunCursor final : public EventCursor {
 /// at the first short, CRC-corrupt, or unknown-kind frame (the torn tail).
 std::uint64_t salvage_frame_count(const std::string& path);
 
+/// Cursor over `count` records encoded as v2 blocks starting at byte
+/// `offset` of a file (a v2 spill run, or a v2 trace file past its header).
+/// Blocks stream one at a time; each block is drained into a chunk buffer in
+/// a single decode pass, so resident memory is one block's expanded records
+/// (at most kBlockRecords, the same residency class as the v1 chunk readers)
+/// -- never the run's total record count.  Strict: throws dyntrace::Error on
+/// a torn, CRC-corrupt, or malformed block -- callers bound `count` by
+/// salvage_v2_scan() when the run may be torn.
+class BlockRunCursor final : public EventCursor {
+ public:
+  BlockRunCursor(const std::string& path, std::uint64_t offset, std::uint64_t count);
+  bool next(Event& out) override;
+
+ private:
+  void open_next_block();
+
+  std::string path_;
+  std::ifstream in_;
+  std::uint64_t remaining_;
+  std::vector<std::uint8_t> block_;
+  BlockDecoder decoder_;
+  std::vector<Event> chunk_;
+  std::size_t chunk_pos_ = 0;
+};
+
 /// K-way merge over sorted child cursors via a min-heap keyed by EventOrder.
 /// Ties resolve to the lower child index, so runs split from one append
 /// stream (earlier run = lower index) merge append-stably, and the merged
@@ -92,16 +118,20 @@ class MergeCursor final : public EventCursor {
   bool next(Event& out) override;
 
  private:
-  struct Head {
-    Event event;
-    std::size_t index;
-  };
-  struct HeadAfter {  // "comes later": std::*_heap less-than for a min-heap
-    bool operator()(const Head& a, const Head& b) const;
-  };
+  /// True when slot a's head event sorts after slot b's (ties to the higher
+  /// slot index, so the lower index wins) -- a strict total order, which
+  /// makes the merged sequence independent of heap mechanics.
+  bool after(std::uint32_t a, std::uint32_t b) const;
+
+  /// Restore the heap property after the head event of slot heap_[0]
+  /// changed (replace-top sift: one root-to-leaf pass instead of pop_heap +
+  /// push_heap's two).  The heap holds 4-byte slot indices -- events stay in
+  /// their slots -- so a sift moves indices, not 32-byte records.
+  void sift_down();
 
   std::vector<std::unique_ptr<EventCursor>> inputs_;
-  std::vector<Head> heap_;
+  std::vector<Event> slots_;           ///< current head event per live input
+  std::vector<std::uint32_t> heap_;    ///< min-heap of slot indices
 };
 
 /// Drain a cursor into a vector (tests and small traces only).

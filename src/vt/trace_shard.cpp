@@ -54,7 +54,10 @@ void write_file_durably(const std::string& path, const std::uint8_t* data,
 }  // namespace
 
 TraceShard::TraceShard(std::int32_t pid, ShardOptions options)
-    : pid_(pid), options_(std::move(options)), run_base_(make_run_base(options_, pid)) {}
+    : pid_(pid),
+      options_(std::move(options)),
+      run_base_(make_run_base(options_, pid)),
+      suppression_(options_.suppression_table_capacity) {}
 
 TraceShard::~TraceShard() {
   for (const Run& run : runs_) std::remove(run.path.c_str());
@@ -79,6 +82,29 @@ void TraceShard::append(const Event& event) {
   }
 }
 
+void TraceShard::append_batch(const Event* events, std::size_t count) {
+  if (count == 0) return;
+  if (torn_) {
+    dropped_records_ += count;
+    return;
+  }
+  if (empty()) min_time_ = max_time_ = events[0].time;
+  tail_.reserve(tail_.size() + count);
+  for (std::size_t i = 0; i < count; ++i) {
+    min_time_ = std::min(min_time_, events[i].time);
+    max_time_ = std::max(max_time_, events[i].time);
+    tail_.push_back(events[i]);
+    if (options_.spill_budget_bytes > 0 &&
+        tail_.size() * sizeof(Event) >= options_.spill_budget_bytes) {
+      spill();
+      if (torn_) {
+        dropped_records_ += count - i - 1;
+        return;
+      }
+    }
+  }
+}
+
 void TraceShard::spill() {
   if (tail_.empty()) return;
   // Each run must be internally sorted for the k-way merge; per-process
@@ -86,9 +112,17 @@ void TraceShard::spill() {
   // also makes the merge robust against out-of-order appends (clock
   // adjustments, adversarial input).
   std::stable_sort(tail_.begin(), tail_.end(), EventOrder{});
-  std::vector<std::uint8_t> bytes(tail_.size() * kSpillFrameBytes);
-  for (std::size_t i = 0; i < tail_.size(); ++i) {
-    encode_spill_frame(tail_[i], bytes.data() + i * kSpillFrameBytes);
+  std::vector<std::uint8_t> bytes;
+  V2EncodeStats enc;
+  if (options_.format == TraceFormat::kV2) {
+    SuppressionTable* table =
+        options_.suppression_table_capacity > 0 ? &suppression_ : nullptr;
+    enc = encode_v2_blocks(tail_.data(), tail_.size(), table, bytes);
+  } else {
+    bytes.resize(tail_.size() * kSpillFrameBytes);
+    for (std::size_t i = 0; i < tail_.size(); ++i) {
+      encode_spill_frame(tail_[i], bytes.data() + i * kSpillFrameBytes);
+    }
   }
   const std::uint64_t run_index = runs_.size();
   std::size_t written = bytes.size();
@@ -104,6 +138,20 @@ void TraceShard::spill() {
   const telemetry::Metrics& tm = reg.metrics();
   reg.add(tm.vt_spill_runs);
   reg.add(tm.vt_spill_bytes, written);
+  reg.add(tm.vt_spill_records, tail_.size());
+  spilled_bytes_ += written;
+  if (options_.format == TraceFormat::kV2) {
+    suppressed_records_ += enc.suppressed;
+    super_records_ += enc.supers;
+    reg.add(tm.vt_suppression_hits, enc.suppressed);
+    reg.add(tm.vt_suppression_supers, enc.supers);
+    const std::uint64_t new_evictions = suppression_.evictions() - noted_evictions_;
+    if (new_evictions > 0) reg.add(tm.vt_suppression_evictions, new_evictions);
+    noted_evictions_ = suppression_.evictions();
+    reg.observe(tm.vt_bytes_per_event, written / tail_.size());
+  } else {
+    reg.observe(tm.vt_bytes_per_event, kSpillFrameBytes);
+  }
   if (written == bytes.size()) {
     // Atomic publish: the run exists completely or not at all.
     DT_EXPECT(std::rename(tmp_path.c_str(), final_path.c_str()) == 0,
@@ -112,8 +160,11 @@ void TraceShard::spill() {
     spilled_records_ += tail_.size();
   } else {
     // Torn mid-write: the rename never happened, so the run is still a
-    // `.tmp`.  Salvage every complete, CRC-valid frame before the tear.
-    const std::uint64_t salvaged = salvage_frame_count(tmp_path);
+    // `.tmp`.  Salvage everything complete and CRC-valid before the tear
+    // (v1: whole frames, v2: whole blocks).
+    const std::uint64_t salvaged = options_.format == TraceFormat::kV2
+                                       ? salvage_v2_scan(tmp_path).records
+                                       : salvage_frame_count(tmp_path);
     runs_.push_back(Run{tmp_path, salvaged, true});
     spilled_records_ += salvaged;
     salvaged_records_ += salvaged;
@@ -131,7 +182,11 @@ std::vector<std::unique_ptr<EventCursor>> TraceShard::run_cursors() const {
   cursors.reserve(runs_.size() + 1);
   for (const Run& run : runs_) {
     if (run.count == 0) continue;
-    cursors.push_back(std::make_unique<FramedRunCursor>(run.path, 0, run.count));
+    if (options_.format == TraceFormat::kV2) {
+      cursors.push_back(std::make_unique<BlockRunCursor>(run.path, 0, run.count));
+    } else {
+      cursors.push_back(std::make_unique<FramedRunCursor>(run.path, 0, run.count));
+    }
   }
   if (!tail_.empty()) {
     std::vector<Event> sorted_tail = tail_;

@@ -4,14 +4,17 @@
 // collection time: each VtLib appends to its own shard (no shared vector,
 // no lock on the append path -- exactly one writer per shard), and a shard
 // past its byte budget sorts its open tail and spills it to disk as one
-// CRC-framed binary run (trace_format.hpp).  Readers see the shard as a set
-// of sorted runs merged on the fly (trace_reader.hpp).
+// sorted binary run.  v2 runs (the default) are varint delta blocks with
+// per-block dictionaries and redundancy suppression (trace_codec_v2.hpp);
+// v1 runs are fixed CRC-framed records (trace_format.hpp).  Readers see the
+// shard as a set of sorted runs merged on the fly (trace_reader.hpp).
 //
 // Crash safety: every run is its own file, written to `<run>.tmp`, fsynced,
 // and renamed into place -- a run either exists completely or (if the
 // writer died mid-spill) is left as a torn `.tmp`.  A torn run is salvaged
-// frame by frame: every complete, CRC-valid record before the tear is
-// recovered; the corrupt tail is skipped and counted (lost_records()).
+// at the CRC granule (v1: per frame, v2: per block): everything complete
+// and CRC-valid before the tear is recovered; the corrupt tail is skipped
+// and counted (lost_records()).
 #pragma once
 
 #include <cstdint>
@@ -22,6 +25,7 @@
 
 #include "sim/time.hpp"
 #include "vt/event.hpp"
+#include "vt/trace_codec_v2.hpp"
 #include "vt/trace_format.hpp"
 #include "vt/trace_reader.hpp"
 
@@ -33,6 +37,13 @@ struct ShardOptions {
   std::size_t spill_budget_bytes = 0;
   /// Directory for spill files; empty = the system temp directory.
   std::string spill_dir;
+  /// On-disk run encoding.  v2 (the default) spills varint delta blocks
+  /// with redundancy suppression; v1 spills fixed CRC-framed records.
+  TraceFormat format = TraceFormat::kV2;
+  /// Bound on the v2 suppression pattern memo (SuppressionTable); adversarial
+  /// never-repeating traces evict deterministically instead of growing.
+  /// 0 disables suppression entirely (v2 still delta-encodes).
+  std::size_t suppression_table_capacity = 1024;
   /// Fault hook: called with (pid, run_index, intended_bytes) before a run
   /// is written and returns how many bytes actually reach the disk.  A
   /// short return models the writer dying mid-spill: the run stays a torn
@@ -48,12 +59,25 @@ class TraceShard {
   TraceShard& operator=(const TraceShard&) = delete;
 
   void append(const Event& event);
+  /// Append a flushed batch in order (the VtLib flush path).
+  void append_batch(const Event* events, std::size_t count);
 
   std::int32_t pid() const { return pid_; }
   std::size_t size() const { return static_cast<std::size_t>(spilled_records_) + tail_.size(); }
   bool empty() const { return size() == 0; }
   std::size_t spill_runs() const { return runs_.size(); }
-  std::uint64_t spilled_bytes() const { return spilled_records_ * kTraceRecordBytes; }
+  /// Bytes actually written to disk across all spill runs (encoded size,
+  /// torn tails included) -- the numerator of bytes/event.
+  std::uint64_t spilled_bytes() const { return spilled_bytes_; }
+  /// Records covered by spill runs (the bytes/event denominator).
+  std::uint64_t spilled_records() const { return spilled_records_; }
+
+  /// Records folded into super-records beyond the stored pattern (v2 only).
+  std::uint64_t suppressed_records() const { return suppressed_records_; }
+  /// Super-records emitted across all spills (v2 only).
+  std::uint64_t super_records() const { return super_records_; }
+  /// The shard's pattern memo (hit/eviction counters, bounded size).
+  const SuppressionTable& suppression_table() const { return suppression_; }
 
   /// True once a spill was torn mid-write; the shard then drops further
   /// appends (the writer is gone) and exposes what was recovered.
@@ -87,9 +111,14 @@ class TraceShard {
   std::int32_t pid_;
   ShardOptions options_;
   std::string run_base_;
+  SuppressionTable suppression_;
   std::vector<Event> tail_;
   std::vector<Run> runs_;
   std::uint64_t spilled_records_ = 0;
+  std::uint64_t spilled_bytes_ = 0;
+  std::uint64_t suppressed_records_ = 0;
+  std::uint64_t super_records_ = 0;
+  std::uint64_t noted_evictions_ = 0;  ///< evictions already reported to telemetry
   std::uint64_t salvaged_records_ = 0;
   std::uint64_t lost_records_ = 0;
   std::uint64_t dropped_records_ = 0;

@@ -79,6 +79,24 @@ class TraceStore {
   };
   SalvageStats salvage_stats() const;
 
+  /// Aggregate trace-volume outcome across shards: encoded spill bytes and
+  /// the suppression counters behind the bytes/event figure (analysis
+  /// reports these; the bench gates on them).
+  struct VolumeStats {
+    std::uint64_t spilled_bytes = 0;       ///< encoded bytes written across runs
+    std::uint64_t spilled_records = 0;     ///< records those bytes cover
+    std::uint64_t suppressed_records = 0;  ///< records folded into super-records
+    std::uint64_t super_records = 0;       ///< super-records emitted
+    std::uint64_t table_evictions = 0;     ///< suppression-table FIFO evictions
+    /// Encoded bytes per spilled record; 0 when nothing spilled.
+    double bytes_per_event() const {
+      return spilled_records == 0 ? 0.0
+                                  : static_cast<double>(spilled_bytes) /
+                                        static_cast<double>(spilled_records);
+    }
+  };
+  VolumeStats volume_stats() const;
+
   /// Events of one process in time order, materialized.
   std::vector<Event> for_process(std::int32_t pid) const;
 
@@ -92,8 +110,11 @@ class TraceStore {
   void write(const std::string& path) const;
 
   /// Serialize to the compact binary format (trace_format.hpp), streamed
-  /// through the merge so the trace is never fully resident.
-  void write_binary(const std::string& path) const;
+  /// through the merge so the trace is never fully resident.  v2 (the
+  /// default) writes delta blocks with suppression; v1 writes fixed
+  /// records for consumers that predate the block codec.
+  void write_binary(const std::string& path,
+                    TraceFormat format = TraceFormat::kV2) const;
 
   /// Parse a file written by write() or write_binary(); the format is
   /// auto-detected from the magic bytes.

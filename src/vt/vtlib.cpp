@@ -150,7 +150,7 @@ sim::Coro<void> VtLib::flush(proc::SimThread& thread) {
   ++flushes_;
   co_await thread.compute(costs().vt_flush_per_record *
                           static_cast<sim::TimeNs>(buffer_.size()));
-  for (const auto& e : buffer_) shard_->append(e);
+  shard_->append_batch(buffer_.data(), buffer_.size());
   buffer_.clear();
 }
 

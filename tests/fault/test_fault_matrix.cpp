@@ -38,7 +38,8 @@ struct MatrixResult {
 
 MatrixResult run_cell(const std::string& app_name, const std::string& plan_text,
                       int sim_threads, const std::string& script_text,
-                      std::size_t spill_bytes = 0) {
+                      std::size_t spill_bytes = 0,
+                      vt::TraceFormat format = vt::TraceFormat::kV2) {
   const asci::AppSpec* app = asci::find_app(app_name);
   EXPECT_NE(app, nullptr);
   auto injector =
@@ -52,6 +53,7 @@ MatrixResult run_cell(const std::string& app_name, const std::string& plan_text,
   options.sim_threads = sim_threads;
   options.trace_spill_bytes = spill_bytes;
   options.trace_spill_dir = ::testing::TempDir();
+  options.trace_format = format;
   options.fault = injector;
   Launch launch(std::move(options));
 
@@ -78,12 +80,14 @@ MatrixResult run_cell(const std::string& app_name, const std::string& plan_text,
 MatrixResult run_cell_deterministically(const std::string& app_name,
                                         const std::string& plan_text,
                                         const std::string& script_text,
-                                        std::size_t spill_bytes = 0) {
-  const MatrixResult t1 = run_cell(app_name, plan_text, 1, script_text, spill_bytes);
+                                        std::size_t spill_bytes = 0,
+                                        vt::TraceFormat format = vt::TraceFormat::kV2) {
+  const MatrixResult t1 =
+      run_cell(app_name, plan_text, 1, script_text, spill_bytes, format);
   EXPECT_TRUE(t1.tool_finished) << app_name;
   for (const int threads : {2, 8}) {
     const MatrixResult tn = run_cell(app_name, plan_text, threads, script_text,
-                                     spill_bytes);
+                                     spill_bytes, format);
     EXPECT_TRUE(tn.tool_finished) << app_name << " sim-threads=" << threads;
     EXPECT_EQ(t1.digest, tn.digest)
         << app_name << ": trace diverged at sim-threads=" << threads;
@@ -143,11 +147,27 @@ TEST_P(FaultMatrix, TenfoldDelaysOnlySlowTheControlPlane) {
 }
 
 TEST_P(FaultMatrix, TornShardSalvagesAndMerges) {
+  // v1 salvage is frame-granular: half a run's bytes keep half its records.
+  const MatrixResult r = run_cell_deterministically(
+      GetParam(), "seed 15\ntear-shard rank=3 spill=0 keep=0.5\n", kPlainScript,
+      /*spill_bytes=*/std::size_t{1} << 11, vt::TraceFormat::kV1);
+  EXPECT_EQ(r.salvage.torn_shards, 1u);
+  EXPECT_GT(r.salvage.salvaged_records, 0u);
+  EXPECT_GT(r.salvage.lost_records, 0u);
+  EXPECT_NE(r.report.find("shard-torn"), std::string::npos);
+  EXPECT_GT(r.digest, 0u);
+}
+
+TEST_P(FaultMatrix, TornShardV2SalvageIsBlockGranular) {
+  // v2 salvage is block-granular: a 64-record run is a single block, so a
+  // tear that keeps only half its bytes loses the whole run -- but the job
+  // still terminates, the merge skips the torn tail, and the outcome stays
+  // bit-identical at every --sim-threads.
   const MatrixResult r = run_cell_deterministically(
       GetParam(), "seed 15\ntear-shard rank=3 spill=0 keep=0.5\n", kPlainScript,
       /*spill_bytes=*/std::size_t{1} << 11);
   EXPECT_EQ(r.salvage.torn_shards, 1u);
-  EXPECT_GT(r.salvage.salvaged_records, 0u);
+  EXPECT_EQ(r.salvage.salvaged_records, 0u);  // mid-block tear: nothing salvable
   EXPECT_GT(r.salvage.lost_records, 0u);
   EXPECT_NE(r.report.find("shard-torn"), std::string::npos);
   EXPECT_GT(r.digest, 0u);

@@ -201,7 +201,7 @@ TEST(TraceBinary, TruncatedPayloadThrows) {
   store.append(make_event(1, 0));
   store.append(make_event(2, 0));
   const std::string path = ::testing::TempDir() + "/trace_truncated.bin";
-  store.write_binary(path);
+  store.write_binary(path, TraceFormat::kV1);
   // Chop the last record in half.
   std::error_code ec;
   std::filesystem::resize_file(path, kTraceHeaderBytes + kTraceRecordBytes + 16, ec);
@@ -214,7 +214,7 @@ TEST(TraceBinary, UnknownKindByteThrows) {
   TraceStore store;
   store.append(make_event(1, 0));
   const std::string path = ::testing::TempDir() + "/trace_badkind.bin";
-  store.write_binary(path);
+  store.write_binary(path, TraceFormat::kV1);
   {
     std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
     f.seekp(static_cast<std::streamoff>(kTraceHeaderBytes + 28));  // kind byte of record 0
@@ -233,10 +233,19 @@ TEST(TraceBinary, UnsupportedVersionThrows) {
   {
     std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
     f.seekp(4);  // version field
-    const char v2[2] = {2, 0};
-    f.write(v2, 2);
+    const char v3[2] = {3, 0};
+    f.write(v3, 2);
   }
-  EXPECT_THROW(TraceStore::read(path), Error);
+  // A reader that only speaks v1 and v2 must reject the file loudly, naming
+  // both the file's version and its own.
+  try {
+    TraceStore::read(path);
+    FAIL() << "version 3 was accepted";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("version 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("v1 and v2"), std::string::npos) << what;
+  }
   std::remove(path.c_str());
 }
 
@@ -264,18 +273,30 @@ TEST(TraceText, UnknownEventKindThrows) {
 
 TEST(TraceFormat, HeaderRejectsBadMagicAndRecordSize) {
   std::uint8_t header[kTraceHeaderBytes];
-  encode_trace_header(3, header);
-  EXPECT_EQ(decode_trace_header(header, sizeof(header), "t"), 3u);
+  encode_trace_header(TraceFormat::kV1, 3, header);
+  TraceHeader decoded = decode_trace_header(header, sizeof(header), "t");
+  EXPECT_EQ(decoded.version, kTraceFormatV1);
+  EXPECT_EQ(decoded.record_count, 3u);
+
+  encode_trace_header(TraceFormat::kV2, 9, header);
+  decoded = decode_trace_header(header, sizeof(header), "t");
+  EXPECT_EQ(decoded.version, kTraceFormatV2);
+  EXPECT_EQ(decoded.record_count, 9u);
 
   std::uint8_t bad_magic[kTraceHeaderBytes];
-  encode_trace_header(3, bad_magic);
+  encode_trace_header(TraceFormat::kV1, 3, bad_magic);
   bad_magic[0] = 'X';
   EXPECT_THROW(decode_trace_header(bad_magic, sizeof(bad_magic), "t"), Error);
 
   std::uint8_t bad_size[kTraceHeaderBytes];
-  encode_trace_header(3, bad_size);
+  encode_trace_header(TraceFormat::kV1, 3, bad_size);
   bad_size[6] = 16;  // record size 16 instead of 32
   EXPECT_THROW(decode_trace_header(bad_size, sizeof(bad_size), "t"), Error);
+
+  std::uint8_t bad_v2_size[kTraceHeaderBytes];
+  encode_trace_header(TraceFormat::kV2, 3, bad_v2_size);
+  bad_v2_size[6] = 32;  // v2 must advertise variable-length records (0)
+  EXPECT_THROW(decode_trace_header(bad_v2_size, sizeof(bad_v2_size), "t"), Error);
 }
 
 TEST(TraceStoreSharded, EventsGroupsByProcess) {

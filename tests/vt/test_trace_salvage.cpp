@@ -85,6 +85,7 @@ TEST(TraceShard, TornSpillSalvagesLeadingFrames) {
   ShardOptions options;
   options.spill_budget_bytes = 4 * sizeof(Event);
   options.spill_dir = ::testing::TempDir();
+  options.format = TraceFormat::kV1;  // frame-exact salvage math below is v1's
   // Run 1 of pid 9 is cut mid-record: 2.5 frames' worth of bytes reach the
   // disk, so exactly 2 records are salvageable.
   options.spill_fault = [](std::int32_t pid, std::uint64_t run, std::size_t bytes) {
@@ -118,6 +119,7 @@ TEST(TraceStore, SalvageStatsAggregateAcrossShards) {
   TraceStore::Options options;
   options.spill_budget_bytes = 2 * sizeof(Event);
   options.spill_dir = ::testing::TempDir();
+  options.format = TraceFormat::kV1;  // frame-exact salvage math below is v1's
   options.spill_fault = [](std::int32_t pid, std::uint64_t run, std::size_t bytes) {
     if (pid == 1 && run == 0) return kSpillFrameBytes;  // keep 1 of 2 frames
     return bytes;
