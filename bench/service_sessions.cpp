@@ -4,10 +4,12 @@
 //
 // Reports sessions/sec (host wall clock), p50/p99 command latency (sim
 // time), the admission outcome mix, the cross---sim-threads determinism
-// check (bit-identical digests for 1/2/4/8 shards), and the admission
-// invariant (priced overhead <= budget, or at_floor, in every window).
-// Emits BENCH_service.json; shape-check failures exit non-zero, so CI's
-// service-smoke step gates on the invariant.
+// check (bit-identical digests for 1/2/4/8 shards), the batched-driver
+// cell (100k sessions on a few hundred driver coroutines, so memory stays
+// flat in session count), and the admission invariant (priced overhead <=
+// budget, or at_floor, in every window).  Emits BENCH_service.json;
+// shape-check failures exit non-zero, so CI's service-smoke step gates on
+// the invariant.
 #include <algorithm>
 #include <cstdio>
 #include <map>
@@ -70,7 +72,10 @@ int main(int argc, char** argv) {
   std::int64_t functions = 32;
   std::int64_t commands = 4;
   std::int64_t seed = 42;
+  std::int64_t batch_sessions = 100'000;
+  std::int64_t session_batch = 512;
   bool skip_determinism = false;
+  bool skip_batch = false;
   std::string json_path = "BENCH_service.json";
 
   CliParser cli("service_sessions",
@@ -80,7 +85,10 @@ int main(int argc, char** argv) {
       .option_int("functions", "target app function inventory", &functions)
       .option_int("commands", "commands per session between attach/detach", &commands)
       .option_int("seed", "base RNG seed", &seed)
+      .option_int("batch-sessions", "session count for the batched-driver cell", &batch_sessions)
+      .option_int("session-batch", "sessions per driver coroutine in that cell", &session_batch)
       .flag("skip-determinism", "skip the cross-thread digest sweep", &skip_determinism)
+      .flag("skip-batch", "skip the batched-driver 100k-session cell", &skip_batch)
       .option_string("json", "output JSON path", &json_path);
   if (!cli.parse(argc, argv)) return 0;
 
@@ -139,14 +147,39 @@ int main(int argc, char** argv) {
     std::fputs(dtable.render().c_str(), stdout);
   }
 
-  // --- Part 3: admission invariant ------------------------------------------
+  // --- Part 3: batched drivers, memory flat in session count -----------------
+  std::vector<Cell> batch_cells;
+  if (!skip_batch) {
+    std::printf("\nPart 3: batched drivers -- %lld sessions, %lld per driver coroutine\n\n",
+                static_cast<long long>(batch_sessions), static_cast<long long>(session_batch));
+    service::ScenarioOptions batched = base;
+    batched.session_batch = static_cast<int>(session_batch);
+    batch_cells.push_back(run_cell(batched, static_cast<int>(batch_sessions), 1));
+    std::fprintf(stderr, "\n");
+    const Cell& cell = batch_cells.front();
+    const long long drivers =
+        (batch_sessions + session_batch - 1) / (session_batch > 0 ? session_batch : 1);
+    TextTable btable({"Sessions", "Batch", "Drivers", "Sessions/s", "p50 ms", "p99 ms",
+                      "Shed", "Windows", "Sim s", "Host s"});
+    btable.add_row({std::to_string(cell.sessions), std::to_string(session_batch),
+                    std::to_string(drivers), TextTable::num(cell.sessions_per_sec, 0),
+                    TextTable::num(sim::to_seconds(cell.p50) * 1e3, 3),
+                    TextTable::num(sim::to_seconds(cell.p99) * 1e3, 3),
+                    std::to_string(cell.result.shed_commands),
+                    std::to_string(cell.result.windows.size()),
+                    TextTable::num(cell.result.sim_seconds, 3),
+                    TextTable::num(cell.result.host_seconds, 2)});
+    std::fputs(btable.render().c_str(), stdout);
+  }
+
+  // --- Part 4: admission invariant ------------------------------------------
   std::size_t windows_total = 0;
   std::size_t violations = 0;
   std::size_t at_floor = 0;
   std::uint64_t timeouts = 0;
   std::uint64_t total_commands = 0;
   std::uint64_t expected_commands = 0;
-  for (const std::vector<Cell>* cells : {&sweep, &det}) {
+  for (const std::vector<Cell>* cells : {&sweep, &det, &batch_cells}) {
     for (const Cell& cell : *cells) {
       windows_total += cell.result.windows.size();
       violations += cell.result.budget_violations;
@@ -191,8 +224,25 @@ int main(int argc, char** argv) {
     std::fprintf(f, "\"%016llx\"%s", static_cast<unsigned long long>(det[i].result.digest),
                  i + 1 < det.size() ? ", " : "");
   }
+  std::fprintf(f, "]},\n  \"batched\": ");
+  if (batch_cells.empty()) {
+    std::fprintf(f, "null,\n");
+  } else {
+    const Cell& cell = batch_cells.front();
+    std::fprintf(f,
+                 "{\"sessions\": %d, \"session_batch\": %lld, \"sessions_per_sec\": %.1f,"
+                 " \"p50_ns\": %lld, \"p99_ns\": %lld, \"commands\": %llu,"
+                 " \"shed\": %llu, \"windows\": %zu, \"sim_seconds\": %.6f,"
+                 " \"host_seconds\": %.3f},\n",
+                 cell.sessions, static_cast<long long>(session_batch), cell.sessions_per_sec,
+                 static_cast<long long>(cell.p50), static_cast<long long>(cell.p99),
+                 static_cast<unsigned long long>(cell.result.commands),
+                 static_cast<unsigned long long>(cell.result.shed_commands),
+                 cell.result.windows.size(), cell.result.sim_seconds,
+                 cell.result.host_seconds);
+  }
   std::fprintf(f,
-               "]},\n  \"admission\": {\"windows\": %zu, \"violations\": %zu,"
+               "  \"admission\": {\"windows\": %zu, \"violations\": %zu,"
                " \"at_floor\": %zu}\n}\n",
                windows_total, violations, at_floor);
   std::fclose(f);
@@ -205,6 +255,13 @@ int main(int argc, char** argv) {
   checks.push_back({"admission never exceeded the budget (or was at floor)", violations == 0});
   if (!skip_determinism) {
     checks.push_back({"digests bit-identical across sim-threads 1/2/4/8", identical});
+  }
+  if (!skip_batch) {
+    checks.push_back({"batched drivers answered every session's script",
+                      !batch_cells.empty() &&
+                          batch_cells.front().result.commands ==
+                              static_cast<std::uint64_t>(batch_sessions) *
+                                  static_cast<std::uint64_t>(commands + 2)});
   }
   return bench::report_checks(checks);
 }

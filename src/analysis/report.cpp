@@ -232,4 +232,25 @@ std::string render_decision_log(const control::DecisionLog& log) {
   return os.str();
 }
 
+std::string render_health(const dpcl::HealthTracker& health) {
+  const std::vector<int> nodes = health.tracked_nodes();
+  if (nodes.empty()) return "node health: no requests tracked\n";
+  std::ostringstream os;
+  TextTable table({"node", "score", "breaker", "acks", "misses", "probes", "skips",
+                   "opens", "closes"});
+  std::size_t quarantined = 0;
+  for (const int node : nodes) {
+    const dpcl::HealthTracker::NodeHealth& h = health.node_health(node);
+    if (h.state != dpcl::BreakerState::kClosed) ++quarantined;
+    table.add_row({std::to_string(node), str::format("%.3f", h.score),
+                   dpcl::to_string(h.state), std::to_string(h.acks),
+                   std::to_string(h.misses), std::to_string(h.probes),
+                   std::to_string(h.skips), std::to_string(h.opens),
+                   std::to_string(h.closes)});
+  }
+  os << table.render();
+  os << str::format("%zu node(s) tracked, %zu quarantined\n", nodes.size(), quarantined);
+  return os.str();
+}
+
 }  // namespace dyntrace::analysis

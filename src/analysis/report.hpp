@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "control/controller.hpp"
+#include "dpcl/health.hpp"
 #include "image/symbols.hpp"
 #include "vt/trace_store.hpp"
 
@@ -65,5 +66,10 @@ std::string summary_report(const vt::TraceStore& store, const image::SymbolTable
 /// budget, and which groups were switched), plus a one-line summary of safe
 /// points where the controller left the configuration alone.
 std::string render_decision_log(const control::DecisionLog& log);
+
+/// Render the dpcl health tracker's per-node gray-failure view: one row per
+/// tracked node with its EWMA score, breaker state, and attempt/transition
+/// counters (DESIGN.md §14).  Empty tracker -> a one-line "no nodes" note.
+std::string render_health(const dpcl::HealthTracker& health);
 
 }  // namespace dyntrace::analysis

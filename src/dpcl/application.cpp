@@ -41,6 +41,9 @@ DpclApplication::DpclApplication(machine::Cluster& cluster, proc::ParallelJob& j
     }
     node_pids_[static_cast<std::size_t>(it - nodes_.begin())].push_back(process->pid());
   }
+  if (fault::FaultInjector* injector = cluster_.fault_injector()) {
+    health_ = std::make_unique<HealthTracker>(cluster_.spec().fault, &injector->report());
+  }
 }
 
 sim::Coro<void> DpclApplication::connect(proc::SimThread& tool) {
@@ -176,20 +179,67 @@ sim::Coro<void> DpclApplication::broadcast(proc::SimThread& tool, Request protot
 }
 
 sim::Coro<void> DpclApplication::broadcast_ft(proc::SimThread& tool, Request prototype) {
+  fault::FaultInjector* injector = cluster_.fault_injector();
+  quarantined_last_broadcast_.clear();
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     const int node = nodes_[i];
     if (lost_nodes_.count(node) != 0) continue;
+    // Circuit breaker (steady state only; setup-phase requests always run
+    // the full protocol -- see set_steady_state).
+    HealthTracker::Admit admit = HealthTracker::Admit::kNormal;
+    if (steady_state_ && health_ != nullptr) admit = health_->admit(node, tool.engine().now());
+    if (admit == HealthTracker::Admit::kSkip) {
+      quarantined_last_broadcast_.push_back(node);
+      // Quarantine sheds instrumentation work, never the ability to
+      // un-wedge targets: a resume skipped between a delivered suspend and
+      // the next barrier would deadlock the whole job on the quarantined
+      // node's ranks.  Model the DPCL library's local detach fallback --
+      // the kernel resumes a tracee whose tracer lets go -- exactly as
+      // abandon_node does for dead daemons.
+      if (prototype.kind == Request::Kind::kResume) {
+        force_resume_node(i, tool.engine().now());
+      }
+      continue;
+    }
     Request request = prototype;
     request.pids = node_pids_[i];
     request.reply_node = tool_node_;
     request.request_id = next_request_id_++;
-    const bool acked = co_await request_node(tool, i, std::move(request));
-    if (!acked) abandon_node(node, tool.engine().now());
+    const bool acked = co_await request_node(tool, i, std::move(request),
+                                             admit == HealthTracker::Admit::kProbe);
+    if (acked) continue;
+    // A failed probe re-opened the breaker (not a full retry exhaustion);
+    // the node stays quarantined, not abandoned.  Likewise a gray-prone
+    // node (named by a flap/degrade action) that exhausts its retries is
+    // quarantined -- its daemon is sick, not gone, and a later half-open
+    // probe can re-admit it.  Everything else keeps the crash-fault
+    // semantics: exhaustion abandons the node for good.
+    if (admit == HealthTracker::Admit::kProbe ||
+        (steady_state_ && injector->daemon_gray_prone(node))) {
+      quarantined_last_broadcast_.push_back(node);
+      // Same safety net as the skip path: a failed resume leaves the
+      // node's processes ptrace-suspended, so force the detach-resume
+      // (idempotent if the sick daemon eventually works its backlog off).
+      if (prototype.kind == Request::Kind::kResume) {
+        force_resume_node(i, tool.engine().now());
+      }
+    } else {
+      abandon_node(node, tool.engine().now());
+    }
+  }
+}
+
+void DpclApplication::force_resume_node(std::size_t index, sim::TimeNs now) {
+  const int node = nodes_[index];
+  const sim::TimeNs delay = cluster_.message_delay(tool_node_, node, 0, now);
+  for (const int pid : node_pids_[index]) {
+    proc::SimProcess& process = job_.process(pid);
+    cluster_.engine_for_node(node).deliver_at(now + delay, [&process] { process.resume(); });
   }
 }
 
 sim::Coro<bool> DpclApplication::request_node(proc::SimThread& tool, std::size_t index,
-                                              Request request) {
+                                              Request request, bool probe) {
   fault::FaultInjector* injector = cluster_.fault_injector();
   DT_ASSERT(injector != nullptr);
   const machine::FaultTolerance& ft = cluster_.spec().fault;
@@ -197,7 +247,10 @@ sim::Coro<bool> DpclApplication::request_node(proc::SimThread& tool, std::size_t
   const int node = nodes_[index];
   CommDaemon* daemon = comm_daemons_[index].get();
 
-  for (int attempt = 0; attempt <= ft.request_max_retries; ++attempt) {
+  // A half-open probe gets exactly one attempt: its job is to answer "has
+  // the node recovered?" cheaply, not to push the request through.
+  const int max_retries = probe ? 0 : ft.request_max_retries;
+  for (int attempt = 0; attempt <= max_retries; ++attempt) {
     // A fresh single-node AckState per attempt: a late or duplicated ack of
     // an earlier attempt decrements an already-fired (abandoned) state and
     // can never complete a later one early.
@@ -222,8 +275,13 @@ sim::Coro<bool> DpclApplication::request_node(proc::SimThread& tool, std::size_t
       reg.add(reg.metrics().dpcl_requests);
       if (attempt > 0) reg.add(reg.metrics().dpcl_retries);
     }
-    if (co_await ack->done.wait_for(ft.request_deadline)) co_return true;
-    if (attempt < ft.request_max_retries) {
+    const sim::TimeNs sent = now;
+    const bool acked = co_await ack->done.wait_for(ft.request_deadline);
+    if (health_ != nullptr) {
+      health_->record_attempt(node, acked, tool_engine.now() - sent, tool_engine.now());
+    }
+    if (acked) co_return true;
+    if (attempt < max_retries) {
       co_await tool_engine.sleep(ft.retry_backoff_base << attempt);
     }
   }
@@ -256,6 +314,20 @@ void DpclApplication::abandon_node(int node, sim::TimeNs now) {
   fault::FaultInjector* injector = cluster_.fault_injector();
   DT_ASSERT(injector != nullptr);
   injector->report().add(now, "daemon-lost", str::format("node=%d", node), ranks);
+}
+
+std::vector<int> DpclApplication::quarantined_pids() const {
+  std::vector<int> out;
+  if (health_ == nullptr) return out;
+  for (const int node : health_->quarantined_nodes()) {
+    if (lost_nodes_.count(node) != 0) continue;
+    const auto it = std::find(nodes_.begin(), nodes_.end(), node);
+    if (it == nodes_.end()) continue;
+    const auto& pids = node_pids_[static_cast<std::size_t>(it - nodes_.begin())];
+    out.insert(out.end(), pids.begin(), pids.end());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 std::vector<int> DpclApplication::lost_pids() const {

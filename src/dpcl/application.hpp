@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "dpcl/daemon.hpp"
+#include "dpcl/health.hpp"
 #include "proc/process.hpp"
 
 namespace dyntrace::dpcl {
@@ -81,6 +82,27 @@ class DpclApplication {
   /// Pids living on lost nodes, ascending.
   std::vector<int> lost_pids() const;
 
+  // --- gray-failure health (fault-tolerant mode only) -------------------------
+
+  /// Per-node health scores + circuit breakers fed by the request path.
+  /// Null without a fault injector.
+  const HealthTracker* health() const { return health_.get(); }
+  /// Marks the end of the setup phase (connect/create/instrument): from
+  /// here on, broadcasts may quarantine open-breaker nodes instead of
+  /// waiting out their retries.  Setup-phase requests always run the full
+  /// protocol -- skipping a create or attach would wedge the job, and
+  /// abandonment semantics there are unchanged.
+  void set_steady_state(bool steady) { steady_state_ = steady; }
+  bool steady_state() const { return steady_state_; }
+  /// Nodes the *latest* broadcast quarantine-skipped or failed to probe,
+  /// ascending -- the caller's signal to degrade those nodes' coverage for
+  /// that operation (they are not lost; a later probe can re-admit them).
+  const std::vector<int>& quarantined_last_broadcast() const {
+    return quarantined_last_broadcast_;
+  }
+  /// Pids on currently quarantined (open/half-open breaker) nodes, ascending.
+  std::vector<int> quarantined_pids() const;
+
  private:
   sim::Coro<void> broadcast(proc::SimThread& tool, Request prototype, bool blocking);
   /// Fault-tolerant broadcast: sequential per-node delivery with deadline,
@@ -88,9 +110,15 @@ class DpclApplication {
   /// abandoned (not retried forever, never hung on).
   sim::Coro<void> broadcast_ft(proc::SimThread& tool, Request prototype);
   /// At-least-once delivery of one request to one node; false = no ack
-  /// within any deadline.
-  sim::Coro<bool> request_node(proc::SimThread& tool, std::size_t index, Request request);
+  /// within any deadline.  With `probe` set the request is a half-open
+  /// breaker probe: a single attempt, no retries.
+  sim::Coro<bool> request_node(proc::SimThread& tool, std::size_t index, Request request,
+                               bool probe = false);
   void abandon_node(int node, sim::TimeNs now);
+  /// The detach-resume safety net: deliver resume() to a node's processes
+  /// without abandoning it, so a quarantined resume broadcast cannot leave
+  /// them ptrace-suspended across a barrier (which would wedge the job).
+  void force_resume_node(std::size_t index, sim::TimeNs now);
 
   machine::Cluster& cluster_;
   proc::ParallelJob& job_;
@@ -106,6 +134,9 @@ class DpclApplication {
   std::uint64_t requests_sent_ = 0;
   std::set<int> lost_nodes_;
   std::uint64_t next_request_id_ = 1;
+  std::unique_ptr<HealthTracker> health_;
+  bool steady_state_ = false;
+  std::vector<int> quarantined_last_broadcast_;
 };
 
 }  // namespace dyntrace::dpcl

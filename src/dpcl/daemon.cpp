@@ -17,6 +17,13 @@ constexpr sim::TimeNs kAuthCost = sim::milliseconds(40);
 constexpr sim::TimeNs kForkCommDaemonCost = sim::milliseconds(85);
 constexpr std::int64_t kAckBytes = 64;
 
+/// Service time scaled by a degrade-daemon factor (gray failure: the
+/// daemon is alive but slow).  1.0 is the overwhelmingly common case.
+sim::TimeNs degraded(sim::TimeNs cost, double factor) {
+  if (factor == 1.0) return cost;
+  return static_cast<sim::TimeNs>(std::llround(static_cast<double>(cost) * factor));
+}
+
 /// Deliver an ack to the waiter's node, subjecting it to the fault
 /// injector's daemon-channel message fate when one is installed (without
 /// one this is exactly the legacy single delivery).
@@ -99,7 +106,13 @@ sim::Coro<void> CommDaemon::loop() {
       continue;
     }
     ++requests_handled_;
-    co_await engine.sleep(cluster_.spec().costs.dpcl_daemon_dispatch);
+    // A degrade-daemon action stretches the whole service time (dispatch
+    // and per-target work), evaluated once at receipt: the daemon answers,
+    // just `factor` times slower -- the gray failure the tool-side health
+    // tracker has to detect from latency alone.
+    const double degrade =
+        injector != nullptr ? injector->daemon_degrade_factor(node_, engine.now()) : 1.0;
+    co_await engine.sleep(degraded(cluster_.spec().costs.dpcl_daemon_dispatch, degrade));
     if (request.request_id != 0) {
       const auto it = completed_.find(request.request_id);
       if (it != completed_.end()) {
@@ -111,7 +124,7 @@ sim::Coro<void> CommDaemon::loop() {
         continue;
       }
     }
-    const int failures = co_await execute(request);
+    const int failures = co_await execute(request, degrade);
     if (request.request_id != 0) {
       completed_[request.request_id] = failures;
       // Deterministic eviction: ids are monotonic, so begin() is always
@@ -132,7 +145,7 @@ void CommDaemon::send_ack(const Request& request, int failures) {
   deliver_ack(cluster_, node_, request.reply_node, request.ack, failures, engine_.now());
 }
 
-sim::Coro<int> CommDaemon::execute(const Request& request) {
+sim::Coro<int> CommDaemon::execute(const Request& request, double degrade) {
   sim::Engine& engine = engine_;
   const machine::CostModel& costs = cluster_.spec().costs;
 
@@ -155,19 +168,19 @@ sim::Coro<int> CommDaemon::execute(const Request& request) {
     switch (request.kind) {
       case Request::Kind::kAttach:
         // ptrace attach + read/analyse the executable image.
-        co_await engine.sleep(costs.dpcl_connect);
-        co_await engine.sleep(costs.dpcl_parse_image);
+        co_await engine.sleep(degraded(costs.dpcl_connect, degrade));
+        co_await engine.sleep(degraded(costs.dpcl_parse_image, degrade));
         break;
       case Request::Kind::kInstall: {
         DT_ASSERT(request.snippet != nullptr);
         const int prims = std::max(1, request.snippet->primitive_count());
-        co_await engine.sleep(costs.dpcl_patch_per_probe * prims);
+        co_await engine.sleep(degraded(costs.dpcl_patch_per_probe * prims, degrade));
         process.image().install_probe(request.fn, request.where, request.snippet,
                                       request.active);
         break;
       }
       case Request::Kind::kRemoveFunction: {
-        co_await engine.sleep(costs.dpcl_patch_per_probe);
+        co_await engine.sleep(degraded(costs.dpcl_patch_per_probe, degrade));
         auto& img = process.image();
         for (const auto where : {image::ProbeWhere::kEntry, image::ProbeWhere::kExit}) {
           // Collect handles first: removal mutates the mini list.
@@ -180,7 +193,7 @@ sim::Coro<int> CommDaemon::execute(const Request& request) {
         break;
       }
       case Request::Kind::kActivateFunction: {
-        co_await engine.sleep(costs.dpcl_patch_per_probe / 4);
+        co_await engine.sleep(degraded(costs.dpcl_patch_per_probe / 4, degrade));
         auto& img = process.image();
         for (const auto where : {image::ProbeWhere::kEntry, image::ProbeWhere::kExit}) {
           for (const auto& probe : img.probe_point(request.fn, where).minis) {
@@ -190,15 +203,15 @@ sim::Coro<int> CommDaemon::execute(const Request& request) {
         break;
       }
       case Request::Kind::kSuspend:
-        co_await engine.sleep(costs.dpcl_suspend_resume);
+        co_await engine.sleep(degraded(costs.dpcl_suspend_resume, degrade));
         process.suspend();
         break;
       case Request::Kind::kResume:
-        co_await engine.sleep(costs.dpcl_suspend_resume);
+        co_await engine.sleep(degraded(costs.dpcl_suspend_resume, degrade));
         process.resume();
         break;
       case Request::Kind::kSetFlag:
-        co_await engine.sleep(costs.dpcl_suspend_resume / 2);
+        co_await engine.sleep(degraded(costs.dpcl_suspend_resume / 2, degrade));
         process.set_flag(request.flag, request.value);
         break;
       case Request::Kind::kExecute: {
@@ -206,7 +219,7 @@ sim::Coro<int> CommDaemon::execute(const Request& request) {
         // the target's address space, with full access to its libraries
         // and memory.  The daemon waits for completion before acking.
         DT_ASSERT(request.snippet != nullptr);
-        co_await engine.sleep(costs.dpcl_patch_per_probe / 2);  // stage the code
+        co_await engine.sleep(degraded(costs.dpcl_patch_per_probe / 2, degrade));  // stage the code
         proc::SimThread& rpc = process.add_thread(process.main_thread().cpu());
         co_await rpc.exec_snippet(*request.snippet);
         break;
@@ -245,8 +258,11 @@ sim::Coro<void> SuperDaemon::loop() {
     }
     ++connections_;
     // Authenticate the user, then fork the per-user communication daemon.
-    co_await engine.sleep(kAuthCost);
-    co_await engine.sleep(kForkCommDaemonCost);
+    // A degraded node's super daemon suffers the same slowdown.
+    const double degrade =
+        injector != nullptr ? injector->daemon_degrade_factor(node_, engine.now()) : 1.0;
+    co_await engine.sleep(degraded(kAuthCost, degrade));
+    co_await engine.sleep(degraded(kForkCommDaemonCost, degrade));
     if (request.ack != nullptr) {
       deliver_ack(cluster_, node_, request.reply_node, request.ack, 0, engine.now());
     }

@@ -110,8 +110,9 @@ class CommDaemon {
  private:
   sim::Coro<void> loop();
   /// Run the request against every local pid; returns how many targets
-  /// failed (e.g. exited before dispatch).
-  sim::Coro<int> execute(const Request& request);
+  /// failed (e.g. exited before dispatch).  `degrade` stretches every
+  /// per-target cost (degrade-daemon gray-failure action; 1.0 normally).
+  sim::Coro<int> execute(const Request& request, double degrade);
   void send_ack(const Request& request, int failures);
 
   machine::Cluster& cluster_;

@@ -149,20 +149,56 @@ sim::Coro<void> DynprofTool::install_init_hook(proc::SimThread& tool) {
 void DynprofTool::note_degraded_nodes(sim::TimeNs now, bool had_probes) {
   fault::FaultInjector* injector = launch_.fault_injector();
   if (injector == nullptr || app_ == nullptr) return;
+  auto ranks_on = [this](int node) {
+    std::vector<int> ranks;
+    for (const auto& process : launch_.job().processes()) {
+      if (process->node() == node) ranks.push_back(process->pid());
+    }
+    std::sort(ranks.begin(), ranks.end());
+    return ranks;
+  };
   for (const int node : app_->lost_nodes()) {
     if (!degraded_nodes_.insert(node).second) continue;
     Degradation drop;
     drop.time = now;
     drop.node = node;
-    for (const auto& process : launch_.job().processes()) {
-      if (process->node() == node) drop.ranks.push_back(process->pid());
-    }
-    std::sort(drop.ranks.begin(), drop.ranks.end());
+    drop.ranks = ranks_on(node);
     drop.from = Policy::kDynamic;
     drop.to = had_probes ? Policy::kSubset : Policy::kNone;
     injector->report().add(now, "degrade",
                            str::format("node=%d %s->%s", node, to_string(drop.from),
                                        to_string(drop.to)),
+                           drop.ranks);
+    degradations_.push_back(std::move(drop));
+  }
+  // Quarantined (breaker-open) nodes take the same ladder drop, but
+  // reversibly: a half-open probe that re-admits the node lifts it, and a
+  // relapse records a fresh drop.  Lost nodes take precedence.
+  const dpcl::HealthTracker* health = app_->health();
+  if (health == nullptr) return;
+  for (auto it = quarantine_dropped_.begin(); it != quarantine_dropped_.end();) {
+    const int node = *it;
+    if (health->state(node) == dpcl::BreakerState::kClosed &&
+        app_->lost_nodes().count(node) == 0) {
+      injector->report().add(now, "restore",
+                             str::format("node=%d quarantine lifted", node), ranks_on(node));
+      it = quarantine_dropped_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (const int node : app_->quarantined_last_broadcast()) {
+    if (degraded_nodes_.count(node) != 0) continue;
+    if (!quarantine_dropped_.insert(node).second) continue;
+    Degradation drop;
+    drop.time = now;
+    drop.node = node;
+    drop.ranks = ranks_on(node);
+    drop.from = Policy::kDynamic;
+    drop.to = had_probes ? Policy::kSubset : Policy::kNone;
+    injector->report().add(now, "degrade",
+                           str::format("node=%d %s->%s (quarantine)", node,
+                                       to_string(drop.from), to_string(drop.to)),
                            drop.ranks);
     degradations_.push_back(std::move(drop));
   }
@@ -223,6 +259,9 @@ sim::Coro<void> DynprofTool::await_init_and_release(proc::SimThread& tool) {
   end_phase();
 
   init_released_ = true;
+  // From here on every broadcast is a mid-run patch: the circuit breaker
+  // may quarantine sick nodes instead of waiting out their retries.
+  app_->set_steady_state(true);
   create_and_instrument_ = tool.engine().now() - tool_start_time_;
 }
 
@@ -316,6 +355,7 @@ sim::Coro<void> DynprofTool::attach_preamble(proc::SimThread& tool) {
 
   started_app_ = true;
   init_released_ = true;
+  app_->set_steady_state(true);
   create_and_instrument_ = tool.engine().now() - tool_start_time_;
 }
 

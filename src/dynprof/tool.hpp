@@ -164,6 +164,7 @@ class DynprofTool {
   std::vector<std::string> pending_inserts_;
   std::vector<std::string> instrumented_;
   std::set<int> degraded_nodes_;
+  std::set<int> quarantine_dropped_;  ///< nodes with an active (reversible) quarantine drop
   std::vector<Degradation> degradations_;
 
   std::vector<TimeRecord> timefile_;

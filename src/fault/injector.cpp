@@ -44,8 +44,15 @@ FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {
       case FaultAction::Kind::kDelay:
         has_message_actions_[static_cast<std::size_t>(action.channel)] = true;
         break;
+      case FaultAction::Kind::kFlapDaemon:
+        has_flap_actions_ = true;
+        break;
+      case FaultAction::Kind::kDegradeDaemon:
+        has_degrade_actions_ = true;
+        break;
       case FaultAction::Kind::kStall:
       case FaultAction::Kind::kTearShard:
+      case FaultAction::Kind::kStorm:
         break;
     }
   }
@@ -63,7 +70,47 @@ sim::TimeNs FaultInjector::daemon_dead_at(int node) const {
 }
 
 bool FaultInjector::daemon_alive(int node, sim::TimeNs now) const {
-  return now < daemon_dead_at(node);
+  if (now >= daemon_dead_at(node)) return false;
+  if (has_flap_actions_) {
+    for (const FaultAction& action : plan_.actions) {
+      if (action.kind != FaultAction::Kind::kFlapDaemon || action.node != node) continue;
+      if (now < action.at || now >= action.until) continue;
+      if ((now - action.at) % action.period < action.downtime) return false;
+    }
+  }
+  return true;
+}
+
+bool FaultInjector::daemon_gray_prone(int node) const {
+  if (!has_flap_actions_ && !has_degrade_actions_) return false;
+  for (const FaultAction& action : plan_.actions) {
+    if ((action.kind == FaultAction::Kind::kFlapDaemon ||
+         action.kind == FaultAction::Kind::kDegradeDaemon) &&
+        action.node == node) {
+      return true;
+    }
+  }
+  return false;
+}
+
+double FaultInjector::daemon_degrade_factor(int node, sim::TimeNs now) const {
+  if (!has_degrade_actions_) return 1.0;
+  double factor = 1.0;
+  for (const FaultAction& action : plan_.actions) {
+    if (action.kind != FaultAction::Kind::kDegradeDaemon || action.node != node) continue;
+    if (now >= action.at && now < action.until) factor *= action.factor;
+  }
+  return factor;
+}
+
+std::vector<std::pair<sim::TimeNs, int>> FaultInjector::storms() const {
+  std::vector<std::pair<sim::TimeNs, int>> out;
+  for (const FaultAction& action : plan_.actions) {
+    if (action.kind != FaultAction::Kind::kStorm) continue;
+    out.emplace_back(action.at, static_cast<int>(action.sessions));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 bool FaultInjector::rank_alive(int rank, sim::TimeNs now) const {

@@ -49,12 +49,27 @@ class FaultInjector {
 
   // --- liveness (pure time functions over preset thresholds) ---------------
 
+  /// False while the node's daemon is permanently dead (kill-daemon) or
+  /// inside a flap-daemon downtime window.  A flapping daemon drops the
+  /// requests it receives while down and serves normally once restarted.
   bool daemon_alive(int node, sim::TimeNs now) const;
   bool rank_alive(int rank, sim::TimeNs now) const;
-  /// When the node's daemon dies (kNever if it does not).
+  /// When the node's daemon dies *permanently* (kNever if it does not).
+  /// Flap windows do not count: a flapped daemon always comes back.
   sim::TimeNs daemon_dead_at(int node) const;
   /// Ranks dead at `now`, ascending.
   std::vector<int> dead_ranks(sim::TimeNs now) const;
+  /// True when the plan can make this node's daemon sick without killing
+  /// it for good (flap-daemon or degrade-daemon actions name it).
+  bool daemon_gray_prone(int node) const;
+
+  /// Combined degrade-daemon service-time multiplier for `node` at `now`
+  /// (1.0 outside every window).  Read-only; callable anywhere.
+  double daemon_degrade_factor(int node, sim::TimeNs now) const;
+
+  /// The plan's storm actions as (at, sessions) pairs, ascending by time.
+  /// Consumed by the svcapp scenario harness to burst-admit sessions.
+  std::vector<std::pair<sim::TimeNs, int>> storms() const;
 
   // --- messages -------------------------------------------------------------
 
@@ -82,6 +97,8 @@ class FaultInjector {
   std::vector<std::pair<int, sim::TimeNs>> daemon_dead_;  ///< (node, at), ascending node
   std::vector<std::pair<int, sim::TimeNs>> rank_dead_;    ///< (rank, at), ascending rank
   bool has_message_actions_[3] = {false, false, false};   ///< per Channel
+  bool has_flap_actions_ = false;
+  bool has_degrade_actions_ = false;
 
   std::mutex mutex_;  ///< guards counters_ (cross-shard memory safety only)
   std::map<std::tuple<std::size_t, int, int>, std::uint64_t> counters_;

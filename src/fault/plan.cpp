@@ -232,9 +232,36 @@ FaultPlan FaultPlan::parse(std::string_view text, const std::string& origin) {
       DT_EXPECT(action.rank >= 0, where, ": tear-shard needs rank=");
       DT_EXPECT(action.keep >= 0 && action.keep < 1.0, where,
                 ": tear-shard keep must be in [0, 1)");
+    } else if (verb == "flap-daemon") {
+      action.kind = FaultAction::Kind::kFlapDaemon;
+      p.apply_int("node", &action.node);
+      p.apply_time("period", &action.period);
+      p.apply_time("downtime", &action.downtime);
+      p.apply_time("from", &action.at);
+      p.apply_time("until", &action.until);
+      DT_EXPECT(action.node >= 0, where, ": flap-daemon needs node=");
+      DT_EXPECT(action.period > 0, where, ": flap-daemon needs period=");
+      DT_EXPECT(action.downtime > 0 && action.downtime < action.period, where,
+                ": flap-daemon downtime must be in (0, period)");
+      DT_EXPECT(action.until > action.at, where, ": flap-daemon window is empty");
+    } else if (verb == "degrade-daemon") {
+      action.kind = FaultAction::Kind::kDegradeDaemon;
+      p.apply_int("node", &action.node);
+      p.apply_double("factor", &action.factor);
+      p.apply_time("from", &action.at);
+      p.apply_time("until", &action.until);
+      DT_EXPECT(action.node >= 0, where, ": degrade-daemon needs node=");
+      DT_EXPECT(action.factor >= 1.0, where, ": degrade-daemon factor must be >= 1");
+      DT_EXPECT(action.until > action.at, where, ": degrade-daemon window is empty");
+    } else if (verb == "storm") {
+      action.kind = FaultAction::Kind::kStorm;
+      p.apply_i64("sessions", &action.sessions);
+      p.apply_time("at", &action.at);
+      DT_EXPECT(action.sessions > 0, where, ": storm needs sessions=");
     } else {
       fail(where, ": unknown fault verb '", verb,
-           "' (seed, kill-daemon, kill-rank, drop, dup, delay, stall, tear-shard)");
+           "' (seed, kill-daemon, kill-rank, drop, dup, delay, stall, tear-shard, "
+           "flap-daemon, degrade-daemon, storm)");
     }
     p.finish();
     plan.actions.push_back(action);
@@ -280,6 +307,21 @@ std::string FaultPlan::to_text() const {
       case FaultAction::Kind::kTearShard:
         out += str::format("tear-shard rank=%d spill=%llu keep=%g", a.rank,
                            static_cast<unsigned long long>(a.spill), a.keep);
+        break;
+      case FaultAction::Kind::kFlapDaemon:
+        out += str::format("flap-daemon node=%d period=%s downtime=%s", a.node,
+                           format_time(a.period).c_str(), format_time(a.downtime).c_str());
+        if (a.at != 0) out += str::format(" from=%s", format_time(a.at).c_str());
+        if (a.until != kNever) out += str::format(" until=%s", format_time(a.until).c_str());
+        break;
+      case FaultAction::Kind::kDegradeDaemon:
+        out += str::format("degrade-daemon node=%d factor=%g", a.node, a.factor);
+        if (a.at != 0) out += str::format(" from=%s", format_time(a.at).c_str());
+        if (a.until != kNever) out += str::format(" until=%s", format_time(a.until).c_str());
+        break;
+      case FaultAction::Kind::kStorm:
+        out += str::format("storm sessions=%lld at=%s", static_cast<long long>(a.sessions),
+                           format_time(a.at).c_str());
         break;
     }
     out += "\n";

@@ -15,6 +15,18 @@
 //     delay channel=daemon factor=10 prob=1.0
 //     stall node=2 from=10s until=20s factor=4
 //     tear-shard rank=7 spill=0 keep=0.5
+//     flap-daemon node=2 period=120s downtime=30s from=100s until=500s
+//     degrade-daemon node=1 factor=1000 from=100s until=300s
+//     storm sessions=64 at=40s
+//
+// The gray-failure verbs model sick-but-not-dead components: `flap-daemon`
+// kills and restarts a node's comm daemon on a fixed cadence (dead for
+// `downtime` out of every `period`, starting at `from`), `degrade-daemon`
+// leaves the daemon alive but multiplies its service time by `factor`
+// inside [from, until), and `storm` asks the svcapp scenario harness to
+// burst-admit `sessions` extra sessions at `at`.  All three are pure time
+// functions of the plan -- no RNG, no arming events -- so runs stay
+// bit-identical across --sim-threads.
 //
 // Times accept the suffixes ns/us/ms/s (bare numbers are nanoseconds).
 // Message actions select eligible messages per (action, src, dst) stream:
@@ -59,6 +71,9 @@ struct FaultAction {
     kDelay,        ///< eligible messages take `factor` times as long
     kStall,        ///< messages touching `node` slow by `factor` in [at, until)
     kTearShard,    ///< spill `spill` of rank `rank`'s trace shard is cut at `keep`
+    kFlapDaemon,   ///< daemon dead for `downtime` of every `period` in [at, until)
+    kDegradeDaemon,///< daemon alive but `factor` times slower in [at, until)
+    kStorm,        ///< svcapp bursts `sessions` extra sessions at `at`
   };
 
   Kind kind = Kind::kDrop;
@@ -73,9 +88,12 @@ struct FaultAction {
   std::int64_t nth = -1;        ///< match only the nth eligible message
   std::int64_t skip = 0;        ///< window matching: first `skip` pass through
   std::int64_t count = -1;      ///< window matching: next `count` match
-  double factor = 10.0;         ///< delay / stall multiplier
+  double factor = 10.0;         ///< delay / stall / degrade multiplier
   std::uint64_t spill = 0;      ///< tear-shard: run index within the shard
   double keep = 0.5;            ///< tear-shard: fraction of run bytes persisted
+  sim::TimeNs period = 0;       ///< flap-daemon: kill/restart cadence
+  sim::TimeNs downtime = 0;     ///< flap-daemon: dead span at each period start
+  std::int64_t sessions = 0;    ///< storm: sessions burst-admitted at `at`
 };
 
 struct FaultPlan {

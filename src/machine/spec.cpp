@@ -146,6 +146,21 @@ MachineSpec spec_from_config(const ConfigFile& config) {
   f.overlay_child_timeout = fault_ns("overlay_child_timeout_ns", f.overlay_child_timeout);
   f.init_callback_timeout = fault_ns("init_callback_timeout_ns", f.init_callback_timeout);
   f.sync_quorum = config.get_double("fault", "sync_quorum", f.sync_quorum);
+  f.health_alpha = config.get_double("fault", "health_alpha", f.health_alpha);
+  f.health_latency_ref = fault_ns("health_latency_ref_ns", f.health_latency_ref);
+  f.breaker_failure_threshold = static_cast<int>(config.get_int(
+      "fault", "breaker_failure_threshold", f.breaker_failure_threshold));
+  f.breaker_score_floor =
+      config.get_double("fault", "breaker_score_floor", f.breaker_score_floor);
+  f.breaker_cooldown = fault_ns("breaker_cooldown_ns", f.breaker_cooldown);
+  DT_EXPECT(f.health_alpha > 0 && f.health_alpha <= 1.0,
+            "fault.health_alpha must be in (0, 1]");
+  DT_EXPECT(f.health_latency_ref > 0, "fault.health_latency_ref_ns must be positive");
+  DT_EXPECT(f.breaker_failure_threshold >= 1,
+            "fault.breaker_failure_threshold must be >= 1");
+  DT_EXPECT(f.breaker_score_floor >= 0 && f.breaker_score_floor < 1.0,
+            "fault.breaker_score_floor must be in [0, 1)");
+  DT_EXPECT(f.breaker_cooldown > 0, "fault.breaker_cooldown_ns must be positive");
   DT_EXPECT(f.request_deadline > 0, "fault.request_deadline_ns must be positive");
   DT_EXPECT(f.request_max_retries >= 0, "fault.request_max_retries must be >= 0");
   DT_EXPECT(f.overlay_child_timeout > 0, "fault.overlay_child_timeout_ns must be positive");

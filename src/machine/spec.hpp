@@ -76,6 +76,21 @@ struct FaultTolerance {
   sim::TimeNs overlay_child_timeout = sim::milliseconds(500);///< per-child reduce wait
   sim::TimeNs init_callback_timeout = sim::seconds(30);      ///< VT-init callback wait
   double sync_quorum = 1.0;  ///< fraction of ranks required for a full sync
+
+  // --- gray-failure health scoring + circuit breaker (DESIGN.md §14) -------
+  // Every fault-mode request attempt feeds the node's HealthTracker: an
+  // on-time ack scores min(1, latency_ref / latency), a deadline miss
+  // scores 0, blended by EWMA with weight health_alpha.  The breaker opens
+  // on breaker_failure_threshold *consecutive* misses or when the score
+  // sinks below breaker_score_floor; while open, steady-state broadcasts
+  // quarantine the node (degradation ladder) instead of waiting out its
+  // retries.  After breaker_cooldown the next request is a single-attempt
+  // half-open probe: an ack closes the breaker, a miss re-opens it.
+  double health_alpha = 0.5;            ///< EWMA weight of the newest sample
+  sim::TimeNs health_latency_ref = sim::milliseconds(500);  ///< "healthy" ack latency scale
+  int breaker_failure_threshold = 3;    ///< consecutive misses that open the breaker
+  double breaker_score_floor = 0.2;     ///< EWMA score below which the breaker opens
+  sim::TimeNs breaker_cooldown = sim::seconds(10);  ///< open -> half-open wait
 };
 
 /// A cluster profile: topology plus timing parameters.

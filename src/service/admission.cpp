@@ -95,7 +95,10 @@ ReleaseResult AdmissionController::release(SessionId session) {
 }
 
 void AdmissionController::update_rate(image::FunctionId fn, double pairs_per_sec) {
-  if (fn >= fns_.size()) return;
+  if (fn >= fns_.size() || fns_[fn].holders == 0) {
+    ++rate_updates_ignored_;
+    return;
+  }
   fns_[fn].rate_hz = pairs_per_sec;
   fns_[fn].rate_observed = true;
 }
@@ -103,23 +106,60 @@ void AdmissionController::update_rate(image::FunctionId fn, double pairs_per_sec
 ArbitrateResult AdmissionController::arbitrate() {
   ArbitrateResult result;
   while (priced_fraction() > options_.budget_fraction) {
-    // Flip the most expensive active function; lowest id breaks ties so
-    // the walk is deterministic.
-    image::FunctionId victim = image::kInvalidFunction;
+    // The legacy (pure-price) victim: most expensive active function
+    // overall, lowest id on ties.  Kept as the fairness-divergence baseline.
+    image::FunctionId priciest = image::kInvalidFunction;
     double worst = 0.0;
     for (image::FunctionId fn = 0; fn < fns_.size(); ++fn) {
       const FnState& state = fns_[fn];
       if (state.holders == 0 || state.filtered) continue;
       const double f = fraction(state);
-      if (victim == image::kInvalidFunction || f > worst) {
-        victim = fn;
+      if (priciest == image::kInvalidFunction || f > worst) {
+        priciest = fn;
         worst = f;
       }
     }
-    if (victim == image::kInvalidFunction) {
+    if (priciest == image::kInvalidFunction) {
       result.at_floor = true;
       break;
     }
+
+    // Fair-share victim: charge each session its attributed cost -- active
+    // fractions split evenly across holders -- and degrade the costliest
+    // session's most expensive active function.  grants_ iterates in
+    // session-id order, so the strict > keeps the lowest id on ties.
+    SessionId victim_session = 0;
+    double victim_cost = -1.0;
+    for (const auto& [session, held] : grants_) {
+      double cost = 0.0;
+      for (const image::FunctionId fn : held) {
+        const FnState& state = fns_[fn];
+        if (state.filtered) continue;
+        cost += fraction(state) / static_cast<double>(state.holders);
+      }
+      if (cost > victim_cost + 1e-15) {
+        victim_session = session;
+        victim_cost = cost;
+      }
+    }
+    image::FunctionId victim = image::kInvalidFunction;
+    double victim_fraction = 0.0;
+    if (victim_cost > 0.0) {
+      std::vector<image::FunctionId> held = grants_[victim_session];
+      std::sort(held.begin(), held.end());
+      for (const image::FunctionId fn : held) {
+        const FnState& state = fns_[fn];
+        if (state.filtered) continue;
+        const double f = fraction(state);
+        if (victim == image::kInvalidFunction || f > victim_fraction + 1e-15) {
+          victim = fn;
+          victim_fraction = f;
+        }
+      }
+    }
+    if (victim == image::kInvalidFunction) victim = priciest;
+    if (victim != priciest) ++result.fairshare_flips;
+
     fns_[victim].filtered = true;
     result.flipped.push_back(victim);
     result.directives.push_back({/*activate=*/false, symbols_->at(victim).name});

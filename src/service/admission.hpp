@@ -24,9 +24,16 @@
 //   None    (kDenied)    -- does not fit even degraded (the service queues
 //                           and retries before surfacing this).
 //
-// arbitrate() restores the invariant after rates move: flips the most
-// expensive active functions to filtered until the priced total fits, and
-// reports at_floor when everything is already degraded.
+// arbitrate() restores the invariant after rates move.  Flips are chosen
+// *fair-share*: each flip charges the session with the largest attributed
+// cost (sum over its active functions of fraction/holders -- shared
+// functions split their cost evenly), flipping that session's most
+// expensive active function.  A lone session degrades exactly as the old
+// most-expensive-first walk did; with several tenants the policy stops one
+// cheap session from being starved because a noisy neighbour's functions
+// happen to price lower individually.  Ties break on lowest session id,
+// then lowest function id, so the walk stays deterministic; at_floor is
+// reported when everything is already degraded.
 #pragma once
 
 #include <cstdint>
@@ -73,6 +80,9 @@ struct ArbitrateResult {
   /// residual lookup cost alone exceeds the budget.  Admissions stop; the
   /// invariant reported per window is "priced <= budget OR at_floor".
   bool at_floor = false;
+  /// Flips where fair-share picked a different victim than the legacy
+  /// most-expensive-first walk would have -- i.e. fairness overrode price.
+  std::uint32_t fairshare_flips = 0;
 };
 
 class AdmissionController {
@@ -88,12 +98,18 @@ class AdmissionController {
   /// Drop every grant the session holds.
   ReleaseResult release(SessionId session);
 
-  /// Learn a window's observed rate for one function.
+  /// Learn a window's observed rate for one function.  Rates reported for
+  /// functions nobody holds (a release raced the estimator window, or a
+  /// stale line) are ignored and counted -- pricing a future admission of
+  /// that function from a rate observed under different instrumentation
+  /// would be wrong, and learning rates for never-installed ids was how the
+  /// default-rate path silently rotted.
   void update_rate(image::FunctionId fn, double pairs_per_sec);
+  std::uint64_t rate_updates_ignored() const { return rate_updates_ignored_; }
 
   /// Re-establish priced <= budget after rates moved or a replayed program
-  /// reactivated functions.  Flips are deterministic: most expensive first,
-  /// lowest id on ties.
+  /// reactivated functions.  Flips are deterministic and fair-share (see
+  /// the header comment): costliest session first, lowest ids on ties.
   ArbitrateResult arbitrate();
 
   /// Mirror the filter program rank 0 actually applied at a safe point
@@ -129,6 +145,7 @@ class AdmissionController {
   control::PairPrice price_;
   AdmissionOptions options_;
   std::vector<FnState> fns_;
+  std::uint64_t rate_updates_ignored_ = 0;
   /// Ordered by session id so release-driven removals are deterministic.
   std::map<SessionId, std::vector<image::FunctionId>> grants_;
 };

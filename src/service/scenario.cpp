@@ -74,14 +74,25 @@ std::uint64_t quantize(double fraction) {
 
 // --- session drivers ---------------------------------------------------------
 
+// One driver coroutine serves a *batch* of sessions sequentially (batch 1 =
+// the legacy one-coroutine-per-session shape).  Batching keeps the harness
+// memory flat in the session count -- 100k sessions need only
+// 100k/session_batch coroutines, mailboxes and triggers -- at the price of
+// serializing the sessions inside one batch.
 struct Driver {
-  SessionId id = 0;
   int node = 0;
   sim::Engine* engine = nullptr;
   std::unique_ptr<sim::Trigger> start;
   std::unique_ptr<sim::Mailbox<Response>> inbox;
-  std::vector<Request> script;
-  ScenarioResult::SessionOutcome outcome;
+  /// Storm drivers: absolute gate time from the fault plan (0 = the normal
+  /// staggered gate).
+  sim::TimeNs gate_at = 0;
+  struct Entry {
+    SessionId id = 0;
+    std::vector<Request> script;
+    ScenarioResult::SessionOutcome outcome;
+  };
+  std::vector<Entry> entries;
 };
 
 struct Coordinator {
@@ -94,51 +105,101 @@ struct Coordinator {
   }
 };
 
-sim::Coro<void> session_coro(Driver& d, ControlService& svc, machine::Cluster& cluster,
-                             sim::TimeNs response_timeout, Coordinator& coord) {
-  co_await d.start->wait();
+// Drive one session's script.  Up to `pipeline_depth` commands stay in
+// flight (depth 1 reproduces the legacy lock-step driver exactly); the
+// detach drains the window first so grants release only after the script's
+// real work resolved.  A timed-out or shutdown-refused session skips ahead
+// to its detach so the run still drains.
+sim::Coro<void> drive_session(Driver& d, Driver::Entry& entry, ControlService& svc,
+                              machine::Cluster& cluster, sim::TimeNs response_timeout,
+                              int pipeline_depth) {
   telemetry::Registry& reg = telemetry::current();
+  const std::size_t depth = static_cast<std::size_t>(std::max(1, pipeline_depth));
   std::uint32_t seq = 0;
   bool bail = false;
-  for (const Request& entry : d.script) {
-    // A timed-out or shutdown-refused session skips ahead to its detach so
-    // grants are still released and the run drains.
-    if (bail && entry.kind != CommandKind::kDetach) continue;
-    Request request = entry;
-    request.session = d.id;
-    request.seq = ++seq;
-    request.client_node = d.node;
+  struct Pending {
+    std::size_t index = 0;
+    sim::TimeNs sent = 0;
+  };
+  std::map<std::uint32_t, Pending> outstanding;
+  std::map<std::size_t, ScenarioResult::CommandOutcome> results;
 
-    const sim::TimeNs sent = d.engine->now();
-    const sim::TimeNs delay =
-        cluster.message_delay(d.node, svc.node(), request_bytes(request), sent);
-    ControlService* service = &svc;
-    svc.engine().deliver_at(sent + delay,
-                            [service, request] { service->submit(request); });
-
+  const auto resolve = [&](std::uint32_t which, Status status, sim::TimeNs now) {
+    const auto it = outstanding.find(which);
+    if (it == outstanding.end()) return;  // stale or duplicate response
     ScenarioResult::CommandOutcome out;
-    out.kind = request.kind;
-    out.status = Status::kTimeout;
-    const sim::TimeNs deadline = sent + response_timeout;
-    while (true) {
-      const sim::TimeNs now = d.engine->now();
-      if (now >= deadline) break;
-      std::optional<Response> response = co_await d.inbox->recv_for(deadline - now);
-      if (!response.has_value()) break;
-      // Drop stale responses (e.g. a late ack for a command that already
-      // timed out); only the current seq resolves this command.
-      if (response->session != d.id || response->seq != seq) continue;
-      out.status = response->status;
-      break;
-    }
-    out.latency = d.engine->now() - sent;
-    d.outcome.commands.push_back(out);
+    out.kind = entry.script[it->second.index].kind;
+    out.status = status;
+    out.latency = now - it->second.sent;
+    results.emplace(it->second.index, out);
     reg.observe(reg.metrics().service_command_latency_ns,
                 static_cast<std::uint64_t>(out.latency));
-    if (out.status == Status::kTimeout || out.status == Status::kShutdown) bail = true;
+    if (status == Status::kTimeout || status == Status::kShutdown) bail = true;
+    outstanding.erase(it);
+  };
+
+  std::size_t next = 0;
+  const std::size_t total = entry.script.size();
+  while (next < total || !outstanding.empty()) {
+    while (next < total && outstanding.size() < depth) {
+      const Request& templ = entry.script[next];
+      if (bail && templ.kind != CommandKind::kDetach) {
+        ++next;
+        continue;
+      }
+      if (templ.kind == CommandKind::kDetach && !outstanding.empty()) break;
+      Request request = templ;
+      request.session = entry.id;
+      request.seq = ++seq;
+      request.client_node = d.node;
+      const sim::TimeNs sent = d.engine->now();
+      const sim::TimeNs delay =
+          cluster.message_delay(d.node, svc.node(), request_bytes(request), sent);
+      ControlService* service = &svc;
+      svc.engine().deliver_at(sent + delay,
+                              [service, request] { service->submit(request); });
+      outstanding.emplace(seq, Pending{next, sent});
+      ++next;
+    }
+    if (outstanding.empty()) continue;  // everything left was skipped
+
+    // Wait for a response or the earliest outstanding command's deadline.
+    sim::TimeNs earliest = 0;
+    std::uint32_t earliest_seq = 0;
+    for (const auto& [s, pending] : outstanding) {
+      const sim::TimeNs deadline = pending.sent + response_timeout;
+      if (earliest == 0 || deadline < earliest) {
+        earliest = deadline;
+        earliest_seq = s;
+      }
+    }
+    const sim::TimeNs now = d.engine->now();
+    if (now >= earliest) {
+      resolve(earliest_seq, Status::kTimeout, now);
+      continue;
+    }
+    std::optional<Response> response = co_await d.inbox->recv_for(earliest - now);
+    if (!response.has_value()) {
+      resolve(earliest_seq, Status::kTimeout, d.engine->now());
+      continue;
+    }
+    if (response->session != entry.id) continue;  // another batch entry's late ack
+    resolve(response->seq, response->status, d.engine->now());
   }
 
-  // Tell the coordinator (on the service's shard) this session is done.
+  entry.outcome.commands.reserve(results.size());
+  for (const auto& [index, out] : results) entry.outcome.commands.push_back(out);
+}
+
+sim::Coro<void> session_coro(Driver& d, ControlService& svc, machine::Cluster& cluster,
+                             sim::TimeNs response_timeout, int pipeline_depth,
+                             Coordinator& coord) {
+  co_await d.start->wait();
+  for (Driver::Entry& entry : d.entries) {
+    co_await drive_session(d, entry, svc, cluster, response_timeout, pipeline_depth);
+  }
+
+  // Tell the coordinator (on the service's shard) this batch is done.
   const sim::TimeNs now = d.engine->now();
   const sim::TimeNs delay = cluster.message_delay(d.node, svc.node(), 64, now);
   Coordinator* c = &coord;
@@ -152,12 +213,19 @@ sim::Coro<void> scenario_main(dynprof::DynprofTool& tool, ControlService& svc,
   svc.start();
 
   // Open the session start gates, staggered, each fired on its driver's own
-  // shard (Trigger::fire with waiters must run shard-locally).
+  // shard (Trigger::fire with waiters must run shard-locally).  Storm
+  // drivers carry an absolute gate time from the fault plan instead: the
+  // whole burst is admitted at that instant (or as soon as the attachment
+  // is up, whichever is later).
   const sim::TimeNs now = svc.engine().now();
+  std::size_t staggered = 0;
   for (std::size_t i = 0; i < drivers.size(); ++i) {
     Driver* d = drivers[i].get();
     const sim::TimeNs delay = cluster.message_delay(svc.node(), d->node, 64, now);
-    const sim::TimeNs at = now + delay + static_cast<sim::TimeNs>(i) * stagger;
+    const sim::TimeNs at =
+        d->gate_at > 0
+            ? std::max(d->gate_at, now + delay)
+            : now + delay + static_cast<sim::TimeNs>(staggered++) * stagger;
     cluster.engine_for_node(d->node).deliver_at(at, [d] { d->start->fire(); });
   }
 
@@ -276,54 +344,95 @@ ScenarioResult run_scenario(const ScenarioOptions& options) {
   const int avail = cluster.spec().nodes - first_client;
   const int client_nodes = std::min(options.session_nodes, std::max(avail, 0));
 
-  std::vector<std::unique_ptr<Driver>> drivers;
-  drivers.reserve(session_count);
-  Coordinator coord;
-  coord.remaining = session_count;
-  coord.all_done = std::make_unique<sim::Trigger>(service.engine());
+  // Storm actions in the fault plan burst-admit extra generated sessions at
+  // a fixed time, after the configured ones.
+  std::vector<std::pair<sim::TimeNs, int>> storms;
+  if (options.fault != nullptr) storms = options.fault->storms();
+  std::size_t storm_count = 0;
+  for (const auto& [at, n] : storms) storm_count += static_cast<std::size_t>(n);
 
-  for (std::size_t i = 0; i < session_count; ++i) {
+  const int batch = std::max(1, options.session_batch);
+  std::vector<std::unique_ptr<Driver>> drivers;
+  drivers.reserve((session_count + static_cast<std::size_t>(batch) - 1) /
+                      static_cast<std::size_t>(batch) +
+                  storm_count);
+
+  const auto make_script = [&](std::size_t id) {
+    std::vector<Request> script;
+    script.push_back(Request{.kind = CommandKind::kAttach});
+    if (scripted && id < options.scripted_sessions.size()) {
+      const std::vector<Request>& body = options.scripted_sessions[id];
+      script.insert(script.end(), body.begin(), body.end());
+    } else {
+      Rng rng(options.seed ^ (0x9e3779b97f4a7c15ull * (id + 1)));
+      std::vector<Request> body =
+          generate_script(rng, options.functions, options.commands_per_session);
+      script.insert(script.end(), std::make_move_iterator(body.begin()),
+                    std::make_move_iterator(body.end()));
+    }
+    script.push_back(Request{.kind = CommandKind::kDetach});
+    return script;
+  };
+
+  const auto make_driver = [&](std::size_t driver_index, std::size_t first_id,
+                               std::size_t count, sim::TimeNs gate_at) {
     auto driver = std::make_unique<Driver>();
-    driver->id = static_cast<SessionId>(i);
     driver->node = client_nodes > 0
-                       ? first_client + static_cast<int>(i) % client_nodes
+                       ? first_client + static_cast<int>(driver_index) % client_nodes
                        : tool_node;
     driver->engine = &cluster.engine_for_node(driver->node);
     driver->start = std::make_unique<sim::Trigger>(*driver->engine);
     driver->inbox = std::make_unique<sim::Mailbox<Response>>(*driver->engine);
-    driver->outcome.id = driver->id;
-    driver->outcome.node = driver->node;
-
-    driver->script.push_back(Request{.kind = CommandKind::kAttach});
-    if (scripted) {
-      const std::vector<Request>& body = options.scripted_sessions[i];
-      driver->script.insert(driver->script.end(), body.begin(), body.end());
-    } else {
-      Rng rng(options.seed ^ (0x9e3779b97f4a7c15ull * (i + 1)));
-      std::vector<Request> body =
-          generate_script(rng, options.functions, options.commands_per_session);
-      driver->script.insert(driver->script.end(),
-                            std::make_move_iterator(body.begin()),
-                            std::make_move_iterator(body.end()));
+    driver->gate_at = gate_at;
+    driver->entries.reserve(count);
+    for (std::size_t k = 0; k < count; ++k) {
+      Driver::Entry entry;
+      entry.id = static_cast<SessionId>(first_id + k);
+      entry.script = make_script(first_id + k);
+      entry.outcome.id = entry.id;
+      entry.outcome.node = driver->node;
+      driver->entries.push_back(std::move(entry));
     }
-    driver->script.push_back(Request{.kind = CommandKind::kDetach});
-
-    Driver* d = driver.get();
-    service.register_session(
-        d->id, d->node, [d](const Response& response) { d->inbox->put(response); },
-        [d](const SubscriptionDelta& delta) {
-          ++d->outcome.deltas;
-          d->outcome.delta_pairs += delta.pairs;
-        });
+    // Entries are stable from here on (the vector is never resized), so the
+    // sinks can capture entry pointers.
+    for (Driver::Entry& entry : driver->entries) {
+      Driver::Entry* e = &entry;
+      Driver* d = driver.get();
+      service.register_session(
+          e->id, d->node, [d](const Response& response) { d->inbox->put(response); },
+          [e](const SubscriptionDelta& delta) {
+            ++e->outcome.deltas;
+            e->outcome.delta_pairs += delta.pairs;
+          });
+    }
     drivers.push_back(std::move(driver));
+  };
+
+  std::size_t driver_index = 0;
+  for (std::size_t first = 0; first < session_count;
+       first += static_cast<std::size_t>(batch)) {
+    const std::size_t count =
+        std::min(static_cast<std::size_t>(batch), session_count - first);
+    make_driver(driver_index++, first, count, /*gate_at=*/0);
   }
+  std::size_t storm_id = session_count;
+  for (const auto& [at, n] : storms) {
+    for (int k = 0; k < n; ++k) {
+      make_driver(driver_index++, storm_id++, 1, /*gate_at=*/at);
+    }
+  }
+
+  Coordinator coord;
+  coord.remaining = drivers.size();
+  coord.all_done = std::make_unique<sim::Trigger>(service.engine());
 
   tool.start_service();
   for (const std::unique_ptr<Driver>& driver : drivers) {
     Driver* d = driver.get();
     d->engine->spawn(
-        session_coro(*d, service, cluster, options.response_timeout, coord),
-        str::format("svc.session.%u", d->id));
+        session_coro(*d, service, cluster, options.response_timeout,
+                     options.pipeline_depth, coord),
+        str::format("svc.session.%u", d->entries.front().id));
   }
   service.engine().spawn(scenario_main(tool, service, cluster, drivers,
                                        options.session_stagger, coord),
@@ -333,15 +442,22 @@ ScenarioResult run_scenario(const ScenarioOptions& options) {
 
   // --- collect -------------------------------------------------------------
   ScenarioResult result;
-  result.sessions.reserve(drivers.size());
+  result.storm_sessions = storm_count;
+  result.sessions.reserve(session_count + storm_count);
   for (const std::unique_ptr<Driver>& driver : drivers) {
-    result.sessions.push_back(driver->outcome);
-    for (const ScenarioResult::CommandOutcome& out : driver->outcome.commands) {
-      ++result.status_counts[out.status];
-      ++result.commands;
-      result.latencies.push_back(out.latency);
+    for (const Driver::Entry& entry : driver->entries) {
+      result.sessions.push_back(entry.outcome);
+      for (const ScenarioResult::CommandOutcome& out : entry.outcome.commands) {
+        ++result.status_counts[out.status];
+        ++result.commands;
+        result.latencies.push_back(out.latency);
+      }
     }
   }
+  result.shed_commands = service.shed_commands();
+  result.deadline_cancels = service.deadline_cancels();
+  result.fairshare_flips = service.fairshare_flips();
+  result.sub_drops = service.sub_drops();
   result.windows = service.windows();
   const double budget = service.admission().options().budget_fraction;
   for (const WindowRecord& window : result.windows) {
@@ -382,6 +498,10 @@ ScenarioResult run_scenario(const ScenarioOptions& options) {
   for (const image::FunctionId fn : result.rank0_deactivated) h = mix(h, fn);
   for (const int pid : result.lost_ranks) h = mix(h, static_cast<std::uint64_t>(pid));
   h = mix(h, service.responses_sent());
+  h = mix(h, result.shed_commands);
+  h = mix(h, result.deadline_cancels);
+  h = mix(h, result.fairshare_flips);
+  h = mix(h, result.sub_drops);
   h = mix(h, result.stats_digest);
   result.digest = h;
 

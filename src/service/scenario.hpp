@@ -46,6 +46,14 @@ struct ScenarioOptions {
   double problem_scale = 1.0;
   int confsync_interval = 2;
   ServiceOptions service;
+  /// Sessions driven per driver coroutine (sequentially).  1 = one
+  /// coroutine + mailbox per session (the legacy shape); the 100k-session
+  /// bench batches hundreds per driver so memory stays flat in sessions.
+  int session_batch = 1;
+  /// Commands one session keeps in flight before waiting (its detach still
+  /// drains the window first).  >1 exercises the service's per-session
+  /// overload bounds; 1 is the legacy lock-step driver.
+  int pipeline_depth = 1;
   /// Gap between consecutive sessions' start gates.
   sim::TimeNs session_stagger = sim::microseconds(50);
   /// Driver-side deadline per command; a missing response becomes an
@@ -78,6 +86,15 @@ struct ScenarioResult {
   std::map<Status, std::uint64_t> status_counts;
   std::uint64_t commands = 0;
   std::vector<sim::TimeNs> latencies;  ///< every command's latency
+
+  /// Sessions burst-admitted by `storm` fault actions (included in
+  /// `sessions`, after the configured ones).
+  std::size_t storm_sessions = 0;
+  /// Overload-protection counters (ControlService accessors).
+  std::uint64_t shed_commands = 0;
+  std::uint64_t deadline_cancels = 0;
+  std::uint64_t fairshare_flips = 0;
+  std::uint64_t sub_drops = 0;
 
   /// priced_after <= budget (or at_floor) held in every window.
   bool budget_ok = true;

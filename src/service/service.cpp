@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "control/estimator.hpp"
+#include "fault/injector.hpp"
 #include "support/common.hpp"
 #include "telemetry/metrics.hpp"
 
@@ -43,8 +44,17 @@ struct ControlService::BreakAgent {
     int client_node = 0;
     std::vector<std::uint8_t> match;  ///< per-function-id membership
     DeltaSink sink;
+    /// Remaining delivery credits (sub_window > 0); a window arriving with
+    /// none left is dropped-and-counted, never buffered.
+    int credits = 0;
+    std::uint64_t dropped = 0;
   };
   std::vector<Subscription> subs;  ///< kept in session-id order
+
+  /// Slow-subscriber bounds (from ServiceOptions; sub_window 0 = legacy
+  /// unbounded fan-out).
+  int sub_window = 0;
+  sim::TimeNs sub_stall = 0;
 
   /// Seq counter for the service's own (kServiceSession) programs, so
   /// arbitration flips keep their relative order under the sort.
@@ -60,6 +70,18 @@ struct ControlService::BreakAgent {
       : service(svc), cluster(c), staged(std::move(s)), node(agent_node),
         service_node(svc_node) {}
 
+  /// A delivered delta's credit comes home (runs on this agent's shard).
+  /// Keyed by session id, not index: subs reorder under insert/erase, and a
+  /// credit returning after its session detached is simply dropped.
+  void return_credit(SessionId session) {
+    for (Subscription& sub : subs) {
+      if (sub.session == session) {
+        if (sub.credits < sub_window) ++sub.credits;
+        return;
+      }
+    }
+  }
+
   sim::TimeNs on_break(vt::VtLib& vt) {
     sim::Engine& engine = vt.process().engine();
     const sim::TimeNs now = engine.now();
@@ -68,10 +90,22 @@ struct ControlService::BreakAgent {
 
     // Subscription push-down: each session receives only its matching
     // functions' activity, fanned out from the reduction root -- never the
-    // full event stream.
+    // full event stream.  Deliveries spend a credit that returns after the
+    // round trip (plus the modelled client processing, stretched by any
+    // stall fault on the client's node); a subscriber out of credits is a
+    // slow subscriber, and its window is dropped-and-counted rather than
+    // buffered without bound.
+    std::uint64_t window_drops = 0;
     if (estimate.window > 0 && !subs.empty()) {
       telemetry::Registry& reg = telemetry::current();
-      for (const Subscription& sub : subs) {
+      fault::FaultInjector* injector = cluster.fault_injector();
+      for (Subscription& sub : subs) {
+        if (sub_window > 0 && sub.credits <= 0) {
+          ++sub.dropped;
+          ++window_drops;
+          reg.add(reg.metrics().service_sub_drops);
+          continue;
+        }
         SubscriptionDelta delta;
         delta.session = sub.session;
         delta.sync = syncs;
@@ -88,6 +122,23 @@ struct ControlService::BreakAgent {
             .deliver_at(now + delay, [sink, delta] { sink(delta); });
         reg.add(reg.metrics().service_sub_deliveries);
         reg.add(reg.metrics().service_sub_events, delta.pairs);
+        if (sub_window > 0) {
+          --sub.credits;
+          // The whole return path is priced here, on the agent's shard:
+          // delivery leg, client processing (stall-fault scaled), ack leg.
+          sim::TimeNs processing = sub_stall;
+          if (injector != nullptr && processing > 0) {
+            processing = static_cast<sim::TimeNs>(static_cast<double>(processing) *
+                                                  injector->stall_factor(sub.client_node, now));
+          }
+          const sim::TimeNs back =
+              cluster.message_delay(sub.client_node, node, 16, now + delay + processing);
+          BreakAgent* self = this;
+          const SessionId session = sub.session;
+          cluster.engine_for_node(node).deliver_at(
+              now + delay + processing + back,
+              [self, session] { self->return_credit(session); });
+        }
       }
     }
 
@@ -128,6 +179,7 @@ struct ControlService::BreakAgent {
       report.lines.push_back({fe.fn, fe.pairs, fe.suppressed});
     }
     report.applied = program;
+    report.sub_drops = window_drops;
 
     const std::int64_t bytes = 128 +
                                24 * static_cast<std::int64_t>(report.lines.size()) +
@@ -160,6 +212,8 @@ ControlService::ControlService(dynprof::Launch& launch, dynprof::DynprofTool& to
                  AdmissionOptions{options.budget_fraction, options.default_rate_hz}),
       patch_ready_(std::make_unique<sim::Condition>(engine_)) {
   agent_ = std::make_unique<BreakAgent>(*this, cluster_, launch.staged(), agent_node_, node_);
+  agent_->sub_window = options.sub_window;
+  agent_->sub_stall = options.sub_client_stall;
   BreakAgent* agent = agent_.get();
   launch.vt(0).set_break_handler([agent](vt::VtLib& vt) { return agent->on_break(vt); });
 }
@@ -217,9 +271,20 @@ void ControlService::submit(Request request) {
   }
 }
 
+int ControlService::session_load(SessionId session) const {
+  int load = 0;
+  for (const QueuedAdmit& entry : queue_) {
+    if (entry.request.session == session) ++load;
+  }
+  const auto it = patch_pending_.find(session);
+  if (it != patch_pending_.end()) load += it->second;
+  return load;
+}
+
 /// Attempt one admission.  Returns false iff the request was denied and may
 /// wait in the queue (nothing responded); any other outcome is resolved.
-bool ControlService::try_admit(const Request& request, bool allow_queue) {
+bool ControlService::try_admit(const Request& request, bool allow_queue,
+                               sim::TimeNs deadline) {
   telemetry::Registry& reg = telemetry::current();
   std::vector<image::FunctionId> fns;
   fns.reserve(request.functions.size());
@@ -259,6 +324,7 @@ bool ControlService::try_admit(const Request& request, bool allow_queue) {
     op.response.seq = request.seq;
     op.response.status = status;
     op.response.projected_fraction = result.projected_fraction;
+    op.deadline = deadline;
     enqueue_patch(std::move(op));
   } else {
     // Every requested probe is already installed for another session.
@@ -272,11 +338,29 @@ void ControlService::handle_instrument(const Request& request, bool from_queue) 
     respond(request, Status::kShutdown);
     return;
   }
+  telemetry::Registry& reg = telemetry::current();
+  // Per-session overload bound: a session with this many commands already
+  // deferred (queued or patching) gets an immediate, deterministic kShed
+  // instead of growing the backlog.
+  if (!from_queue && options_.max_session_inflight > 0 &&
+      session_load(request.session) >= options_.max_session_inflight) {
+    ++shed_commands_;
+    reg.add(reg.metrics().service_shed_commands);
+    respond(request, Status::kShed);
+    return;
+  }
+  const sim::TimeNs deadline =
+      options_.request_deadline > 0 ? engine_.now() + options_.request_deadline : 0;
   const bool allow_queue = !from_queue && options_.queue_timeout > 0;
-  if (!try_admit(request, allow_queue)) {
-    telemetry::Registry& reg = telemetry::current();
+  if (!try_admit(request, allow_queue, deadline)) {
+    if (options_.max_queue_depth > 0 && queue_.size() >= options_.max_queue_depth) {
+      ++shed_commands_;
+      reg.add(reg.metrics().service_shed_commands);
+      respond(request, Status::kShed, admission_.priced_fraction());
+      return;
+    }
     reg.add(reg.metrics().service_queued);
-    queue_.push_back(QueuedAdmit{request, engine_.now()});
+    queue_.push_back(QueuedAdmit{request, engine_.now(), deadline});
   }
 }
 
@@ -313,6 +397,7 @@ void ControlService::handle_subscribe(const Request& request) {
   BreakAgent::Subscription sub;
   sub.session = request.session;
   sub.client_node = it->second.client_node;
+  sub.credits = options_.sub_window;
   sub.match.assign(symbols_->size(), 0);
   for (const image::FunctionId fn : matched) sub.match[fn] = 1;
   sub.sink = it->second.deltas;
@@ -366,9 +451,15 @@ void ControlService::on_window(const WindowReport& report) {
     }
   }
   if (!report.applied.empty()) admission_.replay(report.applied);
+  sub_drops_ += report.sub_drops;
   const double before = admission_.priced_fraction();
   const ArbitrateResult arbitration = admission_.arbitrate();
   if (!arbitration.directives.empty()) stage_service_program(arbitration.directives);
+  if (arbitration.fairshare_flips > 0) {
+    fairshare_flips_ += arbitration.fairshare_flips;
+    telemetry::Registry& reg = telemetry::current();
+    reg.add(reg.metrics().service_fairshare_flips, arbitration.fairshare_flips);
+  }
 
   WindowRecord record;
   record.sync = report.sync;
@@ -401,7 +492,16 @@ void ControlService::retry_queue() {
       respond(entry.request, Status::kShutdown);
       continue;
     }
-    if (try_admit(entry.request, /*allow_queue=*/true)) continue;
+    // End-to-end deadline: a request still waiting past it is canceled
+    // before it can consume budget -- the client has long stopped caring.
+    if (entry.deadline > 0 && engine_.now() >= entry.deadline) {
+      ++deadline_cancels_;
+      telemetry::Registry& reg = telemetry::current();
+      reg.add(reg.metrics().service_deadline_cancels);
+      respond(entry.request, Status::kCanceled, admission_.priced_fraction());
+      continue;
+    }
+    if (try_admit(entry.request, /*allow_queue=*/true, entry.deadline)) continue;
     if (engine_.now() - entry.enqueued >= options_.queue_timeout) {
       telemetry::Registry& reg = telemetry::current();
       reg.add(reg.metrics().service_denials);
@@ -455,6 +555,7 @@ void ControlService::send_response(Response response) {
 }
 
 void ControlService::enqueue_patch(PatchOp op) {
+  if (op.response.session != kServiceSession) ++patch_pending_[op.response.session];
   patch_queue_.push_back(std::move(op));
   patch_ready_->notify_one();
 }
@@ -512,10 +613,21 @@ sim::Coro<void> ControlService::patch_loop() {
     telemetry::Registry& reg = telemetry::current();
     for (PatchOp& op : batch) {
       if (op.response.session == kServiceSession) continue;
+      const auto pending = patch_pending_.find(op.response.session);
+      if (pending != patch_pending_.end() && --pending->second <= 0) {
+        patch_pending_.erase(pending);
+      }
       if (!lost.empty()) {
         op.response.status = Status::kDaemonLost;
         op.response.lost_nodes = lost;
         reg.add(reg.metrics().service_daemon_lost_errors);
+      } else if (op.deadline > 0 && engine_.now() > op.deadline) {
+        // The batch landed past the request's end-to-end deadline (the
+        // probes stay -- the grant is real until detach -- but the client's
+        // wait is resolved with an explicit cancel, not silence).
+        op.response.status = Status::kCanceled;
+        ++deadline_cancels_;
+        reg.add(reg.metrics().service_deadline_cancels);
       }
       send_response(std::move(op.response));
     }

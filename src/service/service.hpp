@@ -53,6 +53,31 @@ struct ServiceOptions {
   /// How long a denied instrument request may wait in the admission queue
   /// for headroom before kDenied is surfaced (0 = fail fast).
   sim::TimeNs queue_timeout = sim::seconds(30);
+
+  // --- overload protection (DESIGN.md §14.3) --------------------------------
+  // All bounds default off so a small deployment behaves exactly as before;
+  // a storm-facing deployment sets them and takes deterministic kShed /
+  // kCanceled responses instead of unbounded queues.
+
+  /// Bound on the admission queue; a denial that would queue past it is
+  /// shed (kShed) instead.  0 = unbounded.
+  std::size_t max_queue_depth = 0;
+  /// Bound on one session's deferred commands (queued admissions plus
+  /// patch responses in flight); excess instruments are shed.  0 = off.
+  int max_session_inflight = 0;
+  /// End-to-end deadline per instrument request, from service receipt to
+  /// response.  A request still queued past it is canceled (kCanceled); a
+  /// patch that lands after it responds kCanceled so the client's wait is
+  /// bounded by the service, not just its own timer.  0 = off.
+  sim::TimeNs request_deadline = 0;
+  /// Subscription credit window: deltas in flight to one subscriber before
+  /// further windows are dropped-and-counted instead of buffered without
+  /// bound.  Credits return after the delivery round trip (client stall
+  /// faults slow the return leg, which is what makes a subscriber "slow").
+  /// 0 = unbounded (legacy fire-and-forget).
+  int sub_window = 4;
+  /// Modelled client-side processing per delta before its credit returns.
+  sim::TimeNs sub_client_stall = 0;
 };
 
 /// One safe-point window as the service saw it: the measured overhead of
@@ -111,6 +136,10 @@ class ControlService {
   std::size_t sessions_active() const { return active_sessions_; }
   std::uint64_t responses_sent() const { return responses_sent_; }
   std::size_t queue_depth() const { return queue_.size(); }
+  std::uint64_t shed_commands() const { return shed_commands_; }
+  std::uint64_t deadline_cancels() const { return deadline_cancels_; }
+  std::uint64_t fairshare_flips() const { return fairshare_flips_; }
+  std::uint64_t sub_drops() const { return sub_drops_; }
 
  private:
   struct BreakAgent;
@@ -121,11 +150,15 @@ class ControlService {
     /// Response to send once the batch lands; session == kServiceSession
     /// means no response (e.g. detach-driven removals).
     Response response;
+    /// End-to-end deadline stamped at receipt (0 = none): a batch landing
+    /// past it answers kCanceled.
+    sim::TimeNs deadline = 0;
   };
 
   struct QueuedAdmit {
     Request request;
     sim::TimeNs enqueued = 0;
+    sim::TimeNs deadline = 0;  ///< 0 = none
   };
 
   struct SessionEndpoint {
@@ -149,10 +182,14 @@ class ControlService {
     std::vector<RateLine> lines;
     vt::FilterProgram applied;
     std::vector<std::pair<SessionId, std::uint32_t>> acks;
+    /// Deltas dropped this window because subscribers were out of credits.
+    std::uint64_t sub_drops = 0;
   };
 
   void handle_instrument(const Request& request, bool from_queue);
-  bool try_admit(const Request& request, bool allow_queue);
+  bool try_admit(const Request& request, bool allow_queue, sim::TimeNs deadline);
+  /// One session's deferred commands: queued admissions + patches in flight.
+  int session_load(SessionId session) const;
   void stage_service_program(vt::FilterProgram program);
   void handle_confsync(const Request& request);
   void handle_subscribe(const Request& request);
@@ -186,6 +223,12 @@ class ControlService {
   std::deque<QueuedAdmit> queue_;
   std::vector<WindowRecord> windows_;
   std::uint64_t responses_sent_ = 0;
+  /// Patch responses in flight per session (overload accounting).
+  std::map<SessionId, int> patch_pending_;
+  std::uint64_t shed_commands_ = 0;
+  std::uint64_t deadline_cancels_ = 0;
+  std::uint64_t fairshare_flips_ = 0;
+  std::uint64_t sub_drops_ = 0;
 };
 
 }  // namespace dyntrace::service

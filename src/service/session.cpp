@@ -24,6 +24,8 @@ const char* to_string(Status status) {
     case Status::kDaemonLost: return "daemon-lost";
     case Status::kShutdown: return "shutdown";
     case Status::kTimeout: return "timeout";
+    case Status::kShed: return "shed";
+    case Status::kCanceled: return "canceled";
   }
   return "?";
 }

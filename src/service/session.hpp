@@ -41,6 +41,8 @@ enum class Status : std::uint8_t {
   kDaemonLost,  ///< the patch hit nodes whose daemon died; see lost_nodes
   kShutdown,    ///< the service is shutting down
   kTimeout,     ///< driver-local: no response before the deadline
+  kShed,        ///< overload: a bounded queue was full, command dropped
+  kCanceled,    ///< the end-to-end request deadline expired in the service
 };
 
 const char* to_string(CommandKind kind);

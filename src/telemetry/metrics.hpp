@@ -52,6 +52,14 @@ struct Metrics {
   CounterId dpcl_dedup_evictions;      ///< completed ids evicted from full dedup tables
   CounterId dpcl_abandoned_nodes;      ///< nodes given up on after max retries
 
+  // --- dpcl: gray-failure health + circuit breaker ---------------------------
+  HistogramId dpcl_health_score;       ///< EWMA node health after each sample, x1000
+  GaugeId dpcl_breaker_state;          ///< last transition: 0 closed / 1 open / 2 half-open
+  CounterId dpcl_breaker_opens;        ///< closed/half-open -> open transitions
+  CounterId dpcl_breaker_probes;       ///< half-open probe requests issued
+  CounterId dpcl_breaker_closes;       ///< half-open -> closed re-admissions
+  CounterId dpcl_breaker_skips;        ///< broadcasts that quarantine-skipped a node
+
   // --- service: multi-tenant control service ---------------------------------
   GaugeId service_sessions_active;     ///< sessions currently attached
   CounterId service_commands;          ///< commands processed (responses sent)
@@ -63,6 +71,12 @@ struct Metrics {
   CounterId service_sub_deliveries;    ///< subscription delta messages pushed to sessions
   CounterId service_sub_events;        ///< event pairs summarised across those deltas
   HistogramId service_command_latency_ns;  ///< request send -> response receipt, per command
+
+  // --- service: overload protection ------------------------------------------
+  CounterId service_shed_commands;     ///< commands shed by bounded-queue admission
+  CounterId service_deadline_cancels;  ///< commands canceled past their end-to-end deadline
+  CounterId service_fairshare_flips;   ///< arbitration flips where fair share overrode price
+  CounterId service_sub_drops;         ///< subscription deltas dropped at a full window
 
   // --- fault: injected fates -------------------------------------------------
   CounterId fault_drops;

@@ -1,5 +1,6 @@
-// The adversarial fault matrix (satellite 3): {daemon kill, message drop,
-// message dup, 10x delay, torn shard} x {smg98, sweep3d} at 64 ranks.  For
+// The adversarial fault matrix (satellite 3): {daemon kill, daemon flap,
+// daemon degrade, message drop, message dup, 10x delay, torn shard} x
+// {smg98, sweep3d} at 64 ranks.  For
 // every cell the run must terminate, the degradation must be reported with
 // the affected ranks, and the surviving traces must merge to a digest that
 // is bit-identical across --sim-threads for a fixed plan + seed.
@@ -116,6 +117,38 @@ TEST_P(FaultMatrix, DaemonKillDegradesAndTerminates) {
   EXPECT_NE(r.report.find("degrade"), std::string::npos);
   EXPECT_GE(r.degradations, 1u);
   EXPECT_GT(r.digest, 0u);  // survivors still produced a merged trace
+}
+
+TEST_P(FaultMatrix, FlappingDaemonIsQuarantinedNotAbandoned) {
+  // The gray-failure column (DESIGN.md §14): the daemon flaps into a dead
+  // window that swallows the mid-run insert.  Every retry and the follow-up
+  // half-open probe miss, so the breaker opens and the node is quarantined
+  // (Dynamic -> Subset, reversible) -- but never abandoned: a flapping
+  // daemon is sick, not gone, so its ranks must not be marked lost.
+  const std::string plan = std::string("seed 16\nflap-daemon node=2 period=300s ") +
+                           "downtime=150s from=" + kill_time_for(GetParam()) + "\n";
+  const MatrixResult r = run_cell_deterministically(GetParam(), plan, kMidRunScript);
+  EXPECT_TRUE(r.lost_ranks.empty());
+  EXPECT_NE(r.report.find("breaker-open"), std::string::npos);
+  EXPECT_NE(r.report.find("breaker-probe"), std::string::npos);
+  EXPECT_NE(r.report.find("(quarantine)"), std::string::npos);
+  EXPECT_EQ(r.report.find("daemon-lost"), std::string::npos);
+  EXPECT_GE(r.degradations, 1u);
+  EXPECT_GT(r.digest, 0u);
+}
+
+TEST_P(FaultMatrix, DegradedDaemonOpensBreakerOnScoreAlone) {
+  // A 200x-slow daemon still answers inside the 20s deadline (patch
+  // requests are ~25ms healthy), so there is never a miss -- the breaker
+  // must open purely from the EWMA latency score sinking below the floor.
+  // No losses, no abandonment, and the slow node is quarantined mid-insert.
+  const std::string plan = std::string("seed 17\ndegrade-daemon node=2 factor=200 ") +
+                           "from=" + kill_time_for(GetParam()) + "\n";
+  const MatrixResult r = run_cell_deterministically(GetParam(), plan, kMidRunScript);
+  EXPECT_TRUE(r.lost_ranks.empty());
+  EXPECT_NE(r.report.find("breaker-open"), std::string::npos);
+  EXPECT_EQ(r.report.find("daemon-lost"), std::string::npos);
+  EXPECT_GT(r.digest, 0u);
 }
 
 TEST_P(FaultMatrix, MessageDropsAreRetriedThrough) {

@@ -25,12 +25,15 @@ constexpr const char* kFullPlan =
     "dup channel=overlay prob=0.5\n"
     "delay channel=daemon skip=2 count=4 factor=10\n"
     "stall node=2 from=10s until=20s factor=4\n"
-    "tear-shard rank=7 spill=0 keep=0.5\n";
+    "tear-shard rank=7 spill=0 keep=0.5\n"
+    "flap-daemon node=4 period=30s downtime=5s from=100s until=400s\n"
+    "degrade-daemon node=6 factor=8 from=10s until=20s\n"
+    "storm sessions=16 at=35s\n";
 
 TEST(FaultPlan, ParsesEveryVerb) {
   const FaultPlan plan = FaultPlan::parse(kFullPlan);
   EXPECT_EQ(plan.seed, 42u);
-  ASSERT_EQ(plan.actions.size(), 8u);
+  ASSERT_EQ(plan.actions.size(), 11u);
   EXPECT_EQ(plan.actions[0].kind, FaultAction::Kind::kKillDaemon);
   EXPECT_EQ(plan.actions[0].node, 3);
   EXPECT_EQ(plan.actions[0].at, sim::seconds(150));
@@ -45,15 +48,53 @@ TEST(FaultPlan, ParsesEveryVerb) {
   EXPECT_EQ(plan.actions[6].until, sim::seconds(20));
   EXPECT_EQ(plan.actions[7].kind, FaultAction::Kind::kTearShard);
   EXPECT_DOUBLE_EQ(plan.actions[7].keep, 0.5);
+  EXPECT_EQ(plan.actions[8].kind, FaultAction::Kind::kFlapDaemon);
+  EXPECT_EQ(plan.actions[8].node, 4);
+  EXPECT_EQ(plan.actions[8].period, sim::seconds(30));
+  EXPECT_EQ(plan.actions[8].downtime, sim::seconds(5));
+  EXPECT_EQ(plan.actions[8].at, sim::seconds(100));
+  EXPECT_EQ(plan.actions[8].until, sim::seconds(400));
+  EXPECT_EQ(plan.actions[9].kind, FaultAction::Kind::kDegradeDaemon);
+  EXPECT_EQ(plan.actions[9].node, 6);
+  EXPECT_DOUBLE_EQ(plan.actions[9].factor, 8.0);
+  EXPECT_EQ(plan.actions[9].until, sim::seconds(20));
+  EXPECT_EQ(plan.actions[10].kind, FaultAction::Kind::kStorm);
+  EXPECT_EQ(plan.actions[10].sessions, 16);
+  EXPECT_EQ(plan.actions[10].at, sim::seconds(35));
 }
 
 TEST(FaultPlan, TextRoundTrips) {
+  // The round-trip property, field for field across every verb: the parsed
+  // form of to_text() must reproduce each action exactly, not just count
+  // and re-serialization (which could both mask a dropped key).
   const FaultPlan plan = FaultPlan::parse(kFullPlan);
   const std::string text = plan.to_text();
   const FaultPlan again = FaultPlan::parse(text);
   EXPECT_EQ(again.to_text(), text);
   EXPECT_EQ(again.seed, plan.seed);
-  EXPECT_EQ(again.actions.size(), plan.actions.size());
+  ASSERT_EQ(again.actions.size(), plan.actions.size());
+  for (std::size_t i = 0; i < plan.actions.size(); ++i) {
+    const FaultAction& a = plan.actions[i];
+    const FaultAction& b = again.actions[i];
+    EXPECT_EQ(a.kind, b.kind) << i;
+    EXPECT_EQ(a.channel, b.channel) << i;
+    EXPECT_EQ(a.node, b.node) << i;
+    EXPECT_EQ(a.rank, b.rank) << i;
+    EXPECT_EQ(a.src, b.src) << i;
+    EXPECT_EQ(a.dst, b.dst) << i;
+    EXPECT_EQ(a.at, b.at) << i;
+    EXPECT_EQ(a.until, b.until) << i;
+    EXPECT_DOUBLE_EQ(a.probability, b.probability) << i;
+    EXPECT_EQ(a.nth, b.nth) << i;
+    EXPECT_EQ(a.skip, b.skip) << i;
+    EXPECT_EQ(a.count, b.count) << i;
+    EXPECT_DOUBLE_EQ(a.factor, b.factor) << i;
+    EXPECT_EQ(a.spill, b.spill) << i;
+    EXPECT_DOUBLE_EQ(a.keep, b.keep) << i;
+    EXPECT_EQ(a.period, b.period) << i;
+    EXPECT_EQ(a.downtime, b.downtime) << i;
+    EXPECT_EQ(a.sessions, b.sessions) << i;
+  }
 }
 
 TEST(FaultPlan, RejectsMalformedInput) {
@@ -68,6 +109,17 @@ TEST(FaultPlan, RejectsMalformedInput) {
   EXPECT_THROW(FaultPlan::parse("stall node=1 from=5s until=5s factor=2\n"), Error);
   EXPECT_THROW(FaultPlan::parse("tear-shard rank=1 keep=1.0\n"), Error);
   EXPECT_THROW(FaultPlan::parse("seed banana\n"), Error);
+  // Gray-failure verbs: a flap must actually flap (downtime strictly inside
+  // the period), a degrade must slow things down, a storm must be nonempty.
+  EXPECT_THROW(FaultPlan::parse("flap-daemon node=1 downtime=5s\n"), Error);
+  EXPECT_THROW(FaultPlan::parse("flap-daemon node=1 period=10s downtime=10s\n"), Error);
+  EXPECT_THROW(FaultPlan::parse("flap-daemon period=10s downtime=2s\n"), Error);
+  EXPECT_THROW(FaultPlan::parse("flap-daemon node=1 period=10s downtime=2s "
+                                "from=20s until=20s\n"),
+               Error);
+  EXPECT_THROW(FaultPlan::parse("degrade-daemon node=1 factor=0.5\n"), Error);
+  EXPECT_THROW(FaultPlan::parse("degrade-daemon factor=4\n"), Error);
+  EXPECT_THROW(FaultPlan::parse("storm sessions=0 at=5s\n"), Error);
 }
 
 TEST(FaultInjector, LivenessIsAPureTimeThreshold) {
@@ -91,6 +143,61 @@ TEST(FaultInjector, StallWindowIsHalfOpen) {
   EXPECT_DOUBLE_EQ(injector.stall_factor(2, sim::seconds(20) - 1), 4.0);
   EXPECT_DOUBLE_EQ(injector.stall_factor(2, sim::seconds(20)), 1.0);
   EXPECT_DOUBLE_EQ(injector.stall_factor(1, sim::seconds(15)), 1.0);
+}
+
+TEST(FaultInjector, FlapWindowsRepeatOnThePeriod) {
+  // flap-daemon node=4 period=30s downtime=5s from=100s until=400s: dead
+  // during [100 + 30k, 100 + 30k + 5) for windows starting inside
+  // [100, 400), alive everywhere else -- a pure function of `now`.
+  FaultInjector injector(FaultPlan::parse(kFullPlan));
+  EXPECT_TRUE(injector.daemon_alive(4, sim::seconds(100) - 1));
+  EXPECT_FALSE(injector.daemon_alive(4, sim::seconds(100)));
+  EXPECT_FALSE(injector.daemon_alive(4, sim::seconds(105) - 1));
+  EXPECT_TRUE(injector.daemon_alive(4, sim::seconds(105)));
+  EXPECT_TRUE(injector.daemon_alive(4, sim::seconds(130) - 1));
+  EXPECT_FALSE(injector.daemon_alive(4, sim::seconds(130)));  // next period
+  EXPECT_FALSE(injector.daemon_alive(4, sim::seconds(132)));
+  EXPECT_TRUE(injector.daemon_alive(4, sim::seconds(136)));
+  // Past `until` the flap is over, even at a would-be dead phase.
+  EXPECT_TRUE(injector.daemon_alive(4, sim::seconds(400)));
+  EXPECT_TRUE(injector.daemon_alive(4, sim::seconds(430)));
+  // A flapping daemon is not *permanently* dead.
+  EXPECT_EQ(injector.daemon_dead_at(4), kNever);
+}
+
+TEST(FaultInjector, GrayProneNamesFlapAndDegradeTargets) {
+  FaultInjector injector(FaultPlan::parse(kFullPlan));
+  EXPECT_TRUE(injector.daemon_gray_prone(4));   // flap target
+  EXPECT_TRUE(injector.daemon_gray_prone(6));   // degrade target
+  EXPECT_FALSE(injector.daemon_gray_prone(3));  // kill target: crash, not gray
+  EXPECT_FALSE(injector.daemon_gray_prone(0));
+}
+
+TEST(FaultInjector, DegradeFactorIsWindowedAndCompounds) {
+  FaultInjector injector(FaultPlan::parse(kFullPlan));
+  EXPECT_DOUBLE_EQ(injector.daemon_degrade_factor(6, sim::seconds(10) - 1), 1.0);
+  EXPECT_DOUBLE_EQ(injector.daemon_degrade_factor(6, sim::seconds(10)), 8.0);
+  EXPECT_DOUBLE_EQ(injector.daemon_degrade_factor(6, sim::seconds(20) - 1), 8.0);
+  EXPECT_DOUBLE_EQ(injector.daemon_degrade_factor(6, sim::seconds(20)), 1.0);
+  EXPECT_DOUBLE_EQ(injector.daemon_degrade_factor(5, sim::seconds(15)), 1.0);
+  // Overlapping degrade actions on one node multiply together.
+  FaultInjector stacked(FaultPlan::parse(
+      "degrade-daemon node=1 factor=4 from=10s until=30s\n"
+      "degrade-daemon node=1 factor=2 from=20s until=40s\n"));
+  EXPECT_DOUBLE_EQ(stacked.daemon_degrade_factor(1, sim::seconds(15)), 4.0);
+  EXPECT_DOUBLE_EQ(stacked.daemon_degrade_factor(1, sim::seconds(25)), 8.0);
+  EXPECT_DOUBLE_EQ(stacked.daemon_degrade_factor(1, sim::seconds(35)), 2.0);
+}
+
+TEST(FaultInjector, StormsAreSortedByTime) {
+  FaultInjector injector(FaultPlan::parse(
+      "storm sessions=8 at=60s\n"
+      "storm sessions=16 at=35s\n"));
+  const auto storms = injector.storms();
+  ASSERT_EQ(storms.size(), 2u);
+  EXPECT_EQ(storms[0], std::make_pair(sim::seconds(35), 16));
+  EXPECT_EQ(storms[1], std::make_pair(sim::seconds(60), 8));
+  EXPECT_TRUE(FaultInjector(FaultPlan::parse("seed 1\n")).storms().empty());
 }
 
 TEST(FaultInjector, MessageFatesReplayIdentically) {

@@ -132,6 +132,70 @@ TEST(Admission, ArbitrateReportsFloor) {
   EXPECT_GT(ctl.priced_fraction(), 0.05);
 }
 
+// Budget wide enough that every grant admits fully active; observed rates
+// then push the priced total past it, forcing arbitration.
+AdmissionController make_wide_controller() {
+  return AdmissionController(make_symbols(8), control::PairPrice{20'000, 500},
+                             AdmissionOptions{0.10, 1000.0});
+}
+
+TEST(Admission, ArbitrateChargesTheCostliestSessionNotTheCostliestFunction) {
+  AdmissionController ctl = make_wide_controller();
+  // s0 holds fn0 + fn1 at 3.2% each (6.4% attributed); s1 holds only fn2,
+  // the single most expensive function at 4%.  Total 10.4% > 10%.
+  ctl.admit(0, {0, 1});
+  ctl.admit(1, {2});
+  ctl.update_rate(0, 1600.0);
+  ctl.update_rate(1, 1600.0);
+  ctl.update_rate(2, 2000.0);
+  const ArbitrateResult result = ctl.arbitrate();
+  // Pure-price arbitration would flip fn2 and charge the light session;
+  // fair-share degrades the heavy session's own most expensive function
+  // (fn0 on the 3.2%/3.2% tie, lowest id).
+  EXPECT_EQ(result.flipped, (std::vector<image::FunctionId>{0}));
+  EXPECT_EQ(result.fairshare_flips, 1u);
+  ASSERT_EQ(result.directives.size(), 1u);
+  EXPECT_EQ(result.directives[0].pattern, "fn0");
+  EXPECT_TRUE(ctl.filtered(0));
+  EXPECT_FALSE(ctl.filtered(2));
+  EXPECT_LE(ctl.priced_fraction(), 0.10 + 1e-12);
+}
+
+TEST(Admission, SharedHoldersSplitTheAttributedCost) {
+  AdmissionController ctl = make_wide_controller();
+  // fn0 (7%) is shared by s0 and s1 -> 3.5% attributed to each; s2 alone
+  // holds fn1 + fn2 (4%), making it the costliest session even though it
+  // holds no single function as expensive as fn0.
+  ctl.admit(0, {0});
+  ctl.admit(1, {0});
+  ctl.admit(2, {1, 2});
+  ctl.update_rate(0, 3500.0);
+  const ArbitrateResult result = ctl.arbitrate();
+  ASSERT_FALSE(result.flipped.empty());
+  // First victim: s2's most expensive active function, fn1 (lowest id on
+  // the 2%/2% tie) -- not the globally priciest fn0.
+  EXPECT_EQ(result.flipped.front(), image::FunctionId{1});
+  EXPECT_GE(result.fairshare_flips, 1u);
+  EXPECT_LE(ctl.priced_fraction(), 0.10 + 1e-12);
+}
+
+TEST(Admission, UpdateRateIgnoresNeverInstalledFunctions) {
+  AdmissionController ctl = make_controller();
+  // A stale rate report for a function nobody holds (e.g. its last holder
+  // detached while the report was in flight) must not seed pricing state.
+  ctl.update_rate(5, 50'000.0);
+  ctl.update_rate(999, 50'000.0);  // out of range entirely
+  EXPECT_EQ(ctl.rate_updates_ignored(), 2u);
+  // A later grant prices fn5 at the default rate, not the stale report.
+  const AdmitResult result = ctl.admit(0, {5});
+  EXPECT_EQ(result.decision, AdmitDecision::kAdmitted);
+  EXPECT_NEAR(result.projected_fraction, 0.02, 1e-12);
+  // Held functions accept updates as before.
+  ctl.update_rate(5, 2000.0);
+  EXPECT_EQ(ctl.rate_updates_ignored(), 2u);
+  EXPECT_NEAR(ctl.priced_fraction(), 0.04, 1e-12);
+}
+
 TEST(Admission, ReplayReconcilesFilterIntent) {
   AdmissionController ctl = make_controller();
   ctl.admit(0, {0, 1});
