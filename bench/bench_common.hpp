@@ -8,11 +8,13 @@
 
 #include <chrono>
 #include <cstdio>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "dynprof/policy.hpp"
+#include "machine/spec.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
 
@@ -53,21 +55,42 @@ struct PolicySweep {
   }
 };
 
+/// A machine spec big enough for `cpus` single-cpu ranks plus a tool node:
+/// the paper's IBM Power3 SP (144 nodes) grown node-for-node when a sweep
+/// extends past its 1152 CPUs (the --max-cpus 4096 extension).
+inline std::optional<machine::MachineSpec> machine_for_cpus(int cpus) {
+  machine::MachineSpec spec = machine::ibm_power3_sp();
+  const int needed = (cpus + spec.cpus_per_node - 1) / spec.cpus_per_node + 1;
+  if (needed <= spec.nodes) return std::nullopt;  // default machine: untouched runs
+  spec.nodes = needed;
+  spec.name += "-x" + std::to_string(needed);
+  return spec;
+}
+
 inline PolicySweep run_policy_sweep(const asci::AppSpec& app, double scale,
-                                    std::uint64_t seed, int sim_threads = 1) {
+                                    std::uint64_t seed, int sim_threads = 1,
+                                    int max_cpus = 0) {
+  // --max-cpus beyond the app's paper ceiling: sweep a widened copy on a
+  // machine grown to fit (results for the paper counts are unchanged --
+  // cells only get a bigger machine when they need one).
+  asci::AppSpec widened = app;
+  if (max_cpus > widened.max_procs) widened.max_procs = max_cpus;
   PolicySweep sweep;
-  sweep.cpus = dynprof::cpu_counts_for(app);
-  sweep.policies = dynprof::policies_for(app);
+  sweep.cpus = dynprof::cpu_counts_for(widened);
+  sweep.policies = dynprof::policies_for(widened);
   for (const auto policy : sweep.policies) {
     std::vector<double> row;
     for (const int cpus : sweep.cpus) {
       dynprof::RunConfig config;
-      config.app = &app;
+      config.app = &widened;
       config.policy = policy;
       config.nprocs = cpus;
       config.problem_scale = scale;
       config.seed = seed;
       config.sim_threads = sim_threads;
+      if (widened.model != asci::AppSpec::Model::kOpenMP) {
+        config.machine = machine_for_cpus(cpus);
+      }
       row.push_back(dynprof::run_policy(config).app_seconds);
       std::fprintf(stderr, ".");
       std::fflush(stderr);
@@ -150,6 +173,9 @@ struct Fig7Options {
   double scale = 1.0;
   std::int64_t seed = 42;
   std::int64_t sim_threads = 1;
+  /// 0 keeps the app's paper ceiling; a larger power of two extends the
+  /// sweep (e.g. 4096) on a machine grown to fit.
+  std::int64_t max_cpus = 0;
   bool csv = false;
 };
 
@@ -163,6 +189,10 @@ inline bool parse_fig7_options(int argc, const char* const* argv, const char* na
                     "simulation worker threads (default 1; results are bit-identical "
                     "and a >1 value appends a sequential-vs-parallel comparison)",
                     &out->sim_threads);
+  parser.option_int("max-cpus",
+                    "extend the sweep past the paper's CPU ceiling (e.g. 4096; "
+                    "0 = paper counts only)",
+                    &out->max_cpus);
   parser.flag("csv", "also print CSV series", &out->csv);
   return parser.parse(argc, argv);
 }

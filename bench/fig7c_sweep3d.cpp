@@ -18,7 +18,8 @@ int main(int argc, char** argv) {
 
   const auto sweep = run_policy_sweep(asci::sweep3d(), options.scale,
                                       static_cast<std::uint64_t>(options.seed),
-                                      static_cast<int>(options.sim_threads));
+                                      static_cast<int>(options.sim_threads),
+                                      static_cast<int>(options.max_cpus));
   print_sweep("Figure 7(c): Sweep3d execution time (s)", sweep);
   maybe_print_csv(sweep, options.csv);
 

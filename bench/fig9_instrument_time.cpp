@@ -21,6 +21,9 @@ double instrument_time(const dyntrace::asci::AppSpec& app, int nprocs, double sc
   options.params.nprocs = nprocs;
   options.params.problem_scale = scale;
   options.policy = dynprof::Policy::kDynamic;
+  if (app.model != asci::AppSpec::Model::kOpenMP) {
+    options.machine = bench::machine_for_cpus(nprocs);
+  }
   dynprof::Launch launch(std::move(options));
 
   dynprof::DynprofTool::Options topt;
@@ -38,12 +41,18 @@ int main(int argc, char** argv) {
   using namespace dyntrace::bench;
 
   double scale = 0.3;  // the app body's size does not affect this metric
+  std::int64_t max_cpus = 0;
   CliParser parser("fig9_instrument_time", "Reproduce Figure 9");
   parser.option_double("scale", "application problem scale (metric-neutral)", &scale);
+  parser.option_int("max-cpus",
+                    "extend the MPI columns past the paper's 64-CPU ceiling (e.g. "
+                    "4096; 0 = paper counts only)",
+                    &max_cpus);
   if (!parser.parse(argc, argv)) return 0;
 
   std::puts("Figure 9: Time to create and instrument (s)\n");
-  const std::vector<int> cpus{1, 2, 4, 8, 16, 32, 64};
+  std::vector<int> cpus{1, 2, 4, 8, 16, 32, 64};
+  for (int p = 128; p <= max_cpus; p *= 2) cpus.push_back(p);
   TextTable table({"CPUs", "Smg98", "Sppm", "Sweep3d", "Umt98"});
 
   std::vector<std::vector<double>> results(4);
@@ -52,6 +61,13 @@ int main(int argc, char** argv) {
     int col = 0;
     for (const asci::AppSpec* app :
          {&asci::smg98(), &asci::sppm(), &asci::sweep3d(), &asci::umt98()}) {
+      asci::AppSpec widened;  // raise the MPI ceiling under --max-cpus
+      if (p > app->max_procs && app->model != asci::AppSpec::Model::kOpenMP &&
+          p <= max_cpus) {
+        widened = *app;
+        widened.max_procs = p;
+        app = &widened;
+      }
       if (p < app->min_procs || p > app->max_procs) {
         row.emplace_back("-");
         results[col].push_back(std::nan(""));

@@ -23,9 +23,11 @@
 #include "analysis/profile.hpp"
 #include "analysis/report.hpp"
 #include "analysis/timeline.hpp"
+#include "dynprof/policy.hpp"
 #include "dynprof/tool.hpp"
 #include "fault/injector.hpp"
 #include "machine/spec.hpp"
+#include "replay/app.hpp"
 #include "support/cli.hpp"
 #include "support/common.hpp"
 #include "support/config.hpp"
@@ -92,6 +94,13 @@ int run_report(const std::string& path) {
   return 0;
 }
 
+/// A target that names a trace file rather than a built-in kernel: any
+/// path-like token, or anything ending in .trace.
+bool is_trace_target(const std::string& name) {
+  if (name.find('/') != std::string::npos) return true;
+  return name.size() > 6 && name.substr(name.size() - 6) == ".trace";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -110,6 +119,8 @@ int main(int argc, char** argv) {
   std::int64_t fault_seed = -1;
   bool show_timeline = false;
   bool show_report = false;
+  bool replay_strict = false;
+  std::string policy_name = "dynamic";
   std::string subcommand_arg;
   std::string telemetry_level = "off";
   std::string telemetry_stats_path;
@@ -117,9 +128,11 @@ int main(int argc, char** argv) {
 
   CliParser parser("dynprof_cli",
                    "Dynamically instrument an ASCI kernel application (paper §3.3). "
-                   "Apps: smg98, sppm, sweep3d, umt98. "
+                   "Apps: smg98, sppm, sweep3d, umt98, or a recorded-trace path "
+                   "(*.trace; see docs/TRACE_REPLAY.md). "
                    "Subcommand: 'report <stats.json>' renders exported telemetry stats.");
-  parser.positional("app", "target application (or the 'report' subcommand)", &app_name)
+  parser.positional("app", "target application, trace path, or the 'report' subcommand",
+                    &app_name)
       .positional("arg", "subcommand argument (report: stats JSON path)", &subcommand_arg,
                   /*optional=*/true)
       .option_int("cpus", "processors (MPI ranks / OpenMP threads)", &cpus)
@@ -149,6 +162,13 @@ int main(int argc, char** argv) {
                      "write Chrome trace-event JSON here (Perfetto loadable; needs "
                      "--telemetry=spans)",
                      &telemetry_trace_path)
+      .option_string("policy",
+                     "instrumentation policy: dynamic (script-driven; the default) | "
+                     "none | full | full-off | subset | adaptive",
+                     &policy_name)
+      .flag("replay-strict",
+            "reject recognized-but-unreplayed trace verbs instead of skip-counting",
+            &replay_strict)
       .flag("timeline", "print the postmortem time-line", &show_timeline)
       .flag("report", "print the full summary report (matrix, balance)", &show_report)
       .option_string("machine", "machine profile: builtin name or .ini path", &machine_profile);
@@ -161,24 +181,47 @@ int main(int argc, char** argv) {
       return run_report(subcommand_arg);
     }
 
-    const asci::AppSpec* app = asci::find_app(app_name);
-    DT_EXPECT(app != nullptr, "unknown application '", app_name,
-              "' (smg98, sppm, sweep3d, umt98)");
+    std::shared_ptr<replay::ReplayApp> replay_app;
+    const asci::AppSpec* app = nullptr;
+    if (is_trace_target(app_name)) {
+      replay::ParseOptions replay_options;
+      replay_options.strict = replay_strict;
+      replay_app = replay::load_app(app_name, replay_options);
+      app = &replay_app->spec();
+      cpus = app->min_procs;  // a trace pins its rank count
+      std::printf("replaying %s: %s\n", app_name.c_str(), app->description.c_str());
+      const auto& trace = replay_app->trace();
+      if (trace.skipped_events > 0) {
+        std::string verbs;
+        for (const auto& verb : trace.skipped_verbs) {
+          if (!verbs.empty()) verbs += ", ";
+          verbs += verb;
+        }
+        std::printf("replay: skipped %llu unreplayed event(s) (%s)\n",
+                    static_cast<unsigned long long>(trace.skipped_events), verbs.c_str());
+      }
+    } else {
+      app = asci::find_app(app_name);
+      DT_EXPECT(app != nullptr, "unknown application '", app_name,
+                "' (smg98, sppm, sweep3d, umt98, or a trace path)");
+    }
+
+    const dynprof::Policy policy = dynprof::policy_from_string(policy_name);
 
     std::string script_text;
-    if (!script_path.empty()) {
-      std::ifstream in(script_path);
-      DT_EXPECT(in.good(), "cannot open script '", script_path, "'");
-      std::ostringstream ss;
-      ss << in.rdbuf();
-      script_text = ss.str();
-    } else {
-      std::ostringstream ss;
-      ss << std::cin.rdbuf();
-      script_text = ss.str();
+    if (policy == dynprof::Policy::kDynamic) {
+      if (!script_path.empty()) {
+        std::ifstream in(script_path);
+        DT_EXPECT(in.good(), "cannot open script '", script_path, "'");
+        std::ostringstream ss;
+        ss << in.rdbuf();
+        script_text = ss.str();
+      } else {
+        std::ostringstream ss;
+        ss << std::cin.rdbuf();
+        script_text = ss.str();
+      }
     }
-    const auto script = dynprof::parse_script(script_text);
-    DT_EXPECT(!script.empty(), "empty command script (need at least 'start')");
 
 
     std::optional<machine::MachineSpec> machine_spec;
@@ -196,6 +239,47 @@ int main(int argc, char** argv) {
       if (fault_seed >= 0) plan.seed = static_cast<std::uint64_t>(fault_seed);
       injector = std::make_shared<fault::FaultInjector>(std::move(plan));
     }
+
+    if (policy != dynprof::Policy::kDynamic) {
+      DT_EXPECT(injector == nullptr,
+                "--fault-plan applies to the dynamic (script-driven) policy path");
+      dynprof::RunConfig config;
+      config.app = app;
+      config.policy = policy;
+      config.nprocs = static_cast<int>(cpus);
+      config.problem_scale = scale;
+      config.machine = machine_spec;
+      config.sim_threads = static_cast<int>(sim_threads);
+      config.telemetry_level = telemetry::level_from_string(telemetry_level);
+      config.trace_format = vt::trace_format_from_string(trace_format_name);
+      DT_EXPECT(trace_spill_bytes >= 0, "--trace-spill-bytes must be >= 0");
+      config.trace_spill_bytes = static_cast<std::size_t>(trace_spill_bytes);
+      if (!telemetry_stats_path.empty()) {
+        config.telemetry_sink = [&](const telemetry::Registry& registry) {
+          std::ofstream out(telemetry_stats_path);
+          out << registry.stats_json();
+          std::printf("telemetry stats written to %s\n", telemetry_stats_path.c_str());
+        };
+      }
+      const dynprof::PolicyResult r = dynprof::run_policy(config);
+      std::printf("application '%s' under policy %s on %d cpu(s):\n", app->name.c_str(),
+                  dynprof::to_string(policy), r.nprocs);
+      std::printf("  main computation %.3f s (total %.3f s)\n", r.app_seconds,
+                  r.total_seconds);
+      if (r.create_instrument_seconds > 0) {
+        std::printf("  create+instrument time: %.3f s\n", r.create_instrument_seconds);
+      }
+      std::printf("  trace events: %llu (filtered %llu)\n",
+                  static_cast<unsigned long long>(r.trace_events),
+                  static_cast<unsigned long long>(r.filtered_events));
+      std::printf("  trace digest %016llx  stats digest %016llx\n",
+                  static_cast<unsigned long long>(r.trace_digest),
+                  static_cast<unsigned long long>(r.stats_digest));
+      return 0;
+    }
+
+    const auto script = dynprof::parse_script(script_text);
+    DT_EXPECT(!script.empty(), "empty command script (need at least 'start')");
 
     dynprof::Launch::Options options;
     options.app = app;

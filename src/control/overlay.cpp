@@ -127,8 +127,10 @@ sim::Coro<void> StatsOverlay::reduce_ft(proc::SimThread& thread, vt::VtLib& vt,
 
   // A rank killed by the fault plan contributes nothing; its parent's
   // bounded wait is what detects the silence.
-  if (!injector.rank_alive(r, thread.engine().now())) co_return;
-  const auto alive = [&](int q) { return injector.rank_alive(q, thread.engine().now()); };
+  if (!injector.rank_alive(r, thread.engine().now(), job_)) co_return;
+  const auto alive = [&](int q) {
+    return injector.rank_alive(q, thread.engine().now(), job_);
+  };
 
   telemetry::Registry& reg = telemetry::current();
   const telemetry::Metrics& tm = reg.metrics();

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "proc/process.hpp"
@@ -52,6 +53,11 @@ class StatsOverlay : public vt::StatsAggregator {
   /// concurrently.  Idempotent; sequential runs may skip it.
   void prepare(int size);
 
+  /// Name this overlay's job for job-scoped fault verbs (multi-job runs;
+  /// kill-rank job=... then only silences this overlay when the names
+  /// match).  Set before the run starts; empty = unscoped queries.
+  void set_job(std::string name) { job_ = std::move(name); }
+
   sim::Coro<void> reduce(proc::SimThread& thread, vt::VtLib& vt) override;
 
   int arity() const { return arity_; }
@@ -80,6 +86,7 @@ class StatsOverlay : public vt::StatsAggregator {
                             fault::FaultInjector& injector);
 
   int arity_;
+  std::string job_;  ///< fault-verb job scope (empty outside multi-job runs)
   // Host-side record transport: a sender publishes its merged table in its
   // slot *before* injecting the wire message, and the parent reads the slot
   // only after the (strictly later) delivery -- the message carries timing,

@@ -58,22 +58,43 @@ std::vector<Policy> policies_for(const asci::AppSpec& app) {
 
 Launch::Launch(Options options)
     : options_(std::move(options)),
-      telemetry_(std::make_unique<telemetry::Registry>(options_.telemetry_level)),
-      scoped_registry_(std::in_place, *telemetry_),
-      psim_(std::make_unique<sim::ParallelEngine>(std::max(1, options_.sim_threads))),
+      owned_telemetry_(options_.shared_telemetry != nullptr
+                           ? nullptr
+                           : std::make_unique<telemetry::Registry>(options_.telemetry_level)),
+      telemetry_(options_.shared_telemetry != nullptr ? options_.shared_telemetry
+                                                      : owned_telemetry_.get()),
+      owned_psim_(options_.shared_engine != nullptr
+                      ? nullptr
+                      : std::make_unique<sim::ParallelEngine>(
+                            std::max(1, options_.sim_threads))),
+      psim_(options_.shared_engine != nullptr ? options_.shared_engine
+                                              : owned_psim_.get()),
       init_trigger_(psim_->shard(0)) {
   DT_EXPECT(options_.app != nullptr, "Launch needs an application");
+  // Installing the registry is the owning Launch's job; a shared-substrate
+  // Launch expects the scenario owner to have installed the shared one.
+  if (owned_telemetry_ != nullptr) scoped_registry_.emplace(*telemetry_);
   const asci::AppSpec& app = *options_.app;
   const asci::AppParams& params = options_.params;
+  if (options_.job_name.empty()) options_.job_name = app.name;
   DT_EXPECT(params.nprocs >= app.min_procs, app.name, " does not run on ", params.nprocs,
             " processor(s) (minimum ", app.min_procs, ")");
   DT_EXPECT(params.nprocs <= app.max_procs, app.name, " was evaluated up to ", app.max_procs,
             " processors; got ", params.nprocs);
 
-  machine::MachineSpec spec =
-      options_.machine.has_value() ? *options_.machine : machine::ibm_power3_sp();
-  cluster_ = std::make_unique<machine::Cluster>(*psim_, std::move(spec),
-                                                /*noise_seed=*/params.seed ^ 0x9e3779b9);
+  if (options_.shared_cluster != nullptr) {
+    DT_EXPECT(options_.shared_engine != nullptr,
+              "a shared cluster requires its shared engine");
+    cluster_ = options_.shared_cluster;
+  } else {
+    DT_EXPECT(options_.shared_engine == nullptr,
+              "a shared engine requires a shared cluster");
+    machine::MachineSpec spec =
+        options_.machine.has_value() ? *options_.machine : machine::ibm_power3_sp();
+    owned_cluster_ = std::make_unique<machine::Cluster>(
+        *psim_, std::move(spec), /*noise_seed=*/params.seed ^ 0x9e3779b9);
+    cluster_ = owned_cluster_.get();
+  }
   vt::TraceStore::Options store_options;
   store_options.spill_budget_bytes = options_.trace_spill_bytes;
   store_options.spill_dir = options_.trace_spill_dir;
@@ -83,14 +104,15 @@ Launch::Launch(Options options)
     // what switches the stack into fault-tolerant mode.
     cluster_->set_fault_injector(options_.fault.get());
     fault::FaultInjector* injector = options_.fault.get();
-    store_options.spill_fault = [injector](std::int32_t pid, std::uint64_t run_index,
-                                           std::size_t bytes) {
-      return injector->spill_bytes(pid, run_index, bytes);
+    store_options.spill_fault = [injector, job = options_.job_name](
+                                    std::int32_t pid, std::uint64_t run_index,
+                                    std::size_t bytes) {
+      return injector->spill_bytes(pid, run_index, bytes, job);
     };
   }
   store_ = std::make_shared<vt::TraceStore>(std::move(store_options));
   staged_ = std::make_shared<vt::StagedUpdate>();
-  job_ = std::make_unique<proc::ParallelJob>(*cluster_, app.name);
+  job_ = std::make_unique<proc::ParallelJob>(*cluster_, options_.job_name);
 
   const bool is_mpi = app.model != asci::AppSpec::Model::kOpenMP;
   const bool uses_omp = app.model != asci::AppSpec::Model::kMpi;
@@ -123,15 +145,20 @@ Launch::Launch(Options options)
   const int cpus_per_proc = app.model == asci::AppSpec::Model::kOpenMP
                                 ? params.nprocs
                                 : params.threads_per_rank;
-  const auto placement = cluster_->place_block(nprocs, cpus_per_proc);
+  const auto placement =
+      cluster_->place_block(nprocs, cpus_per_proc, options_.first_app_cpu);
 
   // Topology-aware partition over the span placement actually uses (app
   // nodes plus the tool's login node directly above them): contiguous node
   // blocks per shard keep neighbour-heavy rank traffic shard-local.  Must
-  // happen before add_process binds each process to its home engine.
-  const int last_app_node = options_.first_app_node + placement.back().node;
-  cluster_->partition_nodes(
-      std::min(cluster_->spec().nodes, last_app_node + 2));
+  // happen before add_process binds each process to its home engine.  A
+  // shared cluster was partitioned by its owner over the union of all job
+  // spans; re-partitioning here would invalidate already-bound processes.
+  if (options_.shared_cluster == nullptr) {
+    const int last_app_node = options_.first_app_node + placement.back().node;
+    cluster_->partition_nodes(
+        std::min(cluster_->spec().nodes, last_app_node + 2));
+  }
 
   Rng seed_rng(params.seed);
   Rng clock_rng(params.seed ^ 0xc10c);

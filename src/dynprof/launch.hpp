@@ -78,6 +78,27 @@ class Launch {
     /// First node used for application processes (tool daemons etc. can
     /// use the nodes above the application's).
     int first_app_node = 0;
+    /// First CPU the application occupies on each of its nodes.  Jobs that
+    /// share physical nodes in a multi-job run take disjoint CPU ranges
+    /// (DESIGN.md §15); 0 = start at the node's first CPU.
+    int first_app_cpu = 0;
+    /// Name job-scoped fault verbs (kill-rank job=..., tear-shard job=...)
+    /// match this run by; defaults to the app name.  Multi-job scenarios
+    /// give every job a unique name.
+    std::string job_name;
+    /// Shared-substrate mode (multi-job runs; DESIGN.md §15): borrow an
+    /// existing engine + cluster instead of owning them.  Both must outlive
+    /// the Launch, and the caller is responsible for partitioning the
+    /// cluster over the union of all job spans *before* constructing any
+    /// Launch (processes bind their home engines at construction).  When
+    /// set, `sim_threads` is ignored (the shared engine fixes it) and the
+    /// Launch does not re-partition.  Null = classic single-job mode.
+    sim::ParallelEngine* shared_engine = nullptr;
+    machine::Cluster* shared_cluster = nullptr;
+    /// Shared telemetry registry for multi-job runs: the Launch then skips
+    /// creating and installing its own, so all jobs' hooks land in the
+    /// scenario-wide registry the caller installed.  Requires shared_engine.
+    telemetry::Registry* shared_telemetry = nullptr;
     /// Standard deviation of per-process clock offsets (0 = perfect global
     /// clock).  Rank 0 is always the anchor; see analysis/clock_sync.hpp
     /// for the postmortem correction.
@@ -132,6 +153,8 @@ class Launch {
   /// The run's fault injector; null for healthy runs.
   fault::FaultInjector* fault_injector() const { return options_.fault.get(); }
   const Options& options() const { return options_; }
+  /// The (resolved) job name fault plans scope job-local verbs by.
+  const std::string& job_name() const { return options_.job_name; }
   int process_count() const { return static_cast<int>(job_->size()); }
 
   /// Start the application (static policies; dynprof drives this itself for
@@ -167,13 +190,18 @@ class Launch {
 
   Options options_;
   // The registry outlives everything below it: spans emitted while ~Engine
-  // destroys surviving coroutine frames must still find it alive.
-  std::unique_ptr<telemetry::Registry> telemetry_;
+  // destroys surviving coroutine frames must still find it alive.  In
+  // shared-substrate mode the owned_ slots stay null and the raw pointers
+  // alias the caller's objects (which outlive the Launch by contract).
+  std::unique_ptr<telemetry::Registry> owned_telemetry_;
+  telemetry::Registry* telemetry_ = nullptr;
   std::optional<telemetry::ScopedRegistry> scoped_registry_;
   // The engine group must outlive (i.e. be declared before) everything the
   // coroutine frames it owns may reference during teardown.
-  std::unique_ptr<sim::ParallelEngine> psim_;
-  std::unique_ptr<machine::Cluster> cluster_;
+  std::unique_ptr<sim::ParallelEngine> owned_psim_;
+  sim::ParallelEngine* psim_ = nullptr;
+  std::unique_ptr<machine::Cluster> owned_cluster_;
+  machine::Cluster* cluster_ = nullptr;
   std::shared_ptr<vt::TraceStore> store_;
   std::shared_ptr<vt::StagedUpdate> staged_;
   std::unique_ptr<mpi::World> world_;

@@ -53,6 +53,7 @@ PolicyResult run_policy(const RunConfig& config) {
     if (config.tree_arity > 0) {
       overlay = std::make_shared<control::StatsOverlay>(config.tree_arity);
       overlay->prepare(launch.process_count());
+      overlay->set_job(launch.job_name());
     }
     for (int pid = 0; pid < launch.process_count(); ++pid) {
       if (overlay) launch.vt(pid).set_stats_aggregator(overlay);

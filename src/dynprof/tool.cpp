@@ -35,7 +35,7 @@ DynprofTool::DynprofTool(Launch& launch, Options options)
   auto tool_symbols = std::make_shared<image::SymbolTable>();
   tool_symbols->add("dynprof", "dynprof.cpp");
   tool_process_ = std::make_unique<proc::SimProcess>(
-      cluster, /*pid=*/100000, tool_node_, /*first_cpu=*/0,
+      cluster, options_.tool_pid, tool_node_, /*first_cpu=*/0,
       image::ProgramImage(std::move(tool_symbols)));
 
   // DPCL super daemons run on every node that could host a target.

@@ -36,6 +36,9 @@ class DynprofTool {
   struct Options {
     /// Node the tool runs on; -1 = first node after the application's.
     int tool_node = -1;
+    /// Simulated pid of the tool process.  Multi-job scenarios give each
+    /// job's tool a distinct pid so process identities stay unique.
+    int tool_pid = 100000;
     /// Use the blocking DPCL suspend (required for OpenMP apps, §3.4).
     bool blocking_suspend = true;
     /// Map command-file names to function lists (stands in for the text

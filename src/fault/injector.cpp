@@ -37,7 +37,7 @@ FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {
         daemon_dead_.emplace_back(action.node, action.at);
         break;
       case FaultAction::Kind::kKillRank:
-        rank_dead_.emplace_back(action.rank, action.at);
+        rank_dead_.push_back(RankDeath{action.rank, action.at, action.job});
         break;
       case FaultAction::Kind::kDrop:
       case FaultAction::Kind::kDup:
@@ -56,10 +56,8 @@ FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {
         break;
     }
   }
-  auto earliest_first = [](const std::pair<int, sim::TimeNs>& a,
-                           const std::pair<int, sim::TimeNs>& b) { return a < b; };
-  std::sort(daemon_dead_.begin(), daemon_dead_.end(), earliest_first);
-  std::sort(rank_dead_.begin(), rank_dead_.end(), earliest_first);
+  std::sort(daemon_dead_.begin(), daemon_dead_.end());
+  std::sort(rank_dead_.begin(), rank_dead_.end());
 }
 
 sim::TimeNs FaultInjector::daemon_dead_at(int node) const {
@@ -113,17 +111,21 @@ std::vector<std::pair<sim::TimeNs, int>> FaultInjector::storms() const {
   return out;
 }
 
-bool FaultInjector::rank_alive(int rank, sim::TimeNs now) const {
-  for (const auto& [dead_rank, at] : rank_dead_) {
-    if (dead_rank == rank) return now < at;
+bool FaultInjector::rank_alive(int rank, sim::TimeNs now, std::string_view job) const {
+  for (const RankDeath& d : rank_dead_) {
+    if (d.rank != rank) continue;
+    if (!d.job.empty() && d.job != job) continue;
+    if (now >= d.at) return false;
   }
   return true;
 }
 
-std::vector<int> FaultInjector::dead_ranks(sim::TimeNs now) const {
+std::vector<int> FaultInjector::dead_ranks(sim::TimeNs now, std::string_view job) const {
   std::vector<int> out;
-  for (const auto& [rank, at] : rank_dead_) {
-    if (now >= at) out.push_back(rank);
+  for (const RankDeath& d : rank_dead_) {
+    if (!d.job.empty() && d.job != job) continue;
+    if (now < d.at) continue;
+    if (out.empty() || out.back() != d.rank) out.push_back(d.rank);
   }
   return out;
 }
@@ -194,10 +196,11 @@ double FaultInjector::stall_factor(int node, sim::TimeNs now) const {
 }
 
 std::size_t FaultInjector::spill_bytes(std::int32_t pid, std::uint64_t run_index,
-                                       std::size_t bytes) {
+                                       std::size_t bytes, std::string_view job) {
   for (const FaultAction& action : plan_.actions) {
     if (action.kind != FaultAction::Kind::kTearShard) continue;
     if (action.rank != pid || action.spill != run_index) continue;
+    if (!action.job.empty() && action.job != job) continue;
     const auto kept = static_cast<std::size_t>(
         std::floor(static_cast<double>(bytes) * action.keep));
     {

@@ -22,6 +22,8 @@
 #include <cstdint>
 #include <map>
 #include <mutex>
+#include <string>
+#include <string_view>
 #include <tuple>
 #include <vector>
 
@@ -53,12 +55,16 @@ class FaultInjector {
   /// inside a flap-daemon downtime window.  A flapping daemon drops the
   /// requests it receives while down and serves normally once restarted.
   bool daemon_alive(int node, sim::TimeNs now) const;
-  bool rank_alive(int rank, sim::TimeNs now) const;
+  /// Rank liveness.  `job` scopes the query in multi-job runs (rank ids are
+  /// job-local): an action carrying job= only matches queries naming that
+  /// job, while an unscoped action matches every query.  Single-job callers
+  /// pass nothing and see exactly the pre-multi-job behaviour.
+  bool rank_alive(int rank, sim::TimeNs now, std::string_view job = {}) const;
   /// When the node's daemon dies *permanently* (kNever if it does not).
   /// Flap windows do not count: a flapped daemon always comes back.
   sim::TimeNs daemon_dead_at(int node) const;
-  /// Ranks dead at `now`, ascending.
-  std::vector<int> dead_ranks(sim::TimeNs now) const;
+  /// Ranks dead at `now`, ascending; same job scoping as rank_alive().
+  std::vector<int> dead_ranks(sim::TimeNs now, std::string_view job = {}) const;
   /// True when the plan can make this node's daemon sick without killing
   /// it for good (flap-daemon or degrade-daemon actions name it).
   bool daemon_gray_prone(int node) const;
@@ -85,17 +91,27 @@ class FaultInjector {
 
   /// Bytes of spill run `run_index` of pid's shard that actually reach the
   /// disk (== `bytes` when no tear action matches).  A short return tears
-  /// the run; the event is recorded in the report.
-  std::size_t spill_bytes(std::int32_t pid, std::uint64_t run_index, std::size_t bytes);
+  /// the run; the event is recorded in the report.  `job` scopes the query
+  /// as in rank_alive().
+  std::size_t spill_bytes(std::int32_t pid, std::uint64_t run_index, std::size_t bytes,
+                          std::string_view job = {});
 
  private:
   bool action_matches_message(const FaultAction& action, std::size_t action_index,
                               Channel channel, int src, int dst);
 
+  struct RankDeath {
+    int rank = -1;
+    sim::TimeNs at = 0;
+    std::string job;  ///< empty = every job
+
+    auto operator<=>(const RankDeath&) const = default;
+  };
+
   FaultPlan plan_;
   RunReport report_;
   std::vector<std::pair<int, sim::TimeNs>> daemon_dead_;  ///< (node, at), ascending node
-  std::vector<std::pair<int, sim::TimeNs>> rank_dead_;    ///< (rank, at), ascending rank
+  std::vector<RankDeath> rank_dead_;                      ///< ascending rank
   bool has_message_actions_[3] = {false, false, false};   ///< per Channel
   bool has_flap_actions_ = false;
   bool has_degrade_actions_ = false;

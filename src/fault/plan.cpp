@@ -203,6 +203,7 @@ FaultPlan FaultPlan::parse(std::string_view text, const std::string& origin) {
       action.kind = FaultAction::Kind::kKillRank;
       p.apply_int("rank", &action.rank);
       p.apply_time("at", &action.at);
+      if (auto v = p.take("job")) action.job = *v;
       DT_EXPECT(action.rank >= 0, where, ": kill-rank needs rank=");
     } else if (verb == "drop") {
       action.kind = FaultAction::Kind::kDrop;
@@ -229,6 +230,7 @@ FaultPlan FaultPlan::parse(std::string_view text, const std::string& origin) {
       p.apply_int("rank", &action.rank);
       p.apply_u64("spill", &action.spill);
       p.apply_double("keep", &action.keep);
+      if (auto v = p.take("job")) action.job = *v;
       DT_EXPECT(action.rank >= 0, where, ": tear-shard needs rank=");
       DT_EXPECT(action.keep >= 0 && action.keep < 1.0, where,
                 ": tear-shard keep must be in [0, 1)");
@@ -286,6 +288,7 @@ std::string FaultPlan::to_text() const {
         break;
       case FaultAction::Kind::kKillRank:
         out += str::format("kill-rank rank=%d at=%s", a.rank, format_time(a.at).c_str());
+        if (!a.job.empty()) out += str::format(" job=%s", a.job.c_str());
         break;
       case FaultAction::Kind::kDrop:
         out += "drop";
@@ -307,6 +310,7 @@ std::string FaultPlan::to_text() const {
       case FaultAction::Kind::kTearShard:
         out += str::format("tear-shard rank=%d spill=%llu keep=%g", a.rank,
                            static_cast<unsigned long long>(a.spill), a.keep);
+        if (!a.job.empty()) out += str::format(" job=%s", a.job.c_str());
         break;
       case FaultAction::Kind::kFlapDaemon:
         out += str::format("flap-daemon node=%d period=%s downtime=%s", a.node,

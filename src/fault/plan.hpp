@@ -9,6 +9,8 @@
 //     seed 42
 //     kill-daemon node=3 at=150s
 //     kill-rank rank=5 at=150s
+//     kill-rank job=smg98 rank=5 at=150s
+//     tear-shard job=sppm rank=7 spill=0 keep=0.5
 //     drop channel=daemon prob=0.05
 //     drop channel=overlay src=3 dst=0 nth=0
 //     dup channel=overlay prob=0.5
@@ -27,6 +29,12 @@
 // burst-admit `sessions` extra sessions at `at`.  All three are pure time
 // functions of the plan -- no RNG, no arming events -- so runs stay
 // bit-identical across --sim-threads.
+//
+// In multi-job runs (DESIGN.md §15) rank ids are job-local, so the
+// rank-scoped verbs `kill-rank` and `tear-shard` accept `job=<name>` to pick
+// one job; without it the action applies to the matching rank of *every*
+// job (and, in a single-job run, to the one job regardless of its name).
+// A job-named action is inert in runs that never pass a job name.
 //
 // Times accept the suffixes ns/us/ms/s (bare numbers are nanoseconds).
 // Message actions select eligible messages per (action, src, dst) stream:
@@ -78,6 +86,7 @@ struct FaultAction {
 
   Kind kind = Kind::kDrop;
   Channel channel = Channel::kDaemon;
+  std::string job;              ///< kill-rank / tear-shard: job scope; empty = all jobs
   int node = -1;                ///< kill-daemon / stall target
   int rank = -1;                ///< kill-rank / tear-shard target
   int src = -1;                 ///< message source filter; -1 = any

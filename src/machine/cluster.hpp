@@ -39,12 +39,35 @@ class Cluster {
     int cpu = 0;
   };
 
+  /// One job's footprint on the machine (multi-job runs; DESIGN.md §15).
+  /// Jobs may share physical nodes -- each takes a disjoint CPU range --
+  /// and every node's tenant count feeds the contention model below.
+  struct JobSpan {
+    std::string name;
+    int first_node = 0;
+    int node_count = 0;
+    int first_cpu = 0;   ///< first CPU the job occupies on each of its nodes
+    int cpus = 0;        ///< CPUs occupied per node (0 = unknown/whole node)
+  };
+
   Cluster(sim::Engine& engine, MachineSpec spec, std::uint64_t noise_seed = 0x0dd5eed);
 
   /// Shard-aware cluster: nodes map onto the group's shards and the
   /// machine-derived lookahead is installed on the group.
   Cluster(sim::ParallelEngine& group, MachineSpec spec,
           std::uint64_t noise_seed = 0x0dd5eed);
+
+  /// Register a job's node span (setup time, before the engines run).  Each
+  /// registration raises the tenant count of the covered nodes; once any
+  /// node carries more than one tenant, messages touching it pay the
+  /// MachineSpec::tenancy_factor contention surcharge.  Runs that never
+  /// register a job (every single-job Launch) are bit-identical to builds
+  /// without this feature.
+  void register_job(JobSpan span);
+  const std::vector<JobSpan>& jobs() const { return jobs_; }
+
+  /// Number of jobs whose spans cover `node` (0 when no jobs registered).
+  int node_tenants(int node) const;
 
   /// The coordinator engine (shard 0 in a sharded cluster).  Setup code and
   /// single-shard runs use this; simulated processes use engine_for_node().
@@ -96,8 +119,11 @@ class Cluster {
   /// Block placement: consecutive units fill a node's CPUs, then spill to
   /// the next node (the POE default).  Each unit occupies `cpus_per_unit`
   /// consecutive CPUs (an OpenMP process occupies one CPU per thread).
-  /// Throws dyntrace::Error if the machine is too small.
-  std::vector<Placement> place_block(int units, int cpus_per_unit) const;
+  /// `first_cpu` offsets every unit's CPU range so that jobs sharing
+  /// physical nodes occupy disjoint CPUs (multi-job runs; 0 for the whole
+  /// node).  Throws dyntrace::Error if the machine is too small.
+  std::vector<Placement> place_block(int units, int cpus_per_unit,
+                                     int first_cpu = 0) const;
 
   /// One-way delay for a message of `bytes` between nodes, with
   /// deterministic jitter applied (models OS noise / switch contention and
@@ -147,6 +173,11 @@ class Cluster {
   /// except on explicitly split nodes).
   std::vector<int> node_base_;
   std::vector<int> node_split_;
+  /// Registered jobs and the per-node tenant counts they imply.  Written
+  /// only at setup time (register_job), read-only while engines run, so the
+  /// contention surcharge is a pure function of message identity.
+  std::vector<JobSpan> jobs_;
+  std::vector<int> tenants_;
   std::atomic<std::uint64_t> messages_sent_{0};
   std::atomic<std::uint64_t> bytes_sent_{0};
 };

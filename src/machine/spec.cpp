@@ -97,12 +97,14 @@ MachineSpec spec_from_config(const ConfigFile& config) {
   s.intra_bandwidth_bytes_per_us =
       config.get_double("machine", "intra_bandwidth_bytes_per_us", s.intra_bandwidth_bytes_per_us);
   s.latency_jitter = config.get_double("machine", "latency_jitter", s.latency_jitter);
+  s.tenancy_factor = config.get_double("machine", "tenancy_factor", s.tenancy_factor);
 
   DT_EXPECT(s.nodes >= 1, "machine.nodes must be >= 1");
   DT_EXPECT(s.cpus_per_node >= 1, "machine.cpus_per_node must be >= 1");
   DT_EXPECT(s.bandwidth_bytes_per_us > 0, "machine.bandwidth must be positive");
   DT_EXPECT(s.latency_jitter >= 0 && s.latency_jitter < 1,
             "machine.latency_jitter must be in [0, 1)");
+  DT_EXPECT(s.tenancy_factor >= 0, "machine.tenancy_factor must be >= 0");
 
   auto cost_ns = [&config](const char* key, sim::TimeNs fallback) {
     return static_cast<sim::TimeNs>(config.get_int("costs", key, fallback));

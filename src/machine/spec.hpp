@@ -114,6 +114,12 @@ struct MachineSpec {
   /// differing daemon contact delays the paper discusses); 0 disables.
   double latency_jitter = 0.08;
 
+  /// Multi-tenant contention surcharge (DESIGN.md §15): a message touching
+  /// a node shared by T registered jobs pays (1 + tenancy_factor * (T-1))
+  /// times its base latency -- NIC and switch-port sharing.  Inert (factor
+  /// 1) until a multi-job launch registers overlapping job spans.
+  double tenancy_factor = 0.35;
+
   CostModel costs;
   FaultTolerance fault;
 

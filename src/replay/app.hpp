@@ -1,0 +1,40 @@
+// ReplayApp: a parsed ReplayTrace presented as an asci::AppSpec, so a
+// recorded MPI call stream runs through the exact pipeline the synthetic
+// kernels use -- every policy, fault plan, service session and bench works
+// on a replayed trace unchanged.
+//
+// The spec is pinned to the trace: min_procs == max_procs == ranks, the
+// symbol inventory is the trace's `call` functions (module "replay") plus
+// the MPI runtime entries, and subset/dynamic_list come from the `subset`
+// directive (default: every call function).  The body coroutine walks the
+// rank's event stream with a time cursor -- gaps replay as raw compute,
+// `call` events go through the instrumentation protocol (leaf/leaf_repeat),
+// `sync` offers a safe point, and MPI verbs re-execute against the machine
+// model so their cost is simulated, not transcribed.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "asci/app.hpp"
+#include "replay/trace.hpp"
+
+namespace dyntrace::replay {
+
+class ReplayApp {
+ public:
+  explicit ReplayApp(ReplayTrace trace);
+
+  /// Valid for the lifetime of this ReplayApp.
+  const asci::AppSpec& spec() const { return spec_; }
+  const ReplayTrace& trace() const { return *trace_; }
+
+ private:
+  std::shared_ptr<const ReplayTrace> trace_;
+  asci::AppSpec spec_;
+};
+
+/// Load a trace file and wrap it (CLI / test convenience).
+std::shared_ptr<ReplayApp> load_app(const std::string& path, ParseOptions options = {});
+
+}  // namespace dyntrace::replay

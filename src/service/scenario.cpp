@@ -325,6 +325,7 @@ ScenarioResult run_scenario(const ScenarioOptions& options) {
   // root the break agent reads.
   auto overlay = std::make_shared<control::StatsOverlay>(4);
   overlay->prepare(launch.process_count());
+  overlay->set_job(launch.job_name());
   for (int pid = 0; pid < launch.process_count(); ++pid) {
     launch.vt(pid).set_stats_aggregator(overlay);
   }

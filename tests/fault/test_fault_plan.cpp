@@ -252,6 +252,52 @@ TEST(FaultInjector, SpillBytesTearOnlyTheTargetRun) {
   EXPECT_EQ(torn[0].ranks, std::vector<int>{7});
 }
 
+TEST(FaultPlan, JobScopedVerbsParseAndRoundTrip) {
+  const FaultPlan plan = FaultPlan::parse(
+      "kill-rank rank=3 at=2s job=back\n"
+      "tear-shard rank=1 spill=0 keep=0.5 job=front\n"
+      "kill-rank rank=3 at=2s\n");
+  ASSERT_EQ(plan.actions.size(), 3u);
+  EXPECT_EQ(plan.actions[0].job, "back");
+  EXPECT_EQ(plan.actions[1].job, "front");
+  EXPECT_TRUE(plan.actions[2].job.empty());
+  const std::string text = plan.to_text();
+  EXPECT_NE(text.find("job=back"), std::string::npos);
+  EXPECT_NE(text.find("job=front"), std::string::npos);
+  EXPECT_EQ(FaultPlan::parse(text).to_text(), text);
+}
+
+TEST(FaultInjector, JobScopedKillsOnlyMatchTheNamedJob) {
+  FaultInjector injector(FaultPlan::parse("kill-rank rank=3 at=2s job=back\n"));
+  const sim::TimeNs after = sim::seconds(5);
+  // The named job loses the rank; other jobs and the unscoped (single-job
+  // legacy) query keep it.
+  EXPECT_FALSE(injector.rank_alive(3, after, "back"));
+  EXPECT_TRUE(injector.rank_alive(3, after, "front"));
+  EXPECT_TRUE(injector.rank_alive(3, after));
+  EXPECT_TRUE(injector.rank_alive(3, sim::seconds(1), "back"));  // before at=
+  EXPECT_EQ(injector.dead_ranks(after, "back"), std::vector<int>{3});
+  EXPECT_TRUE(injector.dead_ranks(after, "front").empty());
+  EXPECT_TRUE(injector.dead_ranks(after).empty());
+}
+
+TEST(FaultInjector, UnscopedKillsMatchEveryJob) {
+  FaultInjector injector(FaultPlan::parse("kill-rank rank=3 at=2s\n"));
+  const sim::TimeNs after = sim::seconds(5);
+  EXPECT_FALSE(injector.rank_alive(3, after));
+  EXPECT_FALSE(injector.rank_alive(3, after, "back"));
+  EXPECT_FALSE(injector.rank_alive(3, after, "front"));
+  EXPECT_EQ(injector.dead_ranks(after, "anything"), std::vector<int>{3});
+}
+
+TEST(FaultInjector, JobScopedTearOnlyTearsTheNamedJobsShard) {
+  FaultInjector injector(
+      FaultPlan::parse("tear-shard rank=7 spill=1 keep=0.25 job=back\n"));
+  EXPECT_EQ(injector.spill_bytes(7, 1, 1000, "back"), 250u);
+  EXPECT_EQ(injector.spill_bytes(7, 1, 1000, "front"), 1000u);
+  EXPECT_EQ(injector.spill_bytes(7, 1, 1000), 1000u);
+}
+
 TEST(RunReport, EntriesSortDeterministically) {
   RunReport report;
   report.add(sim::seconds(2), "daemon-lost", "node=1", {2, 3});

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "sim/parallel_engine.hpp"
 #include "support/common.hpp"
 
@@ -44,6 +46,54 @@ TEST(Cluster, PlacementRejectsOversizedRequests) {
   EXPECT_THROW(cluster.place_block(17, 1), Error);
   EXPECT_THROW(cluster.place_block(1, 2), Error);
   EXPECT_NO_THROW(cluster.place_block(16, 1));
+}
+
+TEST(Cluster, PlacementHonoursACpuOffset) {
+  sim::Engine engine;
+  Cluster cluster(engine, ibm_power3_sp());  // 8 cpus per node
+  // A job whose per-node slice starts at CPU 4 gets 4 one-cpu slots per
+  // node: ranks 0-3 on node 0 cpus 4-7, ranks 4-7 on node 1.
+  const auto placement = cluster.place_block(8, 1, /*first_cpu=*/4);
+  ASSERT_EQ(placement.size(), 8u);
+  EXPECT_EQ(placement[0].node, 0);
+  EXPECT_EQ(placement[0].cpu, 4);
+  EXPECT_EQ(placement[3].node, 0);
+  EXPECT_EQ(placement[3].cpu, 7);
+  EXPECT_EQ(placement[4].node, 1);
+  EXPECT_EQ(placement[4].cpu, 4);
+  // An offset leaving no room for one unit is rejected.
+  EXPECT_THROW(cluster.place_block(1, 8, /*first_cpu=*/4), Error);
+}
+
+TEST(Cluster, RegisteredJobsCountTenantsPerNode) {
+  sim::Engine engine;
+  Cluster cluster(engine, ibm_power3_sp());
+  EXPECT_EQ(cluster.node_tenants(0), 0);
+  cluster.register_job(Cluster::JobSpan{"front", 0, 2, 0, 4});
+  cluster.register_job(Cluster::JobSpan{"back", 1, 2, 4, 4});
+  EXPECT_EQ(cluster.node_tenants(0), 1);
+  EXPECT_EQ(cluster.node_tenants(1), 2);  // both jobs span node 1
+  EXPECT_EQ(cluster.node_tenants(2), 1);
+  EXPECT_EQ(cluster.node_tenants(3), 0);
+  EXPECT_THROW(cluster.register_job(Cluster::JobSpan{"front", 4, 1, 0, 8}), Error);
+  EXPECT_THROW(cluster.register_job(Cluster::JobSpan{"huge", 0, 1000, 0, 8}), Error);
+}
+
+TEST(Cluster, MultiTenantNodesPaySurcharge) {
+  MachineSpec spec = ibm_power3_sp();
+  spec.latency_jitter = 0;  // isolate the surcharge
+  ASSERT_GT(spec.tenancy_factor, 0.0);
+  sim::Engine e1, e2;
+  Cluster solo(e1, spec);
+  Cluster shared(e2, spec);
+  shared.register_job(Cluster::JobSpan{"front", 0, 1, 0, 4});
+  shared.register_job(Cluster::JobSpan{"back", 0, 1, 4, 4});
+  const sim::TimeNs base = solo.message_delay(0, 1, 4096, 0);
+  const sim::TimeNs taxed = shared.message_delay(0, 1, 4096, 0);
+  // Two tenants at the default factor 0.35: a 1.35x surcharge.
+  EXPECT_EQ(taxed, static_cast<sim::TimeNs>(std::llround(base * 1.35)));
+  // Traffic between single-tenant nodes is untouched.
+  EXPECT_EQ(shared.message_delay(2, 3, 4096, 0), solo.message_delay(2, 3, 4096, 0));
 }
 
 TEST(Cluster, JitterIsBoundedAndDeterministic) {
